@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench figures fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sampling/ ./internal/core/
+
+cover:
+	$(GO) test -cover ./...
+
+# One pass over every figure/ablation/micro benchmark.
+bench:
+	$(GO) test -run xxx -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate the paper's tables and figures into results/.
+figures:
+	mkdir -p results
+	$(GO) run ./cmd/experiments -table 1          > results/table1.txt
+	$(GO) run ./cmd/experiments -fig 1 -reps 10   > results/fig1.txt
+	$(GO) run ./cmd/experiments -fig 2 -reps 2    > results/fig2.txt
+	$(GO) run ./cmd/experiments -fig 3 -reps 1    > results/fig3.txt
+	$(GO) run ./cmd/experiments -fig 4 -reps 3    > results/fig4.txt
+	$(GO) run ./cmd/experiments -fig 5 -reps 3    > results/fig5.txt
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,155 @@
+package gbc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestApproxNodeBetweennessAPI(t *testing.T) {
+	g := BarabasiAlbert(200, 2, 3)
+	approx, samples, err := ApproxNodeBetweenness(g, 0.03, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples <= 0 {
+		t.Fatal("no samples")
+	}
+	exact := NodeBetweenness(g)
+	nn := float64(g.N()) * float64(g.N()-1)
+	for v := range exact {
+		if math.Abs(approx[v]-exact[v])/nn > 0.03 {
+			t.Fatalf("node %d deviates: approx %g exact %g", v, approx[v], exact[v])
+		}
+	}
+	if _, _, err := ApproxNodeBetweenness(g, 0, 0.1, 1); err == nil {
+		t.Fatal("epsilon 0 must error")
+	}
+}
+
+func TestGreedyExactTopKAPI(t *testing.T) {
+	g := BarabasiAlbert(60, 2, 5)
+	group, val := GreedyExactTopK(g, 3)
+	if len(group) != 3 {
+		t.Fatalf("group %v", group)
+	}
+	if re := ExactGBC(g, group); math.Abs(re-val) > 1e-6 {
+		t.Fatalf("reported %g but group evaluates to %g", val, re)
+	}
+	// Greedy-exact should meet or beat a sampling run's exact value.
+	res, err := TopK(g, Options{K: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val < ExactGBC(g, res.Group)*0.98 {
+		t.Fatalf("exact greedy %g below sampling result %g", val, ExactGBC(g, res.Group))
+	}
+}
+
+func TestBudgetedTopKAPI(t *testing.T) {
+	g := BarabasiAlbert(150, 2, 7)
+	costs := make([]float64, g.N())
+	for i := range costs {
+		costs[i] = 1 + float64(i%3)
+	}
+	res, err := BudgetedTopK(g, BudgetedOptions{Costs: costs, Budget: 6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range res.Group {
+		total += costs[v]
+	}
+	if total > 6 {
+		t.Fatalf("budget exceeded: %g (group %v)", total, res.Group)
+	}
+	if len(res.Group) == 0 {
+		t.Fatal("empty group")
+	}
+}
+
+func TestPairSamplingExported(t *testing.T) {
+	g := BarabasiAlbert(100, 2, 9)
+	res, err := TopKWith(PairSampling, g, Options{K: 3, Seed: 10, MaxSamples: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Group) != 3 {
+		t.Fatalf("group %v", res.Group)
+	}
+	alg, err := ParseAlgorithm("PairSampling")
+	if err != nil || alg != PairSampling {
+		t.Fatalf("parse failed: %v %v", alg, err)
+	}
+}
+
+func TestWeightedGraphAPI(t *testing.T) {
+	g, err := NewWeightedGraph(3, false,
+		[][2]int32{{0, 2}, {0, 1}, {1, 2}}, []float64{10, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("not weighted")
+	}
+	// All weighted shortest paths route through node 1.
+	res, err := TopK(g, Options{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group[0] != 1 {
+		t.Fatalf("weighted TopK picked %v, want 1", res.Group)
+	}
+	if v := ExactGBC(g, res.Group); v != 6 {
+		t.Fatalf("exact weighted GBC = %g, want 6", v)
+	}
+	if _, err := NewWeightedGraph(2, false, [][2]int32{{0, 1}}, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestLoadWeightedEdgeListAPI(t *testing.T) {
+	g, err := LoadWeightedEdgeList(strings.NewReader("0 1 2\n1 2 3\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() || g.M() != 2 {
+		t.Fatalf("weighted=%v m=%d", g.Weighted(), g.M())
+	}
+}
+
+func TestEstimateGBCAPI(t *testing.T) {
+	g := BarabasiAlbert(200, 2, 11)
+	group := []int32{0, 3, 8}
+	exact := ExactGBC(g, group)
+	est := EstimateGBC(g, group, 20000, 12)
+	if math.Abs(est-exact)/exact > 0.08 {
+		t.Fatalf("estimate %g vs exact %g", est, exact)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero samples")
+		}
+	}()
+	EstimateGBC(g, group, 0, 1)
+}
+
+func TestCommunityAPI(t *testing.T) {
+	g := StochasticBlockModel([]int{15, 15}, [][]float64{{0.6, 0.02}, {0.02, 0.6}}, 14)
+	comm, count := Communities(g, 2)
+	if count < 2 || len(comm) != 30 {
+		t.Fatalf("communities: count=%d len=%d", count, len(comm))
+	}
+	if q := Modularity(g, comm); q < 0.2 {
+		t.Fatalf("modularity %g too low", q)
+	}
+	ebc := EdgeBetweenness(g)
+	if len(ebc) != g.M() {
+		t.Fatalf("edge betweenness has %d entries for %d edges", len(ebc), g.M())
+	}
+	for k, v := range ebc {
+		if v < 0 || k.U > k.V {
+			t.Fatalf("bad entry %v=%g", k, v)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Benchmarks regenerating the paper's evaluation, one per table and figure
+// (§VI, Table I and Figs. 1-5), plus ablations for the design choices
+// called out in DESIGN.md and micro-benchmarks of the substrates.
+//
+// The figure benchmarks run the experiment harness at a reduced "quick"
+// scale so `go test -bench=.` finishes on one CPU; cmd/experiments runs the
+// full-size sweeps and EXPERIMENTS.md records their outputs. Shape-relevant
+// quantities (sample counts, β, quality ratios) are reported as custom
+// metrics next to the timings.
+package gbc
+
+import (
+	"fmt"
+	"testing"
+
+	"gbc/internal/bfs"
+	"gbc/internal/core"
+	"gbc/internal/dataset"
+	"gbc/internal/exact"
+	"gbc/internal/experiments"
+	"gbc/internal/sampling"
+	"gbc/internal/xrand"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Seed = 9
+	return cfg
+}
+
+// BenchmarkTable1Datasets regenerates Table I: every stand-in at its quick
+// scale.
+func BenchmarkTable1Datasets(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = dataset.Names()
+	cfg.Scale = 0.02
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig1RelativeError regenerates Fig. 1 (β vs L) at quick scale and
+// reports the last point's average β.
+func BenchmarkFig1RelativeError(b *testing.B) {
+	cfg := benchConfig()
+	var beta float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		beta = points[len(points)-1].AvgBeta
+	}
+	b.ReportMetric(beta, "finalAvgBeta")
+}
+
+// BenchmarkFig2GBCvsK regenerates Fig. 2 (normalized GBC vs K, ε = 0.3).
+func BenchmarkFig2GBCvsK(b *testing.B) {
+	cfg := benchConfig()
+	var q float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Algorithm == "AdaAlg" {
+				q = p.NormalizedGBC
+			}
+		}
+	}
+	b.ReportMetric(q, "adaNormGBC")
+}
+
+// BenchmarkFig3GBCvsEps regenerates Fig. 3 (normalized GBC vs ε).
+func BenchmarkFig3GBCvsEps(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4SamplesVsK regenerates Fig. 4 (samples vs K, ε = 0.3) and
+// reports the CentRa/AdaAlg sample ratio at the largest K.
+func BenchmarkFig4SamplesVsK(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kMax := cfg.KValues[len(cfg.KValues)-1]
+		var ada, cen float64
+		for _, p := range points {
+			if p.K == kMax && p.Dataset == "GrQc" {
+				switch p.Algorithm {
+				case "AdaAlg":
+					ada = p.Samples
+				case "CentRa":
+					cen = p.Samples
+				}
+			}
+		}
+		ratio = cen / ada
+	}
+	b.ReportMetric(ratio, "centraOverAda")
+}
+
+// BenchmarkFig5SamplesVsEps regenerates Fig. 5 (samples vs ε).
+func BenchmarkFig5SamplesVsEps(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md "Design choices worth ablating") ---
+
+// BenchmarkAblationBaseChoice compares AdaAlg's sample count under the
+// paper's Eq. 13 base against fixed bases.
+func BenchmarkAblationBaseChoice(b *testing.B) {
+	g := BarabasiAlbert(1500, 3, 3)
+	for _, tc := range []struct {
+		name string
+		base float64
+	}{{"Eq13", 0}, {"b1.1", 1.1}, {"b1.5", 1.5}, {"b2.0", 2.0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var samples int
+			for i := 0; i < b.N; i++ {
+				res, err := TopK(g, Options{K: 20, Seed: uint64(i + 1), FixedBase: tc.base})
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples = res.Samples
+			}
+			b.ReportMetric(float64(samples), "samples")
+		})
+	}
+}
+
+// BenchmarkAblationGreedy compares the lazy (CELF) greedy against the
+// reference quadratic greedy on the same sampled coverage instance.
+func BenchmarkAblationGreedy(b *testing.B) {
+	g := BarabasiAlbert(2000, 3, 4)
+	set := sampling.NewBidirectionalSet(g, xrand.New(5))
+	set.GrowTo(20000)
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			set.Coverage().Greedy(50)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			set.Coverage().GreedyReference(50)
+		}
+	})
+}
+
+// BenchmarkAblationSampler compares the balanced bidirectional sampler
+// against the truncated forward-BFS sampler, reporting edges scanned per
+// sampled path.
+func BenchmarkAblationSampler(b *testing.B) {
+	g := BarabasiAlbert(20000, 4, 5)
+	r := xrand.New(6)
+	b.Run("bidirectional", func(b *testing.B) {
+		s := bfs.NewBidirectional(g)
+		for i := 0; i < b.N; i++ {
+			u, v := r.IntnPair(g.N())
+			s.Sample(int32(u), int32(v), r)
+		}
+		b.ReportMetric(float64(s.EdgesScanned)/float64(b.N), "edges/path")
+	})
+	b.Run("forward", func(b *testing.B) {
+		s := bfs.NewForward(g)
+		for i := 0; i < b.N; i++ {
+			u, v := r.IntnPair(g.N())
+			s.Sample(int32(u), int32(v), r)
+		}
+		b.ReportMetric(float64(s.EdgesScanned)/float64(b.N), "edges/path")
+	})
+}
+
+// BenchmarkAblationValidationSet contrasts AdaAlg's independent validation
+// set T with reusing S's estimate (no unbiased check): the β it would see.
+func BenchmarkAblationValidationSet(b *testing.B) {
+	g := BarabasiAlbert(2000, 3, 7)
+	r := xrand.New(8)
+	var betaIndep, betaReuse float64
+	for i := 0; i < b.N; i++ {
+		setS := sampling.NewBidirectionalSet(g, r.Split())
+		setT := sampling.NewBidirectionalSet(g, r.Split())
+		setS.GrowTo(2000)
+		setT.GrowTo(2000)
+		group, covered := setS.Greedy(20)
+		biased := setS.Estimate(covered)
+		betaIndep = 1 - setT.EstimateGroup(group)/biased
+		betaReuse = 1 - setS.EstimateGroup(group)/biased // always 0: no signal
+	}
+	b.ReportMetric(betaIndep, "betaIndependentT")
+	b.ReportMetric(betaReuse, "betaReusedS")
+}
+
+// BenchmarkAblationPairVsPath compares path sampling (AdaAlg's substrate)
+// against Yoshida-style pair sampling on the same instance: total samples
+// needed and wall time (the 1/μ_opt² factor of the pair bound).
+func BenchmarkAblationPairVsPath(b *testing.B) {
+	g, err := Dataset("GrQc", 0.1, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{K: 10, Epsilon: 0.3, Seed: 3, MaxSamples: 300000}
+	b.Run("path-AdaAlg", func(b *testing.B) {
+		var samples int
+		for i := 0; i < b.N; i++ {
+			res, err := TopK(g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples = res.Samples
+		}
+		b.ReportMetric(float64(samples), "samples")
+	})
+	b.Run("pair-Yoshida", func(b *testing.B) {
+		var samples int
+		for i := 0; i < b.N; i++ {
+			res, err := TopKWith(PairSampling, g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples = res.Samples
+		}
+		b.ReportMetric(float64(samples), "samples")
+	})
+}
+
+// BenchmarkAblationWorkers measures multi-worker sampling throughput (the
+// results are identical by construction; see the sampling tests).
+func BenchmarkAblationWorkers(b *testing.B) {
+	g := BarabasiAlbert(20000, 4, 8)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				set := sampling.NewBidirectionalSet(g, xrand.New(uint64(i+1)))
+				set.Workers = workers
+				set.GrowTo(20000)
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkBidirectionalSamplePath(b *testing.B) {
+	g := BarabasiAlbert(50000, 4, 9)
+	s := bfs.NewBidirectional(g)
+	r := xrand.New(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := r.IntnPair(g.N())
+		s.Sample(int32(u), int32(v), r)
+	}
+}
+
+func BenchmarkGreedyCoverage50k(b *testing.B) {
+	g := BarabasiAlbert(5000, 3, 11)
+	set := sampling.NewBidirectionalSet(g, xrand.New(12))
+	set.GrowTo(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Greedy(100)
+	}
+}
+
+func BenchmarkExactGBC(b *testing.B) {
+	g := BarabasiAlbert(2000, 3, 13)
+	group := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.GBC(g, group)
+	}
+}
+
+func BenchmarkBrandesCentrality(b *testing.B) {
+	g := BarabasiAlbert(1000, 3, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NodeBetweenness(g)
+	}
+}
+
+func BenchmarkAdaAlgGrQcScale(b *testing.B) {
+	spec, err := dataset.Lookup("GrQc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Generate(0.5, 15)
+	var samples int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.AdaAlg(g, core.Options{K: 50, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = res.Samples
+	}
+	b.ReportMetric(float64(samples), "samples")
+}
+
+func BenchmarkGraphGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(10000, 4, uint64(i+1))
+	}
+}

@@ -1,0 +1,117 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§VI) as text tables.
+//
+// Examples:
+//
+//	experiments -table 1
+//	experiments -fig 4                         # all ten datasets, default scale
+//	experiments -fig 2 -datasets GrQc,Twitter -reps 5
+//	experiments -fig 5 -quick                  # small fast sweep
+//
+// Each dataset is an offline synthetic stand-in generated at a scaled-down
+// size by default (see DESIGN.md); -scale 1 generates paper-size graphs,
+// which takes correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gbc/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (1-5)")
+		table    = flag.Int("table", 0, "table to regenerate (1)")
+		timing   = flag.Bool("timing", false, "print a wall-clock table instead of a figure")
+		datasets = flag.String("datasets", "", "comma-separated dataset names (default: all ten)")
+		scale    = flag.Float64("scale", 0, "override dataset scale in (0,1]; 0 = per-dataset default")
+		reps     = flag.Int("reps", 0, "repetitions per point (default 3; paper used 20, 100 for Fig. 1)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "small fast sweep (two datasets, short ranges)")
+		exhaust  = flag.Float64("exhaust-eps", 0.1, "ε for the EXHAUST reference (paper: 0.03)")
+	)
+	flag.Parse()
+	if *timing {
+		*fig = -1 // sentinel routed to the timing table
+	}
+	if err := run(*fig, *table, *datasets, *scale, *reps, *seed, *quick, *exhaust); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, table int, datasets string, scale float64, reps int, seed uint64, quick bool, exhaustEps float64) error {
+	var cfg experiments.Config
+	if quick {
+		cfg = experiments.Quick()
+	}
+	if datasets != "" {
+		cfg.Datasets = strings.Split(datasets, ",")
+	}
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	if reps > 0 {
+		cfg.Reps = reps
+	}
+	cfg.Seed = seed
+	cfg.ExhaustEpsilon = exhaustEps
+
+	w := os.Stdout
+	switch {
+	case fig == -1:
+		points, err := experiments.Timing(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Running time per algorithm (largest K, ε = 0.3)")
+		return experiments.RenderTiming(w, points)
+	case table == 1:
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Table I: datasets (paper sizes vs generated stand-ins)")
+		return experiments.RenderTable1(w, rows)
+	case fig == 1:
+		points, err := experiments.Fig1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Fig. 1: relative error β between biased and unbiased estimates vs samples L")
+		return experiments.RenderFig1(w, points)
+	case fig == 2:
+		points, err := experiments.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Fig. 2: normalized GBC vs K (ε = 0.3, γ = 1%)")
+		return experiments.RenderQuality(w, points)
+	case fig == 3:
+		points, err := experiments.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Fig. 3: normalized GBC vs ε (largest K, γ = 1%)")
+		return experiments.RenderQuality(w, points)
+	case fig == 4:
+		points, err := experiments.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Fig. 4: number of samples vs K (ε = 0.3, γ = 1%)")
+		return experiments.RenderSamples(w, points)
+	case fig == 5:
+		points, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Fig. 5: number of samples vs ε (smallest and largest K, γ = 1%)")
+		return experiments.RenderSamples(w, points)
+	}
+	return fmt.Errorf("need -fig {1..5} or -table 1")
+}

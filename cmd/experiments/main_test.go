@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunNeedsSelection(t *testing.T) {
+	if err := run(0, 0, "", 0, 0, 1, false, 0.1); err == nil {
+		t.Fatal("expected error when neither -fig nor -table given")
+	}
+	if err := run(9, 0, "", 0, 0, 1, false, 0.1); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run(0, 1, "GrQc", 0.02, 1, 1, false, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig1Small(t *testing.T) {
+	if err := run(1, 0, "GrQc", 0.03, 1, 1, true, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllFiguresTiny(t *testing.T) {
+	// Exercise every figure branch on a tiny instance (GrQc at 3%).
+	for fig := 2; fig <= 5; fig++ {
+		if err := run(fig, 0, "GrQc", 0.03, 1, 1, true, 0.2); err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run(1, 0, "NotReal", 0.05, 1, 1, false, 0.1); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+}
+
+func TestRunTiming(t *testing.T) {
+	if err := run(-1, 0, "GrQc", 0.03, 1, 1, true, 0.2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	if err := run("ba", "GrQc", 0.1, 100, 2, 0, 0, false, 1, ""); err == nil {
+		t.Fatal("model+dataset must error")
+	}
+	if err := run("", "", 0.1, 100, 2, 0, 0, false, 1, ""); err == nil {
+		t.Fatal("no source must error")
+	}
+	if err := run("", "NotReal", 0.1, 0, 0, 0, 0, false, 1, ""); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestRunWritesModels(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		model string
+		n, k  int
+		m     int
+		p     float64
+	}{
+		{"ba", 100, 2, 0, 0},
+		{"ws", 100, 2, 0, 0.1},
+		{"er", 100, 0, 200, 0},
+		{"dirpref", 100, 2, 0, 0.2},
+	} {
+		out := filepath.Join(dir, tc.model+".txt")
+		if err := run(tc.model, "", 0, tc.n, tc.k, tc.m, tc.p, false, 1, out); err != nil {
+			t.Fatalf("%s: %v", tc.model, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "graph:") {
+			t.Fatalf("%s: missing header in output", tc.model)
+		}
+	}
+}
+
+func TestRunDatasetToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.txt")
+	if err := run("", "Coauthor", 0.02, 0, 0, 0, 0, false, 2, out); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("output missing: %v", err)
+	}
+}
+
+func TestRunWritesToStdout(t *testing.T) {
+	if err := run("ba", "", 0, 50, 2, 0, 0, false, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}

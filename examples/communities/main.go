@@ -1,0 +1,54 @@
+// Community detection (paper §I, refs [12], [24]): betweenness centrality
+// was popularized by Girvan–Newman clustering, which peels off the
+// highest-betweenness edges until a network falls apart into communities.
+// This example plants three communities, recovers them, and then shows the
+// connection to the paper's problem: the top-K *group* betweenness nodes
+// are precisely the accounts stitching the communities together.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gbc"
+)
+
+func main() {
+	// Three planted communities of 25 nodes with sparse bridges.
+	sizes := []int{25, 25, 25}
+	g := gbc.StochasticBlockModel(sizes, [][]float64{
+		{0.5, 0.02, 0.02},
+		{0.02, 0.5, 0.02},
+		{0.02, 0.02, 0.5},
+	}, 13)
+	fmt.Printf("social network: %v\n\n", g)
+
+	comm, count := gbc.Communities(g, 3)
+	fmt.Printf("Girvan-Newman found %d communities, modularity %.3f\n",
+		count, gbc.Modularity(g, comm))
+	purity := 0
+	for c := 0; c < 3; c++ {
+		counts := map[int32]int{}
+		for v := c * 25; v < (c+1)*25; v++ {
+			counts[comm[v]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		purity += best
+	}
+	fmt.Printf("planted-community purity: %d/75 nodes\n\n", purity)
+
+	// The GBC view of the same structure: the top group betweenness nodes
+	// sit on the inter-community bridges.
+	res, err := gbc.TopK(g, gbc.Options{K: 6, Epsilon: 0.2, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-%d GBC group: %v\n", len(res.Group), res.Group)
+	fmt.Printf("they intercept %.1f%% of all shortest paths\n",
+		100*gbc.ExactNormalizedGBC(g, res.Group))
+}

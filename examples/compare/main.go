@@ -1,0 +1,65 @@
+// Compare runs all four algorithms (EXHAUST, HEDGE, CentRa, AdaAlg) on one
+// of the paper's dataset stand-ins and prints a side-by-side table of
+// solution quality and sample counts — a one-dataset slice of Figs. 2 and 4.
+//
+// Usage: go run ./examples/compare [dataset [K]]   (default GrQc, K = 20)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"gbc"
+)
+
+func main() {
+	name := "GrQc"
+	k := 20
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		v, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad K %q: %v", os.Args[2], err)
+		}
+		k = v
+	}
+
+	g, err := gbc.Dataset(name, 0.4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s (stand-in at scale 0.4): %v\n", name, g)
+	fmt.Printf("K = %d, ε = 0.3 (EXHAUST: ε = 0.1), γ = 1%%\n\n", k)
+
+	type row struct {
+		alg     gbc.Algorithm
+		opts    gbc.Options
+		res     *gbc.Result
+		exactNQ float64
+	}
+	rows := []row{
+		{alg: gbc.EXHAUST, opts: gbc.Options{K: k, Epsilon: 0.1, Gamma: 0.01, Seed: 5}},
+		{alg: gbc.HEDGE, opts: gbc.Options{K: k, Epsilon: 0.3, Seed: 5}},
+		{alg: gbc.CentRa, opts: gbc.Options{K: k, Epsilon: 0.3, Seed: 5}},
+		{alg: gbc.AdaAlg, opts: gbc.Options{K: k, Epsilon: 0.3, Seed: 5}},
+	}
+	for i := range rows {
+		res, err := gbc.TopKWith(rows[i].alg, g, rows[i].opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows[i].res = res
+		rows[i].exactNQ = gbc.ExactNormalizedGBC(g, res.Group)
+	}
+
+	ref := rows[0].exactNQ // EXHAUST is the quality reference
+	fmt.Printf("%-8s %12s %16s %12s %10s\n", "alg", "samples", "normalized GBC", "vs EXHAUST", "elapsed")
+	for _, r := range rows {
+		fmt.Printf("%-8v %12d %16.4f %11.1f%% %10v\n",
+			r.alg, r.res.Samples, r.exactNQ, 100*r.exactNQ/ref, r.res.Elapsed.Round(1000))
+	}
+}

@@ -1,0 +1,94 @@
+// Misinformation filtering (paper §I): place K fact-checking monitors in a
+// social network so that as much of the information flow as possible —
+// modeled as shortest paths — passes through a monitored account.
+//
+// The example builds a community-structured social network, compares the
+// GBC group against the naive "top-K individually most central accounts"
+// placement, and shows why group centrality matters: individually central
+// accounts cluster inside the same communities and re-cover the same paths,
+// while the GBC group spreads across the bridges.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gbc"
+)
+
+func main() {
+	// Four communities of 100 accounts joined by relay chains — the
+	// setting where rumor paths concentrate on a few bridge accounts.
+	g := communityNetwork()
+	fmt.Printf("social network: %v\n", g)
+
+	const K = 6
+
+	// Naive placement: the K accounts with the highest individual
+	// betweenness centrality.
+	naive := gbc.TopKNodeBetweenness(g, K)
+	naiveCover := gbc.ExactNormalizedGBC(g, naive)
+
+	// Group placement: the paper's adaptive sampling algorithm.
+	res, err := gbc.TopK(g, gbc.Options{K: K, Epsilon: 0.2, Gamma: 0.01, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groupCover := gbc.ExactNormalizedGBC(g, res.Group)
+
+	fmt.Printf("\nmonitor budget K = %d\n", K)
+	fmt.Printf("top-%d individual-BC accounts %v\n", K, naive)
+	fmt.Printf("  cover %.1f%% of shortest paths\n", 100*naiveCover)
+	fmt.Printf("AdaAlg GBC group %v\n", res.Group)
+	fmt.Printf("  cover %.1f%% of shortest paths (using %d sampled paths)\n",
+		100*groupCover, res.Samples)
+
+	if groupCover >= naiveCover {
+		fmt.Printf("\nthe GBC group intercepts %+.1f%% more of the network's "+
+			"information flow than individually central accounts\n",
+			100*(groupCover-naiveCover))
+	} else {
+		fmt.Printf("\nnote: on this draw the naive placement happened to win by %.2f%%\n",
+			100*(naiveCover-groupCover))
+	}
+}
+
+// communityNetwork builds four dense communities where each pair of
+// communities is joined by a single two-relay chain (community — relay —
+// relay — community). Both relays of a bridge lie on exactly the same
+// inter-community paths, so individual betweenness ranks them equally high
+// and a naive top-K placement wastes monitors on redundant relays; the GBC
+// objective covers each bridge once.
+func communityNetwork() *gbc.Graph {
+	const (
+		communities = 4
+		size        = 100
+	)
+	pairs := communities * (communities - 1) / 2
+	n := communities*size + 2*pairs
+	b := gbc.NewBuilder(n, false)
+	// Dense intra-community ring-with-chords wiring (deterministic).
+	for c := 0; c < communities; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for _, step := range []int{1, 2, 7} {
+				b.AddEdge(int32(base+i), int32(base+(i+step)%size))
+			}
+		}
+	}
+	// One relay chain per community pair.
+	relay := int32(communities * size)
+	for c := 0; c < communities; c++ {
+		for d := c + 1; d < communities; d++ {
+			b.AddEdge(int32(c*size), relay)
+			b.AddEdge(relay, relay+1)
+			b.AddEdge(relay+1, int32(d*size))
+			relay += 2
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}

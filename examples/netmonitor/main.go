@@ -1,0 +1,51 @@
+// Network monitor placement / vulnerability detection (paper §I): in a
+// directed communication network, deploy K traffic monitors so that the
+// largest possible fraction of routed flows (shortest paths) crosses a
+// monitored router — equivalently, find the K routers whose simultaneous
+// failure disrupts the most traffic.
+//
+// The example runs AdaAlg and the prior state of the art CentRa on an
+// AS-like directed topology and reports the paper's central trade-off:
+// equal-quality placements from a fraction of the samples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gbc"
+)
+
+func main() {
+	// A directed preferential-attachment topology: heavy-tailed in-degree
+	// like an autonomous-system graph. 3000 routers.
+	g := gbc.DirectedPreferential(3000, 4, 0.25, 11)
+	fmt.Printf("communication network: %v\n", g)
+
+	const (
+		K   = 40
+		eps = 0.3
+	)
+	ada, err := gbc.TopK(g, gbc.Options{K: K, Epsilon: eps, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cen, err := gbc.TopKWith(gbc.CentRa, g, gbc.Options{K: K, Epsilon: eps, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	adaCover := gbc.ExactNormalizedGBC(g, ada.Group)
+	cenCover := gbc.ExactNormalizedGBC(g, cen.Group)
+
+	fmt.Printf("\nmonitor budget K = %d, ε = %.1f\n\n", K, eps)
+	fmt.Printf("%-8s %14s %18s %12s\n", "method", "samples", "traffic covered", "elapsed")
+	fmt.Printf("%-8s %14d %17.2f%% %12v\n", "AdaAlg", ada.Samples, 100*adaCover, ada.Elapsed.Round(1000))
+	fmt.Printf("%-8s %14d %17.2f%% %12v\n", "CentRa", cen.Samples, 100*cenCover, cen.Elapsed.Round(1000))
+
+	ratio := float64(cen.Samples) / float64(ada.Samples)
+	fmt.Printf("\nAdaAlg needed %.1fx fewer sampled paths for a placement within %.1f%% of CentRa's\n",
+		ratio, 100*(cenCover-adaCover))
+
+	fmt.Println("\nmonitored routers (AdaAlg):", ada.Group)
+}

@@ -1,0 +1,250 @@
+// Package gbc finds top-K group betweenness centrality (GBC) groups in
+// large graphs, reproducing "An Adaptive Sampling Algorithm for the Top-K
+// Group Betweenness Centrality" (ICDE 2025).
+//
+// The betweenness centrality of a group C is the total fraction of shortest
+// paths in the graph that pass through at least one node of C; the top-K
+// GBC problem asks for the K-node group maximizing it. The problem is
+// NP-hard; this package provides the paper's adaptive sampling algorithm
+// AdaAlg — a (1-1/e-ε)-approximation with probability 1-γ that draws far
+// fewer shortest-path samples than prior static algorithms — along with
+// those baselines (HEDGE, CentRa, EXHAUST), exact evaluators for
+// verification, graph loading and synthetic generators.
+//
+// Quickstart:
+//
+//	g, err := gbc.LoadEdgeListFile("network.txt", false)
+//	if err != nil { ... }
+//	res, err := gbc.TopK(g, gbc.Options{K: 20})
+//	if err != nil { ... }
+//	fmt.Println(res.Group, res.NormalizedEstimate)
+package gbc
+
+import (
+	"fmt"
+	"io"
+
+	"gbc/internal/brandes"
+	"gbc/internal/community"
+	"gbc/internal/core"
+	"gbc/internal/dataset"
+	"gbc/internal/exact"
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/sampling"
+	"gbc/internal/xrand"
+)
+
+// Graph is an immutable unweighted graph in compressed sparse row form.
+// Build one with NewGraph, LoadEdgeList* or a generator.
+type Graph = graph.Graph
+
+// Builder incrementally constructs a Graph.
+type Builder = graph.Builder
+
+// Options configures a top-K GBC computation; the zero value of every field
+// except K gets a sensible default (ε = 0.3, γ = 0.01, seed 1).
+type Options = core.Options
+
+// Result reports the found group, its centrality estimates, the number of
+// sampled shortest paths and the algorithm's stopping state.
+type Result = core.Result
+
+// Algorithm selects one of the implemented algorithms.
+type Algorithm = core.Algorithm
+
+// The implemented algorithms.
+const (
+	// AdaAlg is the paper's adaptive sampling algorithm (Algorithm 1).
+	AdaAlg = core.AlgAdaAlg
+	// HEDGE is the static sampling baseline of Mahmoody et al. (KDD 2016).
+	HEDGE = core.AlgHEDGE
+	// CentRa is the static state of the art of Pellegrina (KDD 2023).
+	CentRa = core.AlgCentRa
+	// EXHAUST is HEDGE with tiny ε and γ — a near-ground-truth reference.
+	EXHAUST = core.AlgEXHAUST
+	// PairSampling is the pair-sampling baseline of Yoshida (KDD 2014);
+	// its sample bound carries a 1/μ_opt² factor — prefer AdaAlg.
+	PairSampling = core.AlgPairSampling
+)
+
+// ParseAlgorithm resolves an algorithm name ("AdaAlg", "HEDGE", ...).
+func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
+
+// TopK finds a K-node group with near-maximal group betweenness centrality
+// using the paper's adaptive algorithm AdaAlg: with probability at least
+// 1-γ the returned group is a (1-1/e-ε)-approximation.
+func TopK(g *Graph, opts Options) (*Result, error) { return core.AdaAlg(g, opts) }
+
+// TopKWith is TopK with an explicit algorithm choice.
+func TopKWith(alg Algorithm, g *Graph, opts Options) (*Result, error) {
+	return core.Run(alg, g, opts)
+}
+
+// NewBuilder returns a graph builder for n nodes.
+func NewBuilder(n int, directed bool) *Builder { return graph.NewBuilder(n, directed) }
+
+// NewGraph builds a graph from an explicit edge list. Self-loops are
+// dropped and parallel edges deduplicated.
+func NewGraph(n int, directed bool, edges [][2]int32) (*Graph, error) {
+	return graph.FromEdges(n, directed, edges)
+}
+
+// LoadEdgeList parses a whitespace-separated edge list ("u v" lines, '#'
+// and '%' comments) with arbitrary non-negative integer node ids.
+func LoadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, directed)
+}
+
+// LoadEdgeListFile reads an edge list from a file; see LoadEdgeList.
+func LoadEdgeListFile(path string, directed bool) (*Graph, error) {
+	return graph.ReadEdgeListFile(path, directed)
+}
+
+// LoadWeightedEdgeList parses "u v w" lines with positive weights w; the
+// resulting graph's shortest paths minimize total weight (Dijkstra-based
+// sampling is selected automatically by TopK and friends).
+func LoadWeightedEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadWeightedEdgeList(r, directed)
+}
+
+// NewWeightedGraph builds a weighted graph from explicit (u, v, w) triples.
+func NewWeightedGraph(n int, directed bool, edges [][2]int32, weights []float64) (*Graph, error) {
+	if len(edges) != len(weights) {
+		return nil, fmt.Errorf("gbc: %d edges but %d weights", len(edges), len(weights))
+	}
+	b := graph.NewBuilder(n, directed)
+	for i, e := range edges {
+		b.AddWeightedEdge(e[0], e[1], weights[i])
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert generates an undirected preferential-attachment graph
+// (n nodes, k edges per new node), deterministically from seed.
+func BarabasiAlbert(n, k int, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, k, xrand.New(seed))
+}
+
+// WattsStrogatz generates a small-world ring lattice (k neighbors per side,
+// rewiring probability p), deterministically from seed.
+func WattsStrogatz(n, k int, p float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, p, xrand.New(seed))
+}
+
+// ErdosRenyi generates a uniform random graph with ~m edges.
+func ErdosRenyi(n, m int, directed bool, seed uint64) *Graph {
+	return gen.ErdosRenyiGNM(n, m, directed, xrand.New(seed))
+}
+
+// DirectedPreferential generates a directed heavy-tailed graph (k out-edges
+// per new node, reciprocation probability pRecip).
+func DirectedPreferential(n, k int, pRecip float64, seed uint64) *Graph {
+	return gen.DirectedPreferential(n, k, pRecip, xrand.New(seed))
+}
+
+// StochasticBlockModel generates an undirected graph with planted
+// communities: sizes gives each community's node count and probs[i][j]
+// the edge probability between communities i and j.
+func StochasticBlockModel(sizes []int, probs [][]float64, seed uint64) *Graph {
+	return gen.StochasticBlockModel(sizes, probs, xrand.New(seed))
+}
+
+// Dataset generates the synthetic stand-in for one of the paper's Table I
+// networks ("GrQc", "Facebook", "Coauthor", "DBLP-2011", "Epinions",
+// "Twitter", "Email-euAll", "LiveJournal", "SyntheticNetwork-BA",
+// "SyntheticNetwork-WS") at the given scale in (0, 1].
+func Dataset(name string, scale float64, seed uint64) (*Graph, error) {
+	spec, err := dataset.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(scale, seed), nil
+}
+
+// DatasetNames lists the Table I dataset names in paper order.
+func DatasetNames() []string { return dataset.Names() }
+
+// ExactGBC computes the exact group betweenness centrality B(C) of group
+// (Eq. 2 of the paper: ordered pairs, endpoints included). O(n(n+m)) — use
+// for verification on small and medium graphs. Weighted graphs are
+// evaluated over weighted shortest paths automatically.
+func ExactGBC(g *Graph, group []int32) float64 { return exact.GBC(g, group) }
+
+// EstimateGBC estimates B(C) of a user-supplied group from `samples`
+// sampled shortest paths — the unbiased estimator of Eq. (4), for graphs
+// too large for ExactGBC. The standard error scales as
+// n(n-1)·sqrt(µ(1-µ)/samples) with µ = B(C)/(n(n-1)).
+func EstimateGBC(g *Graph, group []int32, samples int, seed uint64) float64 {
+	if samples <= 0 {
+		panic("gbc: EstimateGBC needs a positive sample count")
+	}
+	set := sampling.NewSetFor(g, xrand.New(seed))
+	set.GrowTo(samples)
+	return set.EstimateGroup(group)
+}
+
+// ExactNormalizedGBC is ExactGBC divided by n(n-1), in [0, 1].
+func ExactNormalizedGBC(g *Graph, group []int32) float64 {
+	return exact.NormalizedGBC(g, group)
+}
+
+// ExactTopK solves tiny instances exactly by exhaustive search.
+func ExactTopK(g *Graph, k int) (group []int32, value float64) {
+	return exact.BruteForceOptimal(g, k)
+}
+
+// NodeBetweenness returns the exact betweenness centrality of every node
+// (Brandes' algorithm, ordered-pair convention, endpoints excluded).
+// Weighted graphs use the Dijkstra-based variant automatically.
+func NodeBetweenness(g *Graph) []float64 { return brandes.Centrality(g) }
+
+// TopKNodeBetweenness returns the K individually most central nodes — the
+// naive alternative to group betweenness (it over-counts shared coverage).
+func TopKNodeBetweenness(g *Graph, k int) []int32 { return brandes.TopK(g, k) }
+
+// EdgeBetweenness returns the exact betweenness centrality of every edge
+// (the Girvan–Newman measure), keyed by canonical endpoints.
+// Unweighted graphs only.
+func EdgeBetweenness(g *Graph) map[EdgeKey]float64 { return brandes.EdgeCentrality(g) }
+
+// EdgeKey canonically identifies an edge in EdgeBetweenness results.
+type EdgeKey = brandes.EdgeKey
+
+// Communities runs Girvan–Newman community detection: highest-betweenness
+// edges are removed until the graph has at least target components. The
+// returned slice assigns a community id to every node. Undirected
+// unweighted graphs only; cost is O(removals·n·m) — small/medium graphs.
+func Communities(g *Graph, target int) (assignment []int32, count int) {
+	return community.GirvanNewman(g, target)
+}
+
+// Modularity scores a community assignment with Newman's Q.
+func Modularity(g *Graph, assignment []int32) float64 {
+	return community.Modularity(g, assignment)
+}
+
+// ApproxNodeBetweenness estimates every node's betweenness centrality by
+// adaptive path sampling (the ABRA/KADABRA family): with probability 1-delta
+// each estimate is within epsilon·n(n-1) of the exact value. Returns the
+// estimates and the number of sampled paths.
+func ApproxNodeBetweenness(g *Graph, epsilon, delta float64, seed uint64) ([]float64, int, error) {
+	return brandes.ApproxCentrality(g, brandes.ApproxOptions{Epsilon: epsilon, Delta: delta}, xrand.New(seed))
+}
+
+// GreedyExactTopK runs the successive exact greedy of Puzis et al. (2007):
+// a (1-1/e)-approximation with exact marginals, O(n²) memory — the
+// non-sampling reference for graphs up to a few thousand nodes.
+func GreedyExactTopK(g *Graph, k int) (group []int32, value float64) {
+	return exact.GreedyPuzis(g, k)
+}
+
+// BudgetedOptions configures BudgetedTopK; see core.BudgetedOptions.
+type BudgetedOptions = core.BudgetedOptions
+
+// BudgetedTopK solves the budgeted generalization of top-K GBC (Fink &
+// Spoerhase): node v costs opts.Costs[v] and the group's total cost must
+// not exceed opts.Budget.
+func BudgetedTopK(g *Graph, opts BudgetedOptions) (*Result, error) {
+	return core.BudgetedGBC(g, opts)
+}

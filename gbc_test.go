@@ -1,0 +1,144 @@
+package gbc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTopKQuickstart(t *testing.T) {
+	g := BarabasiAlbert(300, 3, 1)
+	res, err := TopK(g, Options{K: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Group) != 10 || !res.Converged {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.NormalizedEstimate <= 0 || res.NormalizedEstimate > 1 {
+		t.Fatalf("normalized estimate %g out of range", res.NormalizedEstimate)
+	}
+}
+
+func TestTopKWithEveryAlgorithm(t *testing.T) {
+	g := BarabasiAlbert(200, 3, 2)
+	for _, alg := range []Algorithm{AdaAlg, HEDGE, CentRa, EXHAUST} {
+		opts := Options{K: 5, Seed: 3}
+		if alg == EXHAUST {
+			opts.Epsilon = 0.1
+			opts.Gamma = 0.01
+		}
+		res, err := TopKWith(alg, g, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Group) != 5 {
+			t.Fatalf("%v: %d nodes", alg, len(res.Group))
+		}
+	}
+}
+
+func TestLoadEdgeList(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n1 2\n2 0\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := LoadEdgeList(strings.NewReader("bad"), false); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestNewGraphAndExactOracles(t *testing.T) {
+	// A star: center is both the exact optimum and the top BC node.
+	edges := make([][2]int32, 0, 9)
+	for i := int32(1); i < 10; i++ {
+		edges = append(edges, [2]int32{0, i})
+	}
+	g, err := NewGraph(10, false, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, val := ExactTopK(g, 1)
+	if group[0] != 0 || val != 90 {
+		t.Fatalf("exact optimum %v (%g)", group, val)
+	}
+	if got := ExactGBC(g, group); got != val {
+		t.Fatalf("ExactGBC %g != optimum value %g", got, val)
+	}
+	if got := ExactNormalizedGBC(g, group); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("normalized %g, want 1", got)
+	}
+	if top := TopKNodeBetweenness(g, 1); top[0] != 0 {
+		t.Fatalf("top BC node %v", top)
+	}
+	bc := NodeBetweenness(g)
+	if bc[0] != 72 { // (n-1)(n-2) ordered pairs through the center
+		t.Fatalf("center BC = %g, want 72", bc[0])
+	}
+}
+
+func TestGeneratorsExported(t *testing.T) {
+	if g := WattsStrogatz(100, 3, 0.1, 1); g.N() != 100 {
+		t.Fatal("WattsStrogatz wrong")
+	}
+	if g := ErdosRenyi(50, 100, true, 1); !g.Directed() {
+		t.Fatal("ErdosRenyi directed flag lost")
+	}
+	if g := DirectedPreferential(100, 2, 0.2, 1); !g.Directed() || g.N() != 100 {
+		t.Fatal("DirectedPreferential wrong")
+	}
+}
+
+func TestDatasetExported(t *testing.T) {
+	g, err := Dataset("GrQc", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 100 {
+		t.Fatalf("dataset too small: %d", g.N())
+	}
+	if _, err := Dataset("nope", 0.1, 1); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+	names := DatasetNames()
+	if len(names) != 10 || names[0] != "GrQc" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestParseAlgorithmExported(t *testing.T) {
+	alg, err := ParseAlgorithm("CentRa")
+	if err != nil || alg != CentRa {
+		t.Fatalf("parse: %v %v", alg, err)
+	}
+}
+
+// End-to-end: AdaAlg's group on a mid-size network must be within a few
+// percent of the exhaustive reference, at a fraction of the samples —
+// the paper's headline claim in miniature.
+func TestHeadlineClaim(t *testing.T) {
+	g, err := Dataset("GrQc", 0.2, 4) // ~1049 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := TopK(g, Options{K: 20, Epsilon: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cen, err := TopKWith(CentRa, g, Options{K: 20, Epsilon: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vAda := ExactGBC(g, ada.Group)
+	vCen := ExactGBC(g, cen.Group)
+	if vAda < 0.9*vCen {
+		t.Fatalf("AdaAlg quality %g more than 10%% below CentRa %g", vAda, vCen)
+	}
+	if ada.Samples >= cen.Samples {
+		t.Fatalf("AdaAlg used %d samples, CentRa %d — adaptivity gained nothing",
+			ada.Samples, cen.Samples)
+	}
+}

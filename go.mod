@@ -1,0 +1,3 @@
+module gbc
+
+go 1.22

@@ -1,0 +1,305 @@
+package bfs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+func TestDistancesPath(t *testing.T) {
+	g := gen.Path(5)
+	d := Distances(g, 0)
+	for i, want := range []int32{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestDistancesUnreachable(t *testing.T) {
+	g := graph.MustFromEdges(3, true, [][2]int32{{0, 1}})
+	d := Distances(g, 0)
+	if d[2] != -1 {
+		t.Fatalf("dist to unreachable node = %d, want -1", d[2])
+	}
+	back := Distances(g, 1)
+	if back[0] != -1 {
+		t.Fatal("directed edge should not be traversable backward")
+	}
+}
+
+func TestSSSPSigmaDiamond(t *testing.T) {
+	// 0-1-3 and 0-2-3: two shortest paths from 0 to 3.
+	g := graph.MustFromEdges(4, false, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	dist, sigma, order := SSSP(g, 0)
+	if dist[3] != 2 || sigma[3] != 2 {
+		t.Fatalf("dist=%d sigma=%g, want 2, 2", dist[3], sigma[3])
+	}
+	if order[0] != 0 || len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSSSPGrid(t *testing.T) {
+	g := gen.Grid(4, 4)
+	_, sigma, _ := SSSP(g, 0)
+	// Paths from corner (0,0) to (3,3): C(6,3) = 20.
+	if sigma[15] != 20 {
+		t.Fatalf("sigma to opposite corner = %g, want 20", sigma[15])
+	}
+}
+
+func TestAllShortestPathsDiamond(t *testing.T) {
+	g := graph.MustFromEdges(4, false, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	paths := AllShortestPaths(g, 0, 3)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 3 || p[0] != 0 || p[2] != 3 {
+			t.Fatalf("bad path %v", p)
+		}
+	}
+}
+
+func TestAllShortestPathsUnreachable(t *testing.T) {
+	g := graph.MustFromEdges(3, true, [][2]int32{{0, 1}})
+	if p := AllShortestPaths(g, 0, 2); p != nil {
+		t.Fatalf("expected nil for unreachable, got %v", p)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(gen.Path(6)); d != 5 {
+		t.Fatalf("path diameter = %d, want 5", d)
+	}
+	if d := Diameter(gen.Complete(5)); d != 1 {
+		t.Fatalf("complete diameter = %d, want 1", d)
+	}
+}
+
+func checkValidShortestPath(t *testing.T, g *graph.Graph, s, tt int32, smp Sample, wantDist int32) {
+	t.Helper()
+	if !smp.Reachable {
+		t.Fatalf("pair (%d,%d) reported unreachable", s, tt)
+	}
+	p := smp.Path
+	if int32(len(p)-1) != wantDist || smp.Dist != wantDist {
+		t.Fatalf("path length %d, dist %d, want %d", len(p)-1, smp.Dist, wantDist)
+	}
+	if p[0] != s || p[len(p)-1] != tt {
+		t.Fatalf("path endpoints %d..%d, want %d..%d", p[0], p[len(p)-1], s, tt)
+	}
+	seen := map[int32]bool{}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path uses missing edge (%d,%d)", p[i], p[i+1])
+		}
+		if seen[p[i]] {
+			t.Fatalf("path revisits node %d", p[i])
+		}
+		seen[p[i]] = true
+	}
+}
+
+func TestBidirectionalMatchesForwardRandom(t *testing.T) {
+	r := xrand.New(1)
+	for trial := 0; trial < 30; trial++ {
+		directed := trial%2 == 0
+		g := gen.ErdosRenyiGNM(40, 90, directed, r.Split())
+		bd := NewBidirectional(g)
+		fw := NewForward(g)
+		for pair := 0; pair < 40; pair++ {
+			a, b := r.IntnPair(g.N())
+			s, tt := int32(a), int32(b)
+			sb, db, okb := bd.SigmaDist(s, tt)
+			sf, df, okf := fw.SigmaDist(s, tt)
+			if okb != okf {
+				t.Fatalf("trial %d pair (%d,%d): reachability mismatch bidir=%v fwd=%v", trial, s, tt, okb, okf)
+			}
+			if !okb {
+				continue
+			}
+			if db != df || math.Abs(sb-sf) > 1e-9*math.Max(sb, sf) {
+				t.Fatalf("trial %d pair (%d,%d): bidir (σ=%g,d=%d) vs fwd (σ=%g,d=%d)",
+					trial, s, tt, sb, db, sf, df)
+			}
+		}
+	}
+}
+
+func TestBidirectionalMatchesEnumeration(t *testing.T) {
+	r := xrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ErdosRenyiGNP(12, 0.25, trial%2 == 0, r.Split())
+		bd := NewBidirectional(g)
+		for s := int32(0); int(s) < g.N(); s++ {
+			for tt := int32(0); int(tt) < g.N(); tt++ {
+				if s == tt {
+					continue
+				}
+				paths := AllShortestPaths(g, s, tt)
+				sigma, dist, ok := bd.SigmaDist(s, tt)
+				if len(paths) == 0 {
+					if ok {
+						t.Fatalf("pair (%d,%d): bidir says reachable, enumeration disagrees", s, tt)
+					}
+					continue
+				}
+				if !ok || int(sigma) != len(paths) || int(dist) != len(paths[0])-1 {
+					t.Fatalf("pair (%d,%d): bidir σ=%g d=%d, enumeration %d paths of length %d",
+						s, tt, sigma, dist, len(paths), len(paths[0])-1)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleValidity(t *testing.T) {
+	r := xrand.New(3)
+	g := gen.BarabasiAlbert(300, 3, r.Split())
+	bd := NewBidirectional(g)
+	fw := NewForward(g)
+	for i := 0; i < 300; i++ {
+		a, b := r.IntnPair(g.N())
+		s, tt := int32(a), int32(b)
+		_, d, ok := fw.SigmaDist(s, tt)
+		if !ok {
+			continue
+		}
+		checkValidShortestPath(t, g, s, tt, bd.Sample(s, tt, r), d)
+		checkValidShortestPath(t, g, s, tt, fw.Sample(s, tt, r), d)
+	}
+}
+
+func TestSampleValidityDirected(t *testing.T) {
+	r := xrand.New(4)
+	g := gen.DirectedPreferential(300, 3, 0.3, r.Split())
+	bd := NewBidirectional(g)
+	fw := NewForward(g)
+	for i := 0; i < 300; i++ {
+		a, b := r.IntnPair(g.N())
+		s, tt := int32(a), int32(b)
+		_, d, ok := fw.SigmaDist(s, tt)
+		if !ok {
+			if smp := bd.Sample(s, tt, r); smp.Reachable {
+				t.Fatalf("bidir found path where forward found none: (%d,%d)", s, tt)
+			}
+			continue
+		}
+		checkValidShortestPath(t, g, s, tt, bd.Sample(s, tt, r), d)
+	}
+}
+
+// samplerUniformity draws many samples between fixed endpoints on a small
+// graph and chi-square-tests uniformity over the enumerated path set.
+func samplerUniformity(t *testing.T, sample func(s, tt int32, r *xrand.Rand) Sample, g *graph.Graph, s, tt int32, seed uint64) {
+	t.Helper()
+	paths := AllShortestPaths(g, s, tt)
+	if len(paths) < 2 {
+		t.Fatalf("fixture has %d shortest paths; need >= 2", len(paths))
+	}
+	key := func(p []int32) string { return fmt.Sprint(p) }
+	counts := map[string]int{}
+	for _, p := range paths {
+		counts[key(p)] = 0
+	}
+	r := xrand.New(seed)
+	trials := 2000 * len(paths)
+	for i := 0; i < trials; i++ {
+		smp := sample(s, tt, r)
+		k := key(smp.Path)
+		if _, ok := counts[k]; !ok {
+			t.Fatalf("sampled a non-shortest path %v", smp.Path)
+		}
+		counts[k]++
+	}
+	exp := float64(trials) / float64(len(paths))
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// Conservative threshold: 99.99% critical value grows ~ dof + 4*sqrt(2*dof).
+	dof := float64(len(paths) - 1)
+	if chi2 > dof+5*math.Sqrt(2*dof)+12 {
+		t.Fatalf("chi-square = %g too large for %d paths: %v", chi2, len(paths), counts)
+	}
+}
+
+func TestSampleUniformGrid(t *testing.T) {
+	g := gen.Grid(3, 3) // 6 shortest paths corner to corner
+	bd := NewBidirectional(g)
+	fw := NewForward(g)
+	samplerUniformity(t, bd.Sample, g, 0, 8, 10)
+	samplerUniformity(t, fw.Sample, g, 0, 8, 11)
+}
+
+func TestSampleUniformDiamondChain(t *testing.T) {
+	// Two diamonds in series: 4 shortest paths 0→6.
+	g := graph.MustFromEdges(7, false, [][2]int32{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {3, 5}, {4, 6}, {5, 6},
+	})
+	bd := NewBidirectional(g)
+	samplerUniformity(t, bd.Sample, g, 0, 6, 12)
+}
+
+func TestSampleUnreachable(t *testing.T) {
+	g := graph.MustFromEdges(4, true, [][2]int32{{0, 1}, {2, 3}})
+	bd := NewBidirectional(g)
+	r := xrand.New(5)
+	smp := bd.Sample(0, 3, r)
+	if smp.Reachable || smp.Path != nil || smp.Dist != -1 {
+		t.Fatalf("unreachable pair returned %+v", smp)
+	}
+}
+
+func TestSamplePanicsOnEqualEndpoints(t *testing.T) {
+	g := gen.Path(3)
+	bd := NewBidirectional(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for s == t")
+		}
+	}()
+	bd.Sample(1, 1, xrand.New(1))
+}
+
+func TestWorkspaceReuseIsClean(t *testing.T) {
+	// Interleave many pairs on the same sampler and verify against fresh
+	// samplers, ensuring reset logic leaves no stale state.
+	r := xrand.New(6)
+	g := gen.ErdosRenyiGNM(60, 150, false, r.Split())
+	bd := NewBidirectional(g)
+	for i := 0; i < 200; i++ {
+		a, b := r.IntnPair(g.N())
+		s, tt := int32(a), int32(b)
+		fresh := NewBidirectional(g)
+		s1, d1, ok1 := bd.SigmaDist(s, tt)
+		s2, d2, ok2 := fresh.SigmaDist(s, tt)
+		if ok1 != ok2 || d1 != d2 || math.Abs(s1-s2) > 1e-9*math.Max(s1, 1) {
+			t.Fatalf("reused workspace diverged on pair (%d,%d): (%g,%d,%v) vs (%g,%d,%v)",
+				s, tt, s1, d1, ok1, s2, d2, ok2)
+		}
+	}
+}
+
+func TestBidirectionalScansFewerEdgesOnBigGraph(t *testing.T) {
+	r := xrand.New(7)
+	g := gen.BarabasiAlbert(3000, 4, r.Split())
+	bd := NewBidirectional(g)
+	fw := NewForward(g)
+	for i := 0; i < 200; i++ {
+		a, b := r.IntnPair(g.N())
+		bd.Sample(int32(a), int32(b), r)
+		fw.Sample(int32(a), int32(b), r)
+	}
+	if bd.EdgesScanned >= fw.EdgesScanned {
+		t.Fatalf("bidirectional scanned %d edges, forward %d; expected fewer",
+			bd.EdgesScanned, fw.EdgesScanned)
+	}
+}

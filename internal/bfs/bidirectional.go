@@ -1,0 +1,297 @@
+package bfs
+
+import (
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// Sample is one sampled shortest path between a node pair.
+type Sample struct {
+	// Path holds the nodes from s to t inclusive; nil when unreachable.
+	Path []int32
+	// Sigma is the exact number of shortest s–t paths (float64 count).
+	Sigma float64
+	// Dist is d(s, t); -1 when unreachable.
+	Dist int32
+	// Reachable reports whether any s–t path exists.
+	Reachable bool
+}
+
+// side holds the per-direction state of the bidirectional search.
+type side struct {
+	dist     []int32
+	sigma    []float64
+	order    []int32 // labeled nodes in labeling order
+	levelOff []int   // levelOff[l] = index in order where level l starts
+}
+
+func newSide(n int) side {
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = -1
+	}
+	return side{dist: d, sigma: make([]float64, n), levelOff: make([]int, 0, 32)}
+}
+
+func (s *side) reset() {
+	for _, v := range s.order {
+		s.dist[v] = -1
+	}
+	s.order = s.order[:0]
+	s.levelOff = s.levelOff[:0]
+}
+
+func (s *side) label(v, d int32, sig float64) {
+	s.dist[v] = d
+	s.sigma[v] = sig
+	s.order = append(s.order, v)
+}
+
+// depth is the distance of the current frontier level (levels fully counted
+// up to and including depth).
+func (s *side) depth() int32 { return int32(len(s.levelOff) - 2) }
+
+func (s *side) frontier() []int32 {
+	l := len(s.levelOff)
+	return s.order[s.levelOff[l-2]:s.levelOff[l-1]]
+}
+
+func (s *side) level(l int32) []int32 {
+	return s.order[s.levelOff[l]:s.levelOff[l+1]]
+}
+
+// Bidirectional samples shortest paths between node pairs using a balanced
+// bidirectional BFS: the search alternates between the two endpoints,
+// always expanding the cheaper frontier, stops as soon as the meeting level
+// is complete, computes the exact σ_st by summing σ_s(u)·σ_t(v) over the
+// crossing edges of a cut, and then draws one shortest path uniformly.
+//
+// A Bidirectional holds reusable workspace; it is not safe for concurrent
+// use. Create one per goroutine.
+type Bidirectional struct {
+	g    *graph.Graph
+	f, b side
+
+	// crossing-edge scratch
+	crossU, crossV []int32
+	crossW         []float64
+
+	// EdgesScanned counts adjacency entries examined since creation; used
+	// by the sampler-cost ablation benchmarks.
+	EdgesScanned int64
+}
+
+// NewBidirectional returns a sampler over g with its own workspace.
+// It panics on weighted graphs (hop counts would silently ignore the
+// weights); use NewDijkstra there.
+func NewBidirectional(g *graph.Graph) *Bidirectional {
+	if g.Weighted() {
+		panic("bfs: NewBidirectional on a weighted graph; use NewDijkstra")
+	}
+	return &Bidirectional{g: g, f: newSide(g.N()), b: newSide(g.N())}
+}
+
+// volume estimates the cost of expanding a frontier as the sum of its
+// nodes' degrees on the traversal side.
+func (bd *Bidirectional) volume(fr []int32, forward bool) int64 {
+	var vol int64
+	for _, u := range fr {
+		if forward {
+			vol += int64(bd.g.OutDegree(u))
+		} else {
+			vol += int64(bd.g.InDegree(u))
+		}
+	}
+	return vol
+}
+
+// expand processes one full BFS level of the chosen side, labeling the next
+// level, accumulating σ and registering meeting candidates in best.
+func (bd *Bidirectional) expand(forward bool, best int32) int32 {
+	this, other := &bd.f, &bd.b
+	if !forward {
+		this, other = &bd.b, &bd.f
+	}
+	fr := this.frontier()
+	nd := this.depth() + 1
+	for _, u := range fr {
+		su := this.sigma[u]
+		var adj []int32
+		if forward {
+			adj = bd.g.OutNeighbors(u)
+		} else {
+			adj = bd.g.InNeighbors(u)
+		}
+		bd.EdgesScanned += int64(len(adj))
+		for _, v := range adj {
+			switch this.dist[v] {
+			case -1:
+				this.label(v, nd, su)
+				if od := other.dist[v]; od >= 0 {
+					if cand := nd + od; best < 0 || cand < best {
+						best = cand
+					}
+				}
+			case nd:
+				this.sigma[v] += su
+			}
+		}
+	}
+	this.levelOff = append(this.levelOff, len(this.order))
+	return best
+}
+
+// search runs the bidirectional BFS between s and t (s != t) until d(s, t)
+// is determined or proven infinite. On success both sides have finalized σ
+// for every level up to their depth, and d(s,t) = best.
+func (bd *Bidirectional) search(s, t int32) (best int32, ok bool) {
+	bd.f.reset()
+	bd.b.reset()
+	bd.f.levelOff = append(bd.f.levelOff, 0)
+	bd.f.label(s, 0, 1)
+	bd.f.levelOff = append(bd.f.levelOff, 1)
+	bd.b.levelOff = append(bd.b.levelOff, 0)
+	bd.b.label(t, 0, 1)
+	bd.b.levelOff = append(bd.b.levelOff, 1)
+	best = -1
+	for {
+		fs, bs := bd.f.depth(), bd.b.depth()
+		fEmpty := len(bd.f.frontier()) == 0
+		bEmpty := len(bd.b.frontier()) == 0
+		// Once either search is exhausted all σ on that side are final and
+		// best (if set) equals d(s,t); with both frontiers alive the search
+		// may stop as soon as every path of length <= fs+bs is detectable.
+		if best >= 0 && (fEmpty || bEmpty || best <= fs+bs) {
+			return best, true
+		}
+		if fEmpty || bEmpty {
+			// An exhausted side with no meeting proves unreachability.
+			return -1, false
+		}
+		if bd.volume(bd.f.frontier(), true) <= bd.volume(bd.b.frontier(), false) {
+			best = bd.expand(true, best)
+		} else {
+			best = bd.expand(false, best)
+		}
+	}
+}
+
+// cut picks the forward level c used to enumerate crossing edges:
+// every shortest s–t path has exactly one edge from forward level c to a
+// node at backward distance D-c-1, with both σ values finalized.
+func (bd *Bidirectional) cut(d int32) int32 {
+	c := d - bd.b.depth() - 1
+	if c < 0 {
+		c = 0
+	}
+	if fs := bd.f.depth(); c > fs {
+		// Cannot happen: the stop conditions guarantee the cut level is
+		// fully counted on both sides (see search).
+		panic("bfs: internal error: cut level beyond forward depth")
+	}
+	return c
+}
+
+// collectCrossing fills the crossing-edge scratch for distance d and cut c,
+// returning the total σ_st.
+func (bd *Bidirectional) collectCrossing(d, c int32) float64 {
+	bd.crossU = bd.crossU[:0]
+	bd.crossV = bd.crossV[:0]
+	bd.crossW = bd.crossW[:0]
+	want := d - c - 1
+	var total float64
+	for _, u := range bd.f.level(c) {
+		su := bd.f.sigma[u]
+		for _, v := range bd.g.OutNeighbors(u) {
+			if bd.b.dist[v] == want {
+				w := su * bd.b.sigma[v]
+				bd.crossU = append(bd.crossU, u)
+				bd.crossV = append(bd.crossV, v)
+				bd.crossW = append(bd.crossW, w)
+				total += w
+			}
+		}
+	}
+	return total
+}
+
+// SigmaDist returns the exact number of shortest s–t paths and d(s, t).
+// ok is false when t is unreachable from s. s must differ from t.
+func (bd *Bidirectional) SigmaDist(s, t int32) (sigma float64, dist int32, ok bool) {
+	if s == t {
+		panic("bfs: SigmaDist with s == t")
+	}
+	d, ok := bd.search(s, t)
+	if !ok {
+		return 0, -1, false
+	}
+	c := bd.cut(d)
+	return bd.collectCrossing(d, c), d, true
+}
+
+// Sample draws one shortest s–t path uniformly at random among all σ_st
+// shortest paths. s must differ from t.
+func (bd *Bidirectional) Sample(s, t int32, r *xrand.Rand) Sample {
+	if s == t {
+		panic("bfs: Sample with s == t")
+	}
+	d, ok := bd.search(s, t)
+	if !ok {
+		return Sample{Dist: -1}
+	}
+	c := bd.cut(d)
+	total := bd.collectCrossing(d, c)
+	// Select a crossing edge with probability σ_s(u)·σ_t(v)/σ_st.
+	x := r.Float64() * total
+	idx := len(bd.crossW) - 1
+	acc := 0.0
+	for i, w := range bd.crossW {
+		acc += w
+		if x < acc {
+			idx = i
+			break
+		}
+	}
+	u, v := bd.crossU[idx], bd.crossV[idx]
+
+	path := make([]int32, d+1)
+	// Walk backward from u to s, choosing predecessors ∝ σ_s.
+	cur := u
+	for lvl := c; lvl > 0; lvl-- {
+		path[lvl] = cur
+		x := r.Float64() * bd.f.sigma[cur]
+		acc := 0.0
+		var pick int32 = -1
+		for _, w := range bd.g.InNeighbors(cur) {
+			if bd.f.dist[w] == lvl-1 {
+				pick = w
+				acc += bd.f.sigma[w]
+				if x < acc {
+					break
+				}
+			}
+		}
+		cur = pick
+	}
+	path[0] = s
+	// Walk forward from v to t, choosing successors ∝ σ_t.
+	cur = v
+	for lvl := d - c - 1; lvl > 0; lvl-- {
+		path[d-lvl] = cur
+		x := r.Float64() * bd.b.sigma[cur]
+		acc := 0.0
+		var pick int32 = -1
+		for _, w := range bd.g.OutNeighbors(cur) {
+			if bd.b.dist[w] == lvl-1 {
+				pick = w
+				acc += bd.b.sigma[w]
+				if x < acc {
+					break
+				}
+			}
+		}
+		cur = pick
+	}
+	path[d] = t
+	return Sample{Path: path, Sigma: total, Dist: d, Reachable: true}
+}

@@ -1,0 +1,221 @@
+package bfs
+
+import (
+	"container/heap"
+	"math"
+
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// weightTol is the relative tolerance used to detect equal-length weighted
+// shortest paths: two lengths a <= b tie when b-a <= weightTol·max(1, b).
+// Exact for small-integer weights; documented behaviour for float weights.
+const weightTol = 1e-9
+
+// SameWeightedDist reports whether two weighted path lengths tie under the
+// package tolerance; exported for the weighted exact evaluator.
+func SameWeightedDist(a, b float64) bool { return sameDist(a, b) }
+
+func sameDist(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= weightTol*math.Max(1, m)
+}
+
+// DijkstraSSSP computes, from source s over positive edge weights, the
+// shortest-path distance dist[v] (+Inf when unreachable), the number of
+// shortest paths sigma[v], and the nodes in settling order. It is the
+// weighted analog of SSSP and panics on unweighted graphs.
+func DijkstraSSSP(g *graph.Graph, s int32) (dist []float64, sigma []float64, order []int32) {
+	n := g.N()
+	dist = make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	sigma = make([]float64, n)
+	settled := make([]bool, n)
+	dist[s] = 0
+	sigma[s] = 1
+	h := &distHeap{{s, 0}}
+	for h.Len() > 0 {
+		top := heap.Pop(h).(distEntry)
+		v := top.node
+		if settled[v] || !sameDist(top.dist, dist[v]) {
+			continue // stale entry
+		}
+		settled[v] = true
+		order = append(order, v)
+		adj := g.OutNeighbors(v)
+		wts := g.OutWeights(v)
+		for i, w := range adj {
+			cand := dist[v] + wts[i]
+			switch {
+			case sameDist(cand, dist[w]):
+				if !settled[w] {
+					sigma[w] += sigma[v]
+				}
+			case cand < dist[w]:
+				dist[w] = cand
+				sigma[w] = sigma[v]
+				heap.Push(h, distEntry{w, cand})
+			}
+		}
+	}
+	return dist, sigma, order
+}
+
+type distEntry struct {
+	node int32
+	dist float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Dijkstra samples shortest paths on weighted graphs: a forward Dijkstra
+// truncated once the target settles, followed by a σ-weighted backward
+// walk — the weighted counterpart of Forward. It implements the same
+// PairSampler contract as the BFS samplers, with Sample.Dist carrying the
+// hop count of the sampled path (the weighted length is WeightedDist).
+//
+// A Dijkstra holds reusable workspace; it is not safe for concurrent use.
+type Dijkstra struct {
+	g       *graph.Graph
+	dist    []float64
+	sigma   []float64
+	settled []bool
+	touched []int32
+
+	// WeightedDist reports the weighted length of the last sampled path.
+	WeightedDist float64
+	// EdgesScanned counts adjacency entries examined since creation.
+	EdgesScanned int64
+}
+
+// NewDijkstra returns a weighted-path sampler over g.
+// It panics if g is unweighted.
+func NewDijkstra(g *graph.Graph) *Dijkstra {
+	if !g.Weighted() {
+		panic("bfs: NewDijkstra on an unweighted graph")
+	}
+	n := g.N()
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	return &Dijkstra{g: g, dist: d, sigma: make([]float64, n), settled: make([]bool, n)}
+}
+
+// run performs the truncated Dijkstra; returns false when t is unreachable.
+func (dj *Dijkstra) run(s, t int32) bool {
+	for _, v := range dj.touched {
+		dj.dist[v] = math.Inf(1)
+		dj.settled[v] = false
+	}
+	dj.touched = dj.touched[:0]
+	dj.dist[s] = 0
+	dj.sigma[s] = 1
+	dj.touched = append(dj.touched, s)
+	h := &distHeap{{s, 0}}
+	for h.Len() > 0 {
+		top := heap.Pop(h).(distEntry)
+		v := top.node
+		if dj.settled[v] || !sameDist(top.dist, dj.dist[v]) {
+			continue
+		}
+		dj.settled[v] = true
+		if v == t {
+			// σ(t) is final: with positive weights every contributor has a
+			// strictly smaller distance and settled earlier.
+			return true
+		}
+		adj := dj.g.OutNeighbors(v)
+		wts := dj.g.OutWeights(v)
+		dj.EdgesScanned += int64(len(adj))
+		for i, w := range adj {
+			cand := dj.dist[v] + wts[i]
+			switch {
+			case sameDist(cand, dj.dist[w]):
+				if !dj.settled[w] {
+					dj.sigma[w] += dj.sigma[v]
+				}
+			case cand < dj.dist[w]:
+				if math.IsInf(dj.dist[w], 1) {
+					dj.touched = append(dj.touched, w)
+				}
+				dj.dist[w] = cand
+				dj.sigma[w] = dj.sigma[v]
+				heap.Push(h, distEntry{w, cand})
+			}
+		}
+	}
+	return !math.IsInf(dj.dist[t], 1)
+}
+
+// SigmaDist returns σ_st and the weighted distance d(s, t); ok is false
+// when t is unreachable. s must differ from t.
+func (dj *Dijkstra) SigmaDist(s, t int32) (sigma float64, dist float64, ok bool) {
+	if s == t {
+		panic("bfs: SigmaDist with s == t")
+	}
+	if !dj.run(s, t) {
+		return 0, math.Inf(1), false
+	}
+	return dj.sigma[t], dj.dist[t], true
+}
+
+// Sample draws one weighted shortest s–t path uniformly at random.
+func (dj *Dijkstra) Sample(s, t int32, r *xrand.Rand) Sample {
+	if s == t {
+		panic("bfs: Sample with s == t")
+	}
+	if !dj.run(s, t) {
+		return Sample{Dist: -1}
+	}
+	dj.WeightedDist = dj.dist[t]
+	// Backward walk choosing predecessors ∝ σ.
+	var rev []int32
+	cur := t
+	for cur != s {
+		rev = append(rev, cur)
+		x := r.Float64() * dj.sigma[cur]
+		acc := 0.0
+		var pick int32 = -1
+		adj := dj.g.InNeighbors(cur)
+		wts := dj.g.InWeights(cur)
+		for i, w := range adj {
+			if sameDist(dj.dist[w]+wts[i], dj.dist[cur]) && dj.dist[w] < dj.dist[cur] {
+				pick = w
+				acc += dj.sigma[w]
+				if x < acc {
+					break
+				}
+			}
+		}
+		cur = pick
+	}
+	rev = append(rev, s)
+	path := make([]int32, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return Sample{Path: path, Sigma: dj.sigma[t], Dist: int32(len(path) - 1), Reachable: true}
+}

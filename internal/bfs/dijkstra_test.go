@@ -1,0 +1,177 @@
+package bfs
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// weighted builds a weighted graph from (u, v, w) triples.
+func weighted(n int, directed bool, edges [][3]float64) *graph.Graph {
+	b := graph.NewBuilder(n, directed)
+	for _, e := range edges {
+		b.AddWeightedEdge(int32(e[0]), int32(e[1]), e[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestDijkstraSSSPBasic(t *testing.T) {
+	// 0 -1- 1 -1- 2, and a direct 0-2 edge of weight 3: two tied paths.
+	g := weighted(3, false, [][3]float64{{0, 1, 1}, {1, 2, 1}, {0, 2, 2}})
+	dist, sigma, order := DijkstraSSSP(g, 0)
+	if dist[2] != 2 || sigma[2] != 2 {
+		t.Fatalf("dist=%g sigma=%g, want 2, 2", dist[2], sigma[2])
+	}
+	if order[0] != 0 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestDijkstraSSSPUnreachable(t *testing.T) {
+	g := weighted(3, true, [][3]float64{{0, 1, 1}})
+	dist, _, _ := DijkstraSSSP(g, 0)
+	if !math.IsInf(dist[2], 1) {
+		t.Fatalf("dist to unreachable = %g", dist[2])
+	}
+}
+
+func TestDijkstraWeightsChangeRouting(t *testing.T) {
+	// Hop-wise 0-2 direct is shortest; weight-wise the detour wins.
+	g := weighted(3, false, [][3]float64{{0, 2, 10}, {0, 1, 1}, {1, 2, 1}})
+	dj := NewDijkstra(g)
+	sigma, dist, ok := dj.SigmaDist(0, 2)
+	if !ok || dist != 2 || sigma != 1 {
+		t.Fatalf("σ=%g d=%g ok=%v; want 1, 2, true", sigma, dist, ok)
+	}
+	smp := dj.Sample(0, 2, xrand.New(1))
+	if len(smp.Path) != 3 || smp.Path[1] != 1 {
+		t.Fatalf("path %v should detour via 1", smp.Path)
+	}
+	if dj.WeightedDist != 2 {
+		t.Fatalf("WeightedDist = %g", dj.WeightedDist)
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	// With all weights 1 the weighted machinery must agree with BFS.
+	r := xrand.New(2)
+	for trial := 0; trial < 10; trial++ {
+		directed := trial%2 == 0
+		bu := graph.NewBuilder(30, directed)
+		bw := graph.NewBuilder(30, directed)
+		for i := 0; i < 70; i++ {
+			u, v := r.IntnPair(30)
+			bu.AddEdge(int32(u), int32(v))
+			bw.AddWeightedEdge(int32(u), int32(v), 1)
+		}
+		gu, err := bu.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, err := bw.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dj := NewDijkstra(gw)
+		fw := NewForward(gu)
+		for pair := 0; pair < 60; pair++ {
+			a, b := r.IntnPair(30)
+			s, tt := int32(a), int32(b)
+			sw, dw, okw := dj.SigmaDist(s, tt)
+			su, du, oku := fw.SigmaDist(s, tt)
+			if okw != oku {
+				t.Fatalf("reachability mismatch at (%d,%d)", s, tt)
+			}
+			if !okw {
+				continue
+			}
+			if math.Abs(sw-su) > 1e-9 || int32(dw) != du {
+				t.Fatalf("pair (%d,%d): dijkstra σ=%g d=%g, bfs σ=%g d=%d", s, tt, sw, dw, su, du)
+			}
+		}
+	}
+}
+
+func TestDijkstraSampleValidity(t *testing.T) {
+	r := xrand.New(3)
+	b := graph.NewBuilder(60, false)
+	for i := 0; i < 200; i++ {
+		u, v := r.IntnPair(60)
+		b.AddWeightedEdge(int32(u), int32(v), float64(1+r.Intn(5)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj := NewDijkstra(g)
+	for i := 0; i < 200; i++ {
+		a, bb := r.IntnPair(60)
+		s, tt := int32(a), int32(bb)
+		sigma, dist, ok := dj.SigmaDist(s, tt)
+		if !ok {
+			continue
+		}
+		smp := dj.Sample(s, tt, r)
+		if !smp.Reachable || smp.Path[0] != s || smp.Path[len(smp.Path)-1] != tt {
+			t.Fatalf("bad endpoints %v", smp.Path)
+		}
+		var length float64
+		for j := 0; j+1 < len(smp.Path); j++ {
+			w, exists := g.Weight(smp.Path[j], smp.Path[j+1])
+			if !exists {
+				t.Fatalf("path uses missing edge (%d,%d)", smp.Path[j], smp.Path[j+1])
+			}
+			length += w
+		}
+		if !SameWeightedDist(length, dist) {
+			t.Fatalf("sampled path length %g != shortest %g", length, dist)
+		}
+		if smp.Sigma != sigma {
+			t.Fatalf("σ mismatch %g vs %g", smp.Sigma, sigma)
+		}
+	}
+}
+
+func TestDijkstraSampleUniformOverTiedPaths(t *testing.T) {
+	// Two tied weighted paths 0→3: via 1 (1+2) and via 2 (2+1).
+	g := weighted(4, false, [][3]float64{{0, 1, 1}, {1, 3, 2}, {0, 2, 2}, {2, 3, 1}})
+	dj := NewDijkstra(g)
+	r := xrand.New(4)
+	via1 := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		smp := dj.Sample(0, 3, r)
+		if smp.Path[1] == 1 {
+			via1++
+		}
+	}
+	if f := float64(via1) / trials; math.Abs(f-0.5) > 0.03 {
+		t.Fatalf("tied paths not sampled uniformly: via-1 fraction %g", f)
+	}
+}
+
+func TestNewDijkstraPanicsOnUnweighted(t *testing.T) {
+	g := graph.MustFromEdges(3, false, [][2]int32{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDijkstra(g)
+}
+
+func TestBidirectionalPanicsOnWeighted(t *testing.T) {
+	g := weighted(3, false, [][3]float64{{0, 1, 2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBidirectional(g)
+}

@@ -1,0 +1,114 @@
+package bfs
+
+import (
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// Forward is the reference single-direction sampler: a plain BFS from s,
+// truncated once t's level is complete, followed by a weighted backward
+// walk. It produces exactly the same distribution as Bidirectional and is
+// used to cross-check it in tests and in the sampler-cost ablation.
+//
+// A Forward holds reusable workspace; it is not safe for concurrent use.
+type Forward struct {
+	g     *graph.Graph
+	dist  []int32
+	sigma []float64
+	order []int32
+
+	// EdgesScanned counts adjacency entries examined since creation.
+	EdgesScanned int64
+}
+
+// NewForward returns a forward-BFS sampler over g.
+// It panics on weighted graphs; use NewDijkstra there.
+func NewForward(g *graph.Graph) *Forward {
+	if g.Weighted() {
+		panic("bfs: NewForward on a weighted graph; use NewDijkstra")
+	}
+	d := make([]int32, g.N())
+	for i := range d {
+		d[i] = -1
+	}
+	return &Forward{g: g, dist: d, sigma: make([]float64, g.N())}
+}
+
+// run performs the truncated BFS; afterwards dist/sigma are valid for all
+// nodes at distance <= dist[t] (or the whole reachable set if unreachable).
+func (f *Forward) run(s, t int32) bool {
+	for _, v := range f.order {
+		f.dist[v] = -1
+	}
+	f.order = f.order[:0]
+	f.dist[s] = 0
+	f.sigma[s] = 1
+	f.order = append(f.order, s)
+	limit := int32(-1)
+	for head := 0; head < len(f.order); head++ {
+		u := f.order[head]
+		du := f.dist[u]
+		if limit >= 0 && du >= limit {
+			break
+		}
+		su := f.sigma[u]
+		adj := f.g.OutNeighbors(u)
+		f.EdgesScanned += int64(len(adj))
+		for _, v := range adj {
+			if f.dist[v] == -1 {
+				f.dist[v] = du + 1
+				f.sigma[v] = 0
+				f.order = append(f.order, v)
+				if v == t {
+					limit = du + 1
+				}
+			}
+			if f.dist[v] == du+1 {
+				f.sigma[v] += su
+			}
+		}
+	}
+	return f.dist[t] != -1
+}
+
+// SigmaDist returns σ_st and d(s, t); ok is false when unreachable.
+func (f *Forward) SigmaDist(s, t int32) (sigma float64, dist int32, ok bool) {
+	if s == t {
+		panic("bfs: SigmaDist with s == t")
+	}
+	if !f.run(s, t) {
+		return 0, -1, false
+	}
+	return f.sigma[t], f.dist[t], true
+}
+
+// Sample draws one shortest s–t path uniformly at random.
+func (f *Forward) Sample(s, t int32, r *xrand.Rand) Sample {
+	if s == t {
+		panic("bfs: Sample with s == t")
+	}
+	if !f.run(s, t) {
+		return Sample{Dist: -1}
+	}
+	d := f.dist[t]
+	path := make([]int32, d+1)
+	cur := t
+	for lvl := d; lvl > 0; lvl-- {
+		path[lvl] = cur
+		x := r.Float64() * f.sigma[cur]
+		acc := 0.0
+		var pick int32 = -1
+		for _, w := range f.g.InNeighbors(cur) {
+			if f.dist[w] == lvl-1 {
+				pick = w
+				acc += f.sigma[w]
+				if x < acc {
+					break
+				}
+			}
+		}
+		cur = pick
+	}
+	path[0] = s
+	return Sample{Path: path, Sigma: f.sigma[t], Dist: d, Reachable: true}
+}

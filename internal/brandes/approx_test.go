@@ -1,0 +1,109 @@
+package brandes
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/gen"
+	"gbc/internal/xrand"
+)
+
+func TestApproxCentralityWithinEpsilon(t *testing.T) {
+	r := xrand.New(51)
+	g := gen.BarabasiAlbert(300, 2, r.Split())
+	exact := Centrality(g)
+	nn := float64(g.N()) * float64(g.N()-1)
+	const eps = 0.02
+	approx, samples, err := ApproxCentrality(g, ApproxOptions{Epsilon: eps, Delta: 0.05}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 {
+		t.Fatal("no samples drawn")
+	}
+	worst := 0.0
+	for v := range exact {
+		if dev := math.Abs(approx[v]-exact[v]) / nn; dev > worst {
+			worst = dev
+		}
+	}
+	if worst > eps {
+		t.Fatalf("sup normalized deviation %g exceeds ε=%g (samples=%d)", worst, eps, samples)
+	}
+}
+
+func TestApproxCentralityDirected(t *testing.T) {
+	r := xrand.New(52)
+	g := gen.DirectedPreferential(200, 3, 0.3, r.Split())
+	exact := Centrality(g)
+	nn := float64(g.N()) * float64(g.N()-1)
+	approx, _, err := ApproxCentrality(g, ApproxOptions{Epsilon: 0.03, Delta: 0.05}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range exact {
+		if math.Abs(approx[v]-exact[v])/nn > 0.03 {
+			t.Fatalf("node %d: approx %g exact %g", v, approx[v], exact[v])
+		}
+	}
+}
+
+func TestApproxAdaptiveUsesFewerSamplesOnEasyGraphs(t *testing.T) {
+	// A star has near-zero variance for leaves and p ≈ 1 for the hub; the
+	// empirical-Bernstein rule should stop well before Hoeffding's bound.
+	r := xrand.New(53)
+	g := gen.Star(200)
+	const eps, delta = 0.05, 0.1
+	_, samples, err := ApproxCentrality(g, ApproxOptions{Epsilon: eps, Delta: delta}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoeffding := int(math.Ceil(math.Log(3*200/delta) / (2 * eps * eps)))
+	if samples >= hoeffding {
+		t.Fatalf("adaptive rule used %d samples, no better than Hoeffding's %d", samples, hoeffding)
+	}
+}
+
+func TestApproxValidation(t *testing.T) {
+	g := gen.Path(5)
+	r := xrand.New(54)
+	if _, _, err := ApproxCentrality(g, ApproxOptions{Epsilon: 0}, r); err == nil {
+		t.Fatal("epsilon 0 must error")
+	}
+	if _, _, err := ApproxCentrality(g, ApproxOptions{Epsilon: 0.1, Delta: 2}, r); err == nil {
+		t.Fatal("delta 2 must error")
+	}
+	if _, _, err := ApproxCentrality(gen.Path(1), ApproxOptions{Epsilon: 0.1}, r); err == nil {
+		t.Fatal("tiny graph must error")
+	}
+}
+
+func TestApproxMaxSamplesCap(t *testing.T) {
+	g := gen.Cycle(50)
+	r := xrand.New(55)
+	_, samples, err := ApproxCentrality(g, ApproxOptions{Epsilon: 0.001, MaxSamples: 500}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples > 500 {
+		t.Fatalf("cap violated: %d", samples)
+	}
+}
+
+func TestApproxRanksHubFirst(t *testing.T) {
+	g := gen.Barbell(5, 1)
+	r := xrand.New(56)
+	approx, _, err := ApproxCentrality(g, ApproxOptions{Epsilon: 0.05}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for v := range approx {
+		if approx[v] > approx[best] {
+			best = v
+		}
+	}
+	if best != 5 {
+		t.Fatalf("bridge node 5 should rank first, got %d (%v)", best, approx)
+	}
+}

@@ -1,0 +1,119 @@
+package brandes
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/bfs"
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+func TestPathGraph(t *testing.T) {
+	bc := Centrality(gen.Path(5))
+	want := []float64{0, 6, 8, 6, 0}
+	for i, w := range want {
+		if bc[i] != w {
+			t.Fatalf("bc[%d] = %g, want %g (all: %v)", i, bc[i], w, bc)
+		}
+	}
+}
+
+func TestStarCenter(t *testing.T) {
+	n := 8
+	bc := Centrality(gen.Star(n))
+	want := float64((n - 1) * (n - 2))
+	if bc[0] != want {
+		t.Fatalf("center bc = %g, want %g", bc[0], want)
+	}
+	for i := 1; i < n; i++ {
+		if bc[i] != 0 {
+			t.Fatalf("leaf %d bc = %g, want 0", i, bc[i])
+		}
+	}
+}
+
+func TestCompleteGraphZero(t *testing.T) {
+	for _, bc := range Centrality(gen.Complete(6)) {
+		if bc != 0 {
+			t.Fatal("complete graph must have zero betweenness everywhere")
+		}
+	}
+}
+
+func TestDirectedPath(t *testing.T) {
+	g := graph.MustFromEdges(3, true, [][2]int32{{0, 1}, {1, 2}})
+	bc := Centrality(g)
+	// Only the ordered pair (0,2) routes through 1.
+	if bc[0] != 0 || bc[1] != 1 || bc[2] != 0 {
+		t.Fatalf("bc = %v", bc)
+	}
+}
+
+func TestDiamondSplitsCredit(t *testing.T) {
+	g := graph.MustFromEdges(4, false, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	bc := Centrality(g)
+	// Pair (0,3) and (3,0) each split across 1 and 2: each middle node 1.0.
+	if bc[1] != 1 || bc[2] != 1 {
+		t.Fatalf("bc = %v", bc)
+	}
+}
+
+// Oracle: Brandes must equal a brute-force pair-enumeration definition.
+func TestAgainstBruteForce(t *testing.T) {
+	r := xrand.New(11)
+	for trial := 0; trial < 12; trial++ {
+		g := gen.ErdosRenyiGNP(10, 0.3, trial%2 == 0, r.Split())
+		bc := Centrality(g)
+		n := int32(g.N())
+		for v := int32(0); v < n; v++ {
+			var want float64
+			for s := int32(0); s < n; s++ {
+				for tt := int32(0); tt < n; tt++ {
+					if s == tt || s == v || tt == v {
+						continue
+					}
+					paths := bfs.AllShortestPaths(g, s, tt)
+					if len(paths) == 0 {
+						continue
+					}
+					through := 0
+					for _, p := range paths {
+						for _, x := range p {
+							if x == v {
+								through++
+								break
+							}
+						}
+					}
+					want += float64(through) / float64(len(paths))
+				}
+			}
+			if math.Abs(bc[v]-want) > 1e-9 {
+				t.Fatalf("trial %d node %d: brandes %g, brute force %g", trial, v, bc[v], want)
+			}
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := gen.Barbell(4, 1) // single bridge node has the max betweenness
+	top := TopK(g, 1)
+	// The middle path node (id 4) lies between the cliques.
+	if top[0] != 4 {
+		t.Fatalf("top node = %d, want 4; centralities %v", top[0], Centrality(g))
+	}
+	if got := len(TopK(g, 3)); got != 3 {
+		t.Fatalf("TopK(3) returned %d nodes", got)
+	}
+}
+
+func TestTopKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TopK(gen.Path(3), 4)
+}

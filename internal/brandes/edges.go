@@ -1,0 +1,47 @@
+package brandes
+
+import (
+	"gbc/internal/bfs"
+	"gbc/internal/graph"
+)
+
+// EdgeKey canonically identifies an edge: U < V for undirected graphs,
+// (U, V) as directed otherwise.
+type EdgeKey struct{ U, V int32 }
+
+// EdgeCentrality returns the exact betweenness centrality of every edge
+// (the Girvan–Newman measure): the total fraction of shortest paths that
+// traverse the edge, summed over ordered pairs. Unweighted graphs only.
+func EdgeCentrality(g *graph.Graph) map[EdgeKey]float64 {
+	if g.Weighted() {
+		panic("brandes: EdgeCentrality supports unweighted graphs only")
+	}
+	n := g.N()
+	out := make(map[EdgeKey]float64, g.M())
+	delta := make([]float64, n)
+	key := func(u, v int32) EdgeKey {
+		if !g.Directed() && u > v {
+			u, v = v, u
+		}
+		return EdgeKey{u, v}
+	}
+	for s := int32(0); int(s) < n; s++ {
+		dist, sigma, order := bfs.SSSP(g, s)
+		for i := range delta {
+			delta[i] = 0
+		}
+		// Reverse BFS order: credit each DAG edge (v, w) with the flow
+		// σ_v/σ_w·(1+δ_w) that crosses it.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range g.InNeighbors(w) {
+				if dist[v] == dist[w]-1 {
+					c := sigma[v] / sigma[w] * (1 + delta[w])
+					delta[v] += c
+					out[key(v, w)] += c
+				}
+			}
+		}
+	}
+	return out
+}

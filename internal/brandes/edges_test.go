@@ -1,0 +1,115 @@
+package brandes
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/bfs"
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+func TestEdgeCentralityPath(t *testing.T) {
+	// Path 0-1-2-3: middle edge carries pairs {0,1}x{2,3} plus its own
+	// endpoints' pairs.
+	g := gen.Path(4)
+	ebc := EdgeCentrality(g)
+	// Edge (1,2): ordered pairs crossing it: (0,2),(0,3),(1,2),(1,3) and
+	// reverses = 8.
+	if got := ebc[EdgeKey{1, 2}]; got != 8 {
+		t.Fatalf("middle edge = %g, want 8 (all: %v)", got, ebc)
+	}
+	if got := ebc[EdgeKey{0, 1}]; got != 6 {
+		t.Fatalf("end edge = %g, want 6", got)
+	}
+}
+
+func TestEdgeCentralityBridgeDominates(t *testing.T) {
+	g := gen.Barbell(4, 0) // single bridge edge between cliques
+	ebc := EdgeCentrality(g)
+	var bestKey EdgeKey
+	best := -1.0
+	for k, v := range ebc {
+		if v > best {
+			bestKey, best = k, v
+		}
+	}
+	// The bridge connects node 0 (clique 1) to node 4 (clique 2).
+	if bestKey != (EdgeKey{0, 4}) {
+		t.Fatalf("max edge = %v (%g), want the bridge {0 4}; all %v", bestKey, best, ebc)
+	}
+	// Exactly: 4x4 cross pairs ordered = 32, plus... bridge carries all
+	// 16 unordered cross pairs both ways = 32.
+	if best != 32 {
+		t.Fatalf("bridge centrality = %g, want 32", best)
+	}
+}
+
+func TestEdgeCentralityAgainstEnumeration(t *testing.T) {
+	r := xrand.New(151)
+	for trial := 0; trial < 6; trial++ {
+		g := gen.ErdosRenyiGNP(9, 0.35, false, r.Split())
+		ebc := EdgeCentrality(g)
+		n := int32(g.N())
+		g.Edges(func(a, b int32) bool {
+			var want float64
+			for s := int32(0); s < n; s++ {
+				for tt := int32(0); tt < n; tt++ {
+					if s == tt {
+						continue
+					}
+					paths := bfs.AllShortestPaths(g, s, tt)
+					if len(paths) == 0 {
+						continue
+					}
+					through := 0
+					for _, p := range paths {
+						for i := 0; i+1 < len(p); i++ {
+							if (p[i] == a && p[i+1] == b) || (p[i] == b && p[i+1] == a) {
+								through++
+								break
+							}
+						}
+					}
+					want += float64(through) / float64(len(paths))
+				}
+			}
+			if got := ebc[EdgeKey{a, b}]; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d edge (%d,%d): %g vs brute force %g", trial, a, b, got, want)
+			}
+			return true
+		})
+	}
+}
+
+func TestEdgeCentralityDirected(t *testing.T) {
+	g := graph.MustFromEdges(3, true, [][2]int32{{0, 1}, {1, 2}})
+	ebc := EdgeCentrality(g)
+	// Edge 0->1 carries (0,1) and (0,2); edge 1->2 carries (1,2) and (0,2).
+	if ebc[EdgeKey{0, 1}] != 2 || ebc[EdgeKey{1, 2}] != 2 {
+		t.Fatalf("ebc = %v", ebc)
+	}
+}
+
+func TestEdgeCentralitySumMatchesDistances(t *testing.T) {
+	// Σ_e EBC(e) = Σ_{s,t reachable} d(s,t): every shortest path of
+	// length d contributes to exactly d edges.
+	g := gen.Grid(3, 3)
+	ebc := EdgeCentrality(g)
+	var sum float64
+	for _, v := range ebc {
+		sum += v
+	}
+	var distSum float64
+	for s := int32(0); int(s) < g.N(); s++ {
+		for _, d := range bfs.Distances(g, s) {
+			if d > 0 {
+				distSum += float64(d)
+			}
+		}
+	}
+	if math.Abs(sum-distSum) > 1e-9 {
+		t.Fatalf("ΣEBC = %g, Σd(s,t) = %g", sum, distSum)
+	}
+}

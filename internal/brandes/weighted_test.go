@@ -1,0 +1,95 @@
+package brandes
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/exact"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+func TestWeightedCentralityMatchesUnitWeights(t *testing.T) {
+	r := xrand.New(141)
+	for trial := 0; trial < 8; trial++ {
+		directed := trial%2 == 0
+		bu := graph.NewBuilder(25, directed)
+		bw := graph.NewBuilder(25, directed)
+		for i := 0; i < 60; i++ {
+			u, v := r.IntnPair(25)
+			bu.AddEdge(int32(u), int32(v))
+			bw.AddWeightedEdge(int32(u), int32(v), 1)
+		}
+		gu, _ := bu.Build()
+		gw, _ := bw.Build()
+		a := Centrality(gu)
+		b := Centrality(gw)
+		for v := range a {
+			if math.Abs(a[v]-b[v]) > 1e-9 {
+				t.Fatalf("trial %d node %d: %g vs %g", trial, v, a[v], b[v])
+			}
+		}
+	}
+}
+
+func TestWeightedCentralityRouting(t *testing.T) {
+	// Direct 0-2 edge costs 10; the detour through 1 costs 2, so node 1
+	// lies on the only shortest 0-2 path (both directions = 2 pairs).
+	b := graph.NewBuilder(3, false)
+	b.AddWeightedEdge(0, 2, 10)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := Centrality(g)
+	if bc[1] != 2 || bc[0] != 0 || bc[2] != 0 {
+		t.Fatalf("bc = %v, want [0 2 0]", bc)
+	}
+}
+
+// Cross-oracle on connected weighted undirected graphs:
+// GBC({v}) = Centrality(v) + 2(n-1).
+func TestWeightedCentralityMatchesExactGBC(t *testing.T) {
+	r := xrand.New(142)
+	b := graph.NewBuilder(40, false)
+	for v := 1; v < 40; v++ {
+		b.AddWeightedEdge(int32(v), int32(r.Intn(v)), float64(1+r.Intn(4)))
+		if v > 2 {
+			u, w := r.IntnPair(v)
+			b.AddWeightedEdge(int32(u), int32(w), float64(1+r.Intn(4)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := Centrality(g)
+	n := float64(g.N())
+	for v := int32(0); int(v) < g.N(); v += 5 {
+		want := bc[v] + 2*(n-1)
+		got := exact.GBC(g, []int32{v})
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("node %d: GBC %g vs brandes+endpoints %g", v, got, want)
+		}
+	}
+}
+
+func TestWeightedTopK(t *testing.T) {
+	b := graph.NewBuilder(4, false)
+	b.AddWeightedEdge(0, 3, 10)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(1, 2, 1)
+	b.AddWeightedEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopK(g, 2)
+	// 1 and 2 carry all the through-traffic.
+	got := map[int32]bool{top[0]: true, top[1]: true}
+	if !got[1] || !got[2] {
+		t.Fatalf("TopK = %v, want {1,2}", top)
+	}
+}

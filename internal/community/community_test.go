@@ -1,0 +1,108 @@
+package community
+
+import (
+	"testing"
+
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+func TestGirvanNewmanBarbell(t *testing.T) {
+	g := gen.Barbell(5, 0)
+	comm, count := GirvanNewman(g, 2)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	// The two cliques must land in different communities.
+	for v := 1; v < 5; v++ {
+		if comm[v] != comm[0] {
+			t.Fatalf("clique 1 split: %v", comm)
+		}
+		if comm[5+v] != comm[5] {
+			t.Fatalf("clique 2 split: %v", comm)
+		}
+	}
+	if comm[0] == comm[5] {
+		t.Fatalf("cliques merged: %v", comm)
+	}
+}
+
+func TestGirvanNewmanSBM(t *testing.T) {
+	sizes := []int{20, 20}
+	probs := [][]float64{{0.6, 0.02}, {0.02, 0.6}}
+	g := gen.StochasticBlockModel(sizes, probs, xrand.New(161))
+	comm, count := GirvanNewman(g, 2)
+	if count < 2 {
+		t.Fatalf("count = %d", count)
+	}
+	// Purity: the dominant community on each side covers most nodes.
+	agree := 0
+	for v := 0; v < 20; v++ {
+		if comm[v] == comm[0] {
+			agree++
+		}
+		if comm[20+v] == comm[20] {
+			agree++
+		}
+	}
+	if agree < 36 {
+		t.Fatalf("poor recovery: %d/40 nodes in their side's dominant community", agree)
+	}
+	if q := Modularity(g, comm); q < 0.3 {
+		t.Fatalf("modularity %g too low for a planted 2-community graph", q)
+	}
+}
+
+func TestGirvanNewmanAlreadySplit(t *testing.T) {
+	g := graph.MustFromEdges(4, false, [][2]int32{{0, 1}, {2, 3}})
+	comm, count := GirvanNewman(g, 2)
+	if count != 2 || comm[0] != comm[1] || comm[2] != comm[3] {
+		t.Fatalf("pre-split graph mishandled: %v (%d)", comm, count)
+	}
+}
+
+func TestGirvanNewmanFullDecomposition(t *testing.T) {
+	g := gen.Path(4)
+	_, count := GirvanNewman(g, 4)
+	if count != 4 {
+		t.Fatalf("count = %d, want 4 singletons", count)
+	}
+}
+
+func TestGirvanNewmanPanics(t *testing.T) {
+	dir := gen.DirectedCycle(4)
+	cases := []func(){
+		func() { GirvanNewman(dir, 2) },
+		func() { GirvanNewman(gen.Path(3), 0) },
+		func() { GirvanNewman(gen.Path(3), 4) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g := gen.Barbell(4, 0)
+	comm, _ := GirvanNewman(g, 2)
+	good := Modularity(g, comm)
+	// All-one-community has modularity 0.
+	all := make([]int32, g.N())
+	if q := Modularity(g, all); q > 1e-12 || q < -1e-12 {
+		t.Fatalf("single community modularity = %g, want 0", q)
+	}
+	if good <= 0.3 {
+		t.Fatalf("two-clique split modularity = %g, want > 0.3", good)
+	}
+	// Empty graph edge case.
+	if q := Modularity(graph.MustFromEdges(3, false, nil), all[:3]); q != 0 {
+		t.Fatalf("empty graph modularity = %g", q)
+	}
+}

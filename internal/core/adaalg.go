@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"gbc/internal/graph"
+	"gbc/internal/sampling"
+	"gbc/internal/xrand"
+)
+
+// AdaAlg runs Algorithm 1 of the paper: the adaptive sampling algorithm for
+// the top-K group betweenness centrality problem. It returns a group that
+// is a (1-1/e-ε)-approximation with probability at least 1-γ.
+//
+// The algorithm keeps two independently grown sample sets of shortest
+// paths: S, on which the greedy max-coverage group C_q and its biased
+// estimate B̂(C_q) are computed, and T, which yields the unbiased estimate
+// B̄(C_q). Over iterations q = 1..Qmax the guess g_q = n(n-1)/b^q of the
+// optimum decreases geometrically while both sets grow to L_q = θ·b^q.
+// A counter cnt tracks how often the event B̄(C_q) >= g_q has occurred; from
+// cnt >= 2 on, the error split ε₁ (Eq. 10) and the observed relative error
+// β between the two estimates are combined into ε_sum (Ineq. 11), and the
+// algorithm stops as soon as ε_sum <= ε.
+func AdaAlg(g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r := opts.rng()
+	n := float64(g.N())
+	nn := n * (n - 1)
+
+	b := opts.FixedBase
+	if b == 0 {
+		b = BaseB(opts.Epsilon, opts.MinBase)
+	}
+	qMax := int(math.Ceil(math.Log(nn) / math.Log(b)))
+	if qMax < 1 {
+		qMax = 1
+	}
+	theta := Theta(opts.Epsilon, opts.Gamma, qMax)
+
+	newSet := func(rr *xrand.Rand) *sampling.Set {
+		var set *sampling.Set
+		switch {
+		case g.Weighted():
+			set = sampling.NewWeightedSet(g, rr)
+		case opts.UseForwardSampler:
+			set = sampling.NewForwardSet(g, rr)
+		default:
+			set = sampling.NewBidirectionalSet(g, rr)
+		}
+		set.Workers = opts.Workers
+		return set
+	}
+	// Independent streams for S and T: the unbiasedness of B̄ requires that
+	// T is independent of the group chosen from S.
+	setS := newSet(r.Split())
+	setT := newSet(r.Split())
+
+	res := &Result{Base: b, Theta: theta}
+	cnt := 0
+	for q := 1; q <= qMax; q++ {
+		guess := nn / math.Pow(b, float64(q))
+		lq := int(math.Ceil(theta * math.Pow(b, float64(q))))
+		if opts.MaxSamples > 0 && 2*lq > opts.MaxSamples {
+			break // cap reached; fall through with the best group so far
+		}
+		setS.GrowTo(lq)
+		group, covered := setS.Greedy(opts.K)
+		biased := setS.Estimate(covered)
+		setT.GrowTo(lq)
+		unbiased := setT.EstimateGroup(group)
+
+		res.Group = group
+		res.Estimate = unbiased
+		res.BiasedEstimate = biased
+		res.Iterations = q
+
+		if unbiased >= guess {
+			cnt++
+		}
+		var beta, eps1, epsSum float64
+		if cnt >= 2 {
+			eps1 = Epsilon1(opts.Gamma, theta, b, cnt)
+			if biased > 0 {
+				beta = 1 - unbiased/biased
+			}
+			epsSum = EpsilonSum(beta, eps1)
+		}
+		if opts.CollectTrace {
+			res.Trace = append(res.Trace, Iteration{
+				Q: q, Guess: guess, L: lq, Biased: biased, Unbiased: unbiased,
+				Cnt: cnt, Beta: beta, Epsilon1: eps1, EpsilonSum: epsSum,
+			})
+		}
+		if cnt >= 2 {
+			res.Cnt = cnt
+			res.Beta = beta
+			res.Epsilon1 = eps1
+			res.EpsilonSum = epsSum
+			if epsSum <= opts.Epsilon {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	res.SamplesS = setS.Len()
+	res.SamplesT = setT.Len()
+	res.Samples = res.SamplesS + res.SamplesT
+	res.NormalizedEstimate = res.Estimate / nn
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

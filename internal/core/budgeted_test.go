@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"gbc/internal/exact"
+	"gbc/internal/gen"
+	"gbc/internal/xrand"
+)
+
+func unitCosts(n int) []float64 {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}
+
+func TestBudgetedGBCUnitCostsBehavesLikeTopK(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 2, xrand.New(91))
+	bud, err := BudgetedGBC(g, BudgetedOptions{Costs: unitCosts(200), Budget: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bud.Group) > 5 {
+		t.Fatalf("budget 5 with unit costs yielded %d nodes", len(bud.Group))
+	}
+	ada, err := AdaAlg(g, Options{K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBud := exact.GBC(g, bud.Group)
+	vAda := exact.GBC(g, ada.Group)
+	if vBud < 0.85*vAda {
+		t.Fatalf("budgeted (unit costs) %g far below top-K %g", vBud, vAda)
+	}
+}
+
+func TestBudgetedGBCAvoidsExpensiveCenter(t *testing.T) {
+	// Star whose center is unaffordable: the group must consist of leaves.
+	g := gen.Star(40)
+	costs := unitCosts(40)
+	costs[0] = 100
+	res, err := BudgetedGBC(g, BudgetedOptions{Costs: costs, Budget: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Group {
+		if v == 0 {
+			t.Fatalf("unaffordable center selected: %v", res.Group)
+		}
+	}
+	if len(res.Group) == 0 || len(res.Group) > 3 {
+		t.Fatalf("group %v violates budget", res.Group)
+	}
+}
+
+func TestBudgetedGBCTakesCenterWhenAffordable(t *testing.T) {
+	g := gen.Star(40)
+	costs := unitCosts(40)
+	costs[0] = 3
+	res, err := BudgetedGBC(g, BudgetedOptions{Costs: costs, Budget: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Group) != 1 || res.Group[0] != 0 {
+		t.Fatalf("center (covers everything, costs the whole budget) should win: %v", res.Group)
+	}
+}
+
+func TestBudgetedGBCValidation(t *testing.T) {
+	g := gen.Path(5)
+	cases := []BudgetedOptions{
+		{Costs: unitCosts(3), Budget: 2},              // wrong length
+		{Costs: []float64{1, 0, 1, 1, 1}, Budget: 2},  // zero cost
+		{Costs: unitCosts(5), Budget: 0.5},            // nothing affordable
+		{Costs: unitCosts(5), Budget: 2, Epsilon: 99}, // bad epsilon
+	}
+	for i, o := range cases {
+		if _, err := BudgetedGBC(g, o); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if _, err := BudgetedGBC(nil, BudgetedOptions{}); err == nil {
+		t.Fatal("nil graph must error")
+	}
+}
+
+func TestBudgetedGBCHeterogeneousCosts(t *testing.T) {
+	// Barbell: the bridge node is the most valuable. Make it cost as much
+	// as three clique nodes; with budget 3 the greedy should still prefer
+	// it (covers inter-clique traffic) over three clique nodes.
+	g := gen.Barbell(6, 1)
+	costs := unitCosts(g.N())
+	costs[6] = 3 // the bridge
+	res, err := BudgetedGBC(g, BudgetedOptions{Costs: costs, Budget: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasBridge := false
+	for _, v := range res.Group {
+		if v == 6 {
+			hasBridge = true
+		}
+	}
+	vGot := exact.GBC(g, res.Group)
+	vBridge := exact.GBC(g, []int32{6})
+	if !hasBridge && vGot < vBridge {
+		t.Fatalf("picked %v (B=%g) worse than just the bridge (B=%g)", res.Group, vGot, vBridge)
+	}
+}

@@ -1,0 +1,509 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/exact"
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+func TestBaseBPaperExample(t *testing.T) {
+	// Section IV-C works the example ε = 0.5: α ≈ 0.3063, c₂ ≈ 24.57,
+	// b' ≈ 1.35.
+	alpha := Alpha(0.5)
+	if math.Abs(alpha-0.3063) > 0.001 {
+		t.Fatalf("alpha = %g, want ~0.3063", alpha)
+	}
+	b := BaseB(0.5, 1.1)
+	if math.Abs(b-1.35) > 0.01 {
+		t.Fatalf("b = %g, want ~1.35", b)
+	}
+}
+
+func TestBaseBMinimumApplies(t *testing.T) {
+	// Small ε → large c₂ → b' near 1, so the floor b_min must kick in.
+	if b := BaseB(0.1, 1.1); b != 1.1 {
+		t.Fatalf("b = %g, want floor 1.1", b)
+	}
+	// The floor itself is configurable.
+	if b := BaseB(0.1, 1.3); b != 1.3 {
+		t.Fatalf("b = %g, want floor 1.3", b)
+	}
+}
+
+func TestEpsilon1SolvesQuadratic(t *testing.T) {
+	// ε₁ must satisfy x²/(2+2x/3) = c₁ (proof of Lemma 4).
+	gamma, theta, b := 0.01, 500.0, 1.2
+	for cnt := 2; cnt <= 6; cnt++ {
+		x := Epsilon1(gamma, theta, b, cnt)
+		c1 := math.Log(4/gamma) / (theta * math.Pow(b, float64(cnt-2)))
+		if lhs := x * x / (2 + 2*x/3); math.Abs(lhs-c1) > 1e-12 {
+			t.Fatalf("cnt=%d: x²/(2+2x/3) = %g, want c₁ = %g", cnt, lhs, c1)
+		}
+	}
+}
+
+func TestEpsilon1DecreasesWithCnt(t *testing.T) {
+	prev := math.Inf(1)
+	for cnt := 2; cnt <= 8; cnt++ {
+		x := Epsilon1(0.01, 600, 1.2, cnt)
+		if x >= prev {
+			t.Fatalf("ε₁ not decreasing at cnt=%d: %g >= %g", cnt, x, prev)
+		}
+		prev = x
+	}
+}
+
+func TestEpsilonSumFormula(t *testing.T) {
+	beta, eps1 := 0.1, 0.05
+	want := beta*(1-1/math.E)*(1-eps1) + (2-1/math.E)*eps1
+	if got := EpsilonSum(beta, eps1); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("EpsilonSum = %g, want %g", got, want)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := gen.Path(5)
+	cases := []Options{
+		{K: 0},
+		{K: 6},
+		{K: 2, Epsilon: 0.7}, // >= 1-1/e
+		{K: 2, Epsilon: -0.1},
+		{K: 2, Gamma: 1.5},
+		{K: 2, Gamma: -0.1},
+		{K: 2, FixedBase: 0.9},
+		{K: 2, MaxSamples: -1},
+	}
+	for i, o := range cases {
+		if _, err := AdaAlg(g, o); err == nil {
+			t.Fatalf("case %d (%+v): expected error", i, o)
+		}
+	}
+	if _, err := AdaAlg(nil, Options{K: 1}); err == nil {
+		t.Fatal("nil graph: expected error")
+	}
+	if _, err := AdaAlg(gen.Path(1), Options{K: 1}); err == nil {
+		t.Fatal("1-node graph: expected error")
+	}
+}
+
+func TestAdaAlgFindsStarCenter(t *testing.T) {
+	g := gen.Star(60)
+	res, err := AdaAlg(g, Options{K: 1, Epsilon: 0.3, Gamma: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group[0] != 0 {
+		t.Fatalf("AdaAlg picked %v, want center 0", res.Group)
+	}
+	if !res.Converged {
+		t.Fatal("AdaAlg did not converge on a star")
+	}
+	// The center covers every pair: estimate should be near n(n-1).
+	if res.NormalizedEstimate < 0.9 {
+		t.Fatalf("normalized estimate %g, want near 1", res.NormalizedEstimate)
+	}
+}
+
+func TestAdaAlgApproximationGuarantee(t *testing.T) {
+	// On small graphs compare against the brute-force optimum. With
+	// ε = 0.3 and γ = 0.05 the guarantee is B(C) >= (1-1/e-0.3)·opt with
+	// probability 0.95; greedy in practice lands far above it, so every
+	// seed should pass comfortably.
+	r := xrand.New(81)
+	for trial := 0; trial < 4; trial++ {
+		g := gen.ErdosRenyiGNM(24, 60, trial%2 == 0, r.Split())
+		_, opt := exact.BruteForceOptimal(g, 2)
+		res, err := AdaAlg(g, Options{K: 2, Epsilon: 0.3, Gamma: 0.05, Seed: uint64(trial + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := exact.GBC(g, res.Group)
+		if got < (1-1/math.E-0.3)*opt {
+			t.Fatalf("trial %d: B(C) = %g below guarantee vs opt %g", trial, got, opt)
+		}
+	}
+}
+
+func TestAdaAlgEstimateCloseToExact(t *testing.T) {
+	r := xrand.New(82)
+	g := gen.BarabasiAlbert(250, 2, r.Split())
+	res, err := AdaAlg(g, Options{K: 5, Epsilon: 0.2, Gamma: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactVal := exact.GBC(g, res.Group)
+	rel := math.Abs(res.Estimate-exactVal) / exactVal
+	if rel > 0.15 {
+		t.Fatalf("unbiased estimate %g vs exact %g (rel %g)", res.Estimate, exactVal, rel)
+	}
+}
+
+func TestAdaAlgDeterministicForSeed(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, xrand.New(5))
+	a, err := AdaAlg(g, Options{K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AdaAlg(g, Options{K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Samples != b.Samples || a.Estimate != b.Estimate {
+		t.Fatalf("same seed differs: %d/%g vs %d/%g", a.Samples, a.Estimate, b.Samples, b.Estimate)
+	}
+	for i := range a.Group {
+		if a.Group[i] != b.Group[i] {
+			t.Fatalf("groups differ: %v vs %v", a.Group, b.Group)
+		}
+	}
+}
+
+func TestAdaAlgTrace(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 2, xrand.New(6))
+	res, err := AdaAlg(g, Options{K: 3, Seed: 2, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Iterations {
+		t.Fatalf("trace has %d entries for %d iterations", len(res.Trace), res.Iterations)
+	}
+	prevL := 0
+	for i, it := range res.Trace {
+		if it.Q != i+1 {
+			t.Fatalf("trace %d has Q = %d", i, it.Q)
+		}
+		if it.L <= prevL {
+			t.Fatalf("L not growing: %d then %d", prevL, it.L)
+		}
+		prevL = it.L
+		if i > 0 && it.Guess >= res.Trace[i-1].Guess {
+			t.Fatal("guesses must decrease")
+		}
+		if it.Cnt < res.Trace[max(0, i-1)].Cnt {
+			t.Fatal("cnt must be non-decreasing")
+		}
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if res.Converged && last.EpsilonSum > 0.3 {
+		t.Fatalf("converged with ε_sum = %g > ε", last.EpsilonSum)
+	}
+}
+
+func TestAdaAlgMaxSamplesCap(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, xrand.New(7))
+	res, err := AdaAlg(g, Options{K: 3, Epsilon: 0.15, Seed: 2, MaxSamples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("cap of 200 samples cannot satisfy ε = 0.15")
+	}
+	if res.Samples > 200 {
+		t.Fatalf("cap violated: %d samples", res.Samples)
+	}
+}
+
+func TestAdaAlgSamplesCountBothSets(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, xrand.New(8))
+	res, err := AdaAlg(g, Options{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesS == 0 || res.SamplesT == 0 {
+		t.Fatalf("both sets must be sampled: S=%d T=%d", res.SamplesS, res.SamplesT)
+	}
+	if res.Samples != res.SamplesS+res.SamplesT {
+		t.Fatalf("Samples %d != S %d + T %d", res.Samples, res.SamplesS, res.SamplesT)
+	}
+	if res.SamplesS != res.SamplesT {
+		t.Fatalf("Algorithm 1 grows S and T to the same L_q: %d vs %d", res.SamplesS, res.SamplesT)
+	}
+}
+
+func TestGroupIsGreedyChain(t *testing.T) {
+	// Result.Group is selection-ordered: its prefixes must be (weakly)
+	// decreasing in marginal value, and each prefix should roughly match
+	// what an AdaAlg run at that smaller K finds.
+	g := gen.BarabasiAlbert(300, 3, xrand.New(17))
+	res, err := AdaAlg(g, Options{K: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix values must grow monotonically (supersets cover more); the
+	// decreasing-marginal property holds on the sampled coverage (tested
+	// in package coverage), not on the exact values, which carry noise.
+	cur := 0.0
+	for i := 1; i <= 8; i++ {
+		val := exact.GBC(g, res.Group[:i])
+		if val < cur-1e-9 {
+			t.Fatalf("prefix value dropped at position %d: %g -> %g", i, cur, val)
+		}
+		cur = val
+	}
+	small, err := AdaAlg(g, Options{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vPrefix := exact.GBC(g, res.Group[:3])
+	vSmall := exact.GBC(g, small.Group)
+	if vPrefix < 0.9*vSmall {
+		t.Fatalf("3-prefix %g far below dedicated K=3 run %g", vPrefix, vSmall)
+	}
+}
+
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	g := gen.BarabasiAlbert(250, 2, xrand.New(16))
+	seq, err := AdaAlg(g, Options{K: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AdaAlg(g, Options{K: 5, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Samples != par.Samples || seq.Estimate != par.Estimate {
+		t.Fatalf("workers changed the run: %d/%g vs %d/%g",
+			seq.Samples, seq.Estimate, par.Samples, par.Estimate)
+	}
+	for i := range seq.Group {
+		if seq.Group[i] != par.Group[i] {
+			t.Fatalf("groups differ: %v vs %v", seq.Group, par.Group)
+		}
+	}
+}
+
+func TestBaselinesRunAndConverge(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 2, xrand.New(9))
+	for _, alg := range []Algorithm{AlgHEDGE, AlgCentRa} {
+		res, err := Run(alg, g, Options{K: 5, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge", alg)
+		}
+		if len(res.Group) != 5 {
+			t.Fatalf("%v returned %d nodes", alg, len(res.Group))
+		}
+		if res.SamplesT != 0 {
+			t.Fatalf("%v is single-set but SamplesT = %d", alg, res.SamplesT)
+		}
+	}
+}
+
+func TestSampleCountOrdering(t *testing.T) {
+	// The headline result: AdaAlg ≪ CentRa < HEDGE in samples, at
+	// comparable quality (Figs. 4–5).
+	g := gen.BarabasiAlbert(400, 3, xrand.New(10))
+	opts := Options{K: 20, Epsilon: 0.3, Gamma: 0.01, Seed: 5}
+	ada, err := AdaAlg(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cen, err := CentRa(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hed, err := HEDGE(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ada.Samples < cen.Samples && cen.Samples < hed.Samples) {
+		t.Fatalf("sample ordering violated: AdaAlg %d, CentRa %d, HEDGE %d",
+			ada.Samples, cen.Samples, hed.Samples)
+	}
+	if float64(cen.Samples) < 1.5*float64(ada.Samples) {
+		t.Fatalf("AdaAlg should use well under CentRa's samples: %d vs %d",
+			ada.Samples, cen.Samples)
+	}
+	// Quality within a few percent of each other (paper: <= 4%).
+	vAda := exact.GBC(g, ada.Group)
+	vCen := exact.GBC(g, cen.Group)
+	if vAda < 0.9*vCen {
+		t.Fatalf("AdaAlg quality %g too far below CentRa %g", vAda, vCen)
+	}
+}
+
+func TestSampleGapGrowsWithK(t *testing.T) {
+	// Fig. 4's shape: the baselines' sample counts grow with K while
+	// AdaAlg's barely moves, so the CentRa/AdaAlg ratio widens.
+	g := gen.BarabasiAlbert(400, 3, xrand.New(15))
+	ratio := func(k int) float64 {
+		opts := Options{K: k, Epsilon: 0.3, Seed: 5}
+		ada, err := AdaAlg(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cen, err := CentRa(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(cen.Samples) / float64(ada.Samples)
+	}
+	small, large := ratio(5), ratio(40)
+	if large <= small {
+		t.Fatalf("ratio should grow with K: K=5 -> %.2f, K=40 -> %.2f", small, large)
+	}
+}
+
+func TestExhaustQualityReference(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, xrand.New(11))
+	// Use a loosened EXHAUST (ε = 0.1) to keep the test fast; still the
+	// strongest of the four configurations.
+	ex, err := EXHAUST(g, Options{K: 4, Epsilon: 0.1, Gamma: 0.001, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := AdaAlg(g, Options{K: 4, Epsilon: 0.3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vEx := exact.GBC(g, ex.Group)
+	vAda := exact.GBC(g, ada.Group)
+	if vAda < 0.85*vEx {
+		t.Fatalf("AdaAlg %g below 85%% of EXHAUST %g", vAda, vEx)
+	}
+}
+
+func TestExhaustDefaultParameters(t *testing.T) {
+	g := gen.Star(40)
+	res, err := EXHAUST(g, Options{K: 1, Seed: 1, MaxSamples: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group[0] != 0 {
+		t.Fatalf("EXHAUST missed the star center: %v", res.Group)
+	}
+}
+
+func TestFixedBaseAblation(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, xrand.New(12))
+	for _, base := range []float64{1.1, 1.5, 2.0} {
+		res, err := AdaAlg(g, Options{K: 3, Seed: 2, FixedBase: base})
+		if err != nil {
+			t.Fatalf("base %g: %v", base, err)
+		}
+		if res.Base != base {
+			t.Fatalf("base %g not honored: %g", base, res.Base)
+		}
+		if !res.Converged {
+			t.Fatalf("base %g did not converge", base)
+		}
+	}
+}
+
+func TestForwardSamplerOption(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, xrand.New(13))
+	res, err := AdaAlg(g, Options{K: 3, Seed: 2, UseForwardSampler: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("forward-sampler run did not converge")
+	}
+	v := exact.GBC(g, res.Group)
+	bi, err := AdaAlg(g, Options{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBi := exact.GBC(g, bi.Group)
+	if math.Abs(v-vBi)/math.Max(v, vBi) > 0.1 {
+		t.Fatalf("samplers should find similar-quality groups: %g vs %g", v, vBi)
+	}
+}
+
+func TestDirectedGraphSupport(t *testing.T) {
+	g := gen.DirectedPreferential(200, 3, 0.3, xrand.New(14))
+	res, err := AdaAlg(g, Options{K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || len(res.Group) != 5 {
+		t.Fatalf("directed run failed: converged=%v group=%v", res.Converged, res.Group)
+	}
+}
+
+func TestDisconnectedGraphSupport(t *testing.T) {
+	// Two stars; the two centers are the ideal K=2 group.
+	b := graph.NewBuilder(40, false)
+	for i := 1; i < 20; i++ {
+		b.AddEdge(0, int32(i))
+		b.AddEdge(20, int32(20+i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AdaAlg(g, Options{K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int32]bool{res.Group[0]: true, res.Group[1]: true}
+	if !got[0] || !got[20] {
+		t.Fatalf("expected the two star centers, got %v", res.Group)
+	}
+}
+
+func TestRunDispatchAndParse(t *testing.T) {
+	g := gen.Star(30)
+	for _, name := range []string{"AdaAlg", "HEDGE", "CentRa", "EXHAUST"} {
+		alg, err := ParseAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.String() != name {
+			t.Fatalf("round trip %q -> %q", name, alg.String())
+		}
+		opts := Options{K: 1, Seed: 1}
+		if alg == AlgEXHAUST {
+			opts.Epsilon = 0.1
+			opts.Gamma = 0.01
+		}
+		res, err := Run(alg, g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Group[0] != 0 {
+			t.Fatalf("%s missed star center: %v", name, res.Group)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := Run(Algorithm(99), g, Options{K: 1}); err == nil {
+		t.Fatal("expected dispatch error")
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm needs a string form")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestExplicitRandOverridesSeed(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 2, xrand.New(18))
+	r1 := xrand.New(77)
+	a, err := AdaAlg(g, Options{K: 3, Rand: r1, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := xrand.New(77)
+	b, err := AdaAlg(g, Options{K: 3, Rand: r2, Seed: 111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same explicit Rand stream => same run, regardless of Seed.
+	if a.Samples != b.Samples || a.Estimate != b.Estimate {
+		t.Fatalf("explicit Rand not honored: %d/%g vs %d/%g",
+			a.Samples, a.Estimate, b.Samples, b.Estimate)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gbc/internal/exact"
+	"gbc/internal/gen"
+	"gbc/internal/xrand"
+)
+
+// Cross-cutting invariants checked over randomized instances with
+// testing/quick: every algorithm returns exactly K distinct in-range nodes,
+// estimates stay within [0, n(n-1)], and exact evaluation of the returned
+// group is within the sampling error band of the reported estimate.
+func TestPropertyResultWellFormed(t *testing.T) {
+	r := xrand.New(401)
+	f := func(seedRaw uint16, kRaw, algRaw uint8) bool {
+		n := 40 + int(seedRaw%60)
+		k := 1 + int(kRaw%8)
+		g := gen.BarabasiAlbert(n, 2, r.Split())
+		alg := []Algorithm{AlgAdaAlg, AlgHEDGE, AlgCentRa}[algRaw%3]
+		res, err := Run(alg, g, Options{K: k, Epsilon: 0.4, Seed: uint64(seedRaw) + 1})
+		if err != nil {
+			return false
+		}
+		if len(res.Group) != k {
+			return false
+		}
+		seen := map[int32]bool{}
+		for _, v := range res.Group {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		nn := float64(n) * float64(n-1)
+		if res.Estimate < 0 || res.Estimate > nn+1e-9 {
+			return false
+		}
+		if res.NormalizedEstimate < 0 || res.NormalizedEstimate > 1+1e-12 {
+			return false
+		}
+		if res.Samples <= 0 || res.Iterations <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact value of any returned group never exceeds the
+// brute-force optimum, and AdaAlg's unbiased estimate tracks the exact
+// value within a generous band.
+func TestPropertyEstimateTracksExact(t *testing.T) {
+	r := xrand.New(402)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyiGNM(18, 40, trial%2 == 0, r.Split())
+		_, opt := exact.BruteForceOptimal(g, 2)
+		res, err := AdaAlg(g, Options{K: 2, Epsilon: 0.3, Seed: uint64(trial) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		val := exact.GBC(g, res.Group)
+		if val > opt+1e-9 {
+			t.Fatalf("trial %d: group value %g exceeds optimum %g", trial, val, opt)
+		}
+		if res.Estimate > 1.5*val+1 || res.Estimate < 0.5*val-1 {
+			t.Fatalf("trial %d: estimate %g far from exact %g", trial, res.Estimate, val)
+		}
+	}
+}
+
+// Property: more permissive ε never increases AdaAlg's sample count
+// (monotone resource usage), holding everything else fixed.
+func TestPropertySamplesMonotoneInEpsilon(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, xrand.New(403))
+	prev := 1 << 62
+	for _, eps := range []float64{0.15, 0.25, 0.35, 0.45, 0.55} {
+		res, err := AdaAlg(g, Options{K: 10, Epsilon: eps, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Samples > prev {
+			t.Fatalf("samples grew with ε: %d at ε=%g (prev %d)", res.Samples, eps, prev)
+		}
+		prev = res.Samples
+	}
+}

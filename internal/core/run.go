@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"gbc/internal/graph"
+)
+
+// Algorithm selects one of the implemented top-K GBC algorithms.
+type Algorithm int
+
+const (
+	// AlgAdaAlg is the paper's adaptive sampling algorithm (Algorithm 1).
+	AlgAdaAlg Algorithm = iota
+	// AlgHEDGE is the static baseline of Mahmoody et al. (KDD 2016).
+	AlgHEDGE
+	// AlgCentRa is the static state of the art of Pellegrina (KDD 2023).
+	AlgCentRa
+	// AlgEXHAUST is HEDGE with tiny ε and γ — the quality reference.
+	AlgEXHAUST
+	// AlgPairSampling is the pair-sampling baseline of Yoshida (KDD 2014);
+	// see PairSampling for its caveats.
+	AlgPairSampling
+)
+
+// String returns the algorithm name as used in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAdaAlg:
+		return "AdaAlg"
+	case AlgHEDGE:
+		return "HEDGE"
+	case AlgCentRa:
+		return "CentRa"
+	case AlgEXHAUST:
+		return "EXHAUST"
+	case AlgPairSampling:
+		return "PairSampling"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves a case-sensitive algorithm name.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "AdaAlg", "adaalg", "ada":
+		return AlgAdaAlg, nil
+	case "HEDGE", "hedge":
+		return AlgHEDGE, nil
+	case "CentRa", "centra":
+		return AlgCentRa, nil
+	case "EXHAUST", "exhaust":
+		return AlgEXHAUST, nil
+	case "PairSampling", "pairsampling", "yoshida":
+		return AlgPairSampling, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want AdaAlg, HEDGE, CentRa, EXHAUST or PairSampling)", name)
+}
+
+// Run dispatches to the selected algorithm.
+func Run(alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
+	switch alg {
+	case AlgAdaAlg:
+		return AdaAlg(g, opts)
+	case AlgHEDGE:
+		return HEDGE(g, opts)
+	case AlgCentRa:
+		return CentRa(g, opts)
+	case AlgEXHAUST:
+		return EXHAUST(g, opts)
+	case AlgPairSampling:
+		return PairSampling(g, opts)
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", alg)
+}

@@ -1,0 +1,193 @@
+// Package core implements the paper's contribution and its baselines:
+//
+//   - AdaAlg — Algorithm 1, the adaptive sampling algorithm for top-K group
+//     betweenness centrality with a (1-1/e-ε)-approximation guarantee at
+//     success probability 1-γ.
+//   - HEDGE — Mahmoody, Tsourakakis, Upfal (KDD 2016), sample count
+//     Θ((K·log n + log(1/γ))/(ε²·μ_opt)).
+//   - CentRa — Pellegrina (KDD 2023), sample count
+//     Θ((K·log K + log(1/γ))/(ε²·μ_opt)) (the form quoted in §VI of the
+//     paper).
+//   - EXHAUST — HEDGE with a tiny error ratio, the paper's near-ground-truth
+//     reference.
+//
+// All three sampling baselines share the unknown-optimum guess-halving
+// harness; AdaAlg follows the paper's equations exactly (base b from
+// Eq. 12/13, θ and L_q from Eq. 7, ε₁ from Eq. 10 and the ε_sum stopping
+// rule from Ineq. 11).
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// E is the base of the natural logarithm; 1-1/e is the greedy guarantee.
+const invE = 1 / math.E
+
+// Options configures a top-K GBC computation.
+type Options struct {
+	// K is the group size to find. Required, 1 <= K <= n.
+	K int
+	// Epsilon is the error ratio ε, 0 < ε < 1-1/e. Default 0.3.
+	Epsilon float64
+	// Gamma is the failure probability γ in (0, 1). Default 0.01.
+	Gamma float64
+	// Seed seeds the deterministic RNG. Default 1. Ignored if Rand is set.
+	Seed uint64
+	// Rand supplies randomness explicitly (overrides Seed).
+	Rand *xrand.Rand
+
+	// MinBase is b_min of Eq. 13 (default 1.1). AdaAlg only.
+	MinBase float64
+	// FixedBase, when > 1, overrides the base chosen by Eq. 13 — used by
+	// the base-choice ablation. AdaAlg only.
+	FixedBase float64
+	// UseForwardSampler swaps the balanced bidirectional path sampler for
+	// the plain truncated forward-BFS sampler — used by the sampler-cost
+	// ablation.
+	UseForwardSampler bool
+	// MaxSamples caps the total number of sampled paths (0 = no cap). When
+	// the cap is hit the current best group is returned with
+	// Converged == false.
+	MaxSamples int
+	// CollectTrace records per-iteration statistics in Result.Trace.
+	CollectTrace bool
+	// Workers sets the number of goroutines used to draw samples (< 2 =
+	// sequential). Results are identical for any worker count: each sample
+	// index has its own deterministic RNG stream.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.3
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.01
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinBase == 0 {
+		o.MinBase = 1.1
+	}
+	return o
+}
+
+func (o Options) validate(g *graph.Graph) error {
+	if g == nil {
+		return fmt.Errorf("core: nil graph")
+	}
+	if g.N() < 2 {
+		return fmt.Errorf("core: graph needs at least 2 nodes, has %d", g.N())
+	}
+	if o.K < 1 || o.K > g.N() {
+		return fmt.Errorf("core: K = %d out of range [1, %d]", o.K, g.N())
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1-invE {
+		return fmt.Errorf("core: epsilon = %g out of range (0, 1-1/e)", o.Epsilon)
+	}
+	if o.Gamma <= 0 || o.Gamma >= 1 {
+		return fmt.Errorf("core: gamma = %g out of range (0, 1)", o.Gamma)
+	}
+	if o.FixedBase != 0 && o.FixedBase <= 1 {
+		return fmt.Errorf("core: fixed base %g must exceed 1", o.FixedBase)
+	}
+	if o.MaxSamples < 0 {
+		return fmt.Errorf("core: negative MaxSamples")
+	}
+	return nil
+}
+
+func (o Options) rng() *xrand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return xrand.New(o.Seed)
+}
+
+// Iteration records the state of one outer iteration (for traces/figures).
+type Iteration struct {
+	Q          int     // iteration number, 1-based
+	Guess      float64 // g_q
+	L          int     // samples per set after this iteration
+	Biased     float64 // B̂_{L_q}(C_q)
+	Unbiased   float64 // B̄_{L_q}(C_q)
+	Cnt        int     // counter value after this iteration
+	Beta       float64 // relative error β
+	Epsilon1   float64 // ε₁ (0 when cnt < 2)
+	EpsilonSum float64 // ε_sum (0 when cnt < 2)
+}
+
+// Result is the outcome of a top-K GBC computation.
+type Result struct {
+	// Group holds the K chosen nodes in greedy selection order, so its
+	// length-k prefix is exactly the group the same run would return for a
+	// smaller budget k — one run yields the whole nested chain of groups.
+	Group []int32
+	// Estimate is the algorithm's centrality estimate for Group: the
+	// unbiased estimate for AdaAlg, the biased greedy estimate for the
+	// single-set baselines.
+	Estimate float64
+	// NormalizedEstimate is Estimate / (n(n-1)).
+	NormalizedEstimate float64
+	// BiasedEstimate is B̂(C) from the optimization set.
+	BiasedEstimate float64
+
+	// SamplesS and SamplesT count the sampled paths in the optimization
+	// and validation sets (SamplesT is 0 for the baselines); Samples is
+	// their sum — the quantity plotted in Figs. 4 and 5.
+	SamplesS, SamplesT, Samples int
+
+	// Iterations is the number of outer iterations executed.
+	Iterations int
+	// Cnt is AdaAlg's final event counter (0 for baselines).
+	Cnt int
+	// Beta, Epsilon1, EpsilonSum are AdaAlg's final stopping quantities.
+	Beta, Epsilon1, EpsilonSum float64
+	// Base and Theta are AdaAlg's b (Eq. 13) and θ constants.
+	Base, Theta float64
+
+	// Converged reports whether the algorithm stopped by its own rule
+	// rather than exhausting iterations or hitting MaxSamples.
+	Converged bool
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Trace holds per-iteration statistics when Options.CollectTrace.
+	Trace []Iteration
+}
+
+// Alpha returns α = ε/(2-1/e) (Section IV).
+func Alpha(epsilon float64) float64 { return epsilon / (2 - invE) }
+
+// BaseB returns the base b of Eq. (13): max(b', minBase) with b' from
+// Eq. (12), where c₂ = (2+α)/α².
+func BaseB(epsilon, minBase float64) float64 {
+	alpha := Alpha(epsilon)
+	c2 := (2 + alpha) / (alpha * alpha)
+	bPrime := (3*c2 + 2 + math.Sqrt(18*c2+4)) / (3*c2 - 2)
+	return math.Max(bPrime, minBase)
+}
+
+// Theta returns θ = (ln(2/γ) + ln Qmax)·(2+α)/α² (Section IV-A).
+func Theta(epsilon, gamma float64, qMax int) float64 {
+	alpha := Alpha(epsilon)
+	return (math.Log(2/gamma) + math.Log(float64(qMax))) * (2 + alpha) / (alpha * alpha)
+}
+
+// Epsilon1 returns ε₁ of Eq. (10) for c₁ = ln(4/γ)/(θ·b^(cnt-2)): the
+// positive root of x²/(2+2x/3) = c₁.
+func Epsilon1(gamma, theta, b float64, cnt int) float64 {
+	c1 := math.Log(4/gamma) / (theta * math.Pow(b, float64(cnt-2)))
+	return (2*c1/3 + math.Sqrt(4*c1*c1/9+8*c1)) / 2
+}
+
+// EpsilonSum returns ε_sum = β(1-1/e)(1-ε₁) + (2-1/e)ε₁ (Ineq. 11).
+func EpsilonSum(beta, eps1 float64) float64 {
+	return beta*(1-invE)*(1-eps1) + (2-invE)*eps1
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/exact"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// randomWeighted builds a connected-ish weighted BA-like test graph.
+func randomWeighted(n int, seed uint64) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n, false)
+	for v := 1; v < n; v++ {
+		// Attach to a random earlier node (tree backbone keeps it connected)
+		// plus one extra random edge.
+		b.AddWeightedEdge(int32(v), int32(r.Intn(v)), float64(1+r.Intn(4)))
+		if v > 2 {
+			u, w := r.IntnPair(v)
+			b.AddWeightedEdge(int32(u), int32(w), float64(1+r.Intn(4)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestAdaAlgWeightedConvergesAndEstimates(t *testing.T) {
+	g := randomWeighted(200, 131)
+	res, err := AdaAlg(g, Options{K: 5, Epsilon: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || len(res.Group) != 5 {
+		t.Fatalf("weighted AdaAlg: converged=%v group=%v", res.Converged, res.Group)
+	}
+	want := exact.GBC(g, res.Group)
+	if rel := math.Abs(res.Estimate-want) / want; rel > 0.15 {
+		t.Fatalf("weighted estimate %g vs exact %g (rel %g)", res.Estimate, want, rel)
+	}
+}
+
+func TestWeightedRoutingChangesGroup(t *testing.T) {
+	// Star-like hub 0, but every hub edge is expensive while a cheap ring
+	// connects the leaves: weighted shortest paths avoid the hub, so the
+	// best group must differ from the unweighted case.
+	n := 20
+	bu := graph.NewBuilder(n, false)
+	bw := graph.NewBuilder(n, false)
+	for v := 1; v < n; v++ {
+		bu.AddEdge(0, int32(v))
+		bw.AddWeightedEdge(0, int32(v), 100)
+	}
+	for v := 1; v < n; v++ {
+		next := int32(v%(n-1) + 1)
+		bu.AddEdge(int32(v), next)
+		bw.AddWeightedEdge(int32(v), next, 1)
+	}
+	gu, _ := bu.Build()
+	gw, _ := bw.Build()
+	hubCoverU := exact.GBC(gu, []int32{0})
+	hubCoverW := exact.GBC(gw, []int32{0})
+	if hubCoverW >= hubCoverU {
+		t.Fatalf("expensive hub should cover less: weighted %g vs unweighted %g", hubCoverW, hubCoverU)
+	}
+	res, err := AdaAlg(gw, Options{K: 1, Epsilon: 0.2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group[0] == 0 {
+		t.Fatalf("weighted run picked the bypassed hub; exact hub cover %g of %g total",
+			hubCoverW, float64(n*(n-1)))
+	}
+}
+
+func TestBaselinesOnWeightedGraphs(t *testing.T) {
+	g := randomWeighted(150, 132)
+	for _, alg := range []Algorithm{AlgHEDGE, AlgCentRa} {
+		res, err := Run(alg, g, Options{K: 4, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge on weighted graph", alg)
+		}
+	}
+}
+
+func TestPairSamplingRejectsWeighted(t *testing.T) {
+	g := randomWeighted(50, 133)
+	if _, err := PairSampling(g, Options{K: 2, Seed: 1}); err == nil {
+		t.Fatal("PairSampling must reject weighted graphs")
+	}
+}
+
+func TestBudgetedOnWeightedGraph(t *testing.T) {
+	g := randomWeighted(100, 134)
+	costs := make([]float64, g.N())
+	for i := range costs {
+		costs[i] = 1
+	}
+	res, err := BudgetedGBC(g, BudgetedOptions{Costs: costs, Budget: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Group) == 0 || len(res.Group) > 4 {
+		t.Fatalf("group %v", res.Group)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"gbc/internal/exact"
+	"gbc/internal/gen"
+	"gbc/internal/xrand"
+)
+
+func TestPairSamplingFindsStarCenter(t *testing.T) {
+	g := gen.Star(50)
+	res, err := PairSampling(g, Options{K: 1, Epsilon: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group[0] != 0 {
+		t.Fatalf("PairSampling picked %v, want center", res.Group)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge on a star (μ_opt = 1)")
+	}
+}
+
+func TestPairSamplingQualityComparable(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 2, xrand.New(71))
+	pair, err := PairSampling(g, Options{K: 5, Epsilon: 0.3, Seed: 3, MaxSamples: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := AdaAlg(g, Options{K: 5, Epsilon: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vPair := exact.GBC(g, pair.Group)
+	vAda := exact.GBC(g, ada.Group)
+	if vPair < 0.85*vAda {
+		t.Fatalf("pair-sampling quality %g far below AdaAlg %g", vPair, vAda)
+	}
+}
+
+func TestPairSamplingSampleCountExplodesVsAdaAlg(t *testing.T) {
+	// The 1/μ_opt² factor: on a grid the optimum covers a modest fraction
+	// of pairs, so pair sampling needs more samples than AdaAlg — the
+	// motivation for path sampling in the related work.
+	g := gen.Grid(15, 15)
+	opts := Options{K: 5, Epsilon: 0.3, Seed: 4, MaxSamples: 40000}
+	pair, err := PairSampling(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := AdaAlg(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Samples <= ada.Samples {
+		t.Fatalf("expected pair sampling to need more samples: pair %d vs ada %d",
+			pair.Samples, ada.Samples)
+	}
+}
+
+func TestPairSamplingMaxSamplesFallback(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 2, xrand.New(73))
+	// A cap below the first guess's bound forces the fallback path.
+	res, err := PairSampling(g, Options{K: 3, Epsilon: 0.1, Seed: 5, MaxSamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("cannot converge under a 50-sample cap at ε = 0.1")
+	}
+	if len(res.Group) != 3 {
+		t.Fatalf("fallback still must return K nodes: %v", res.Group)
+	}
+	if res.Samples > 50 {
+		t.Fatalf("cap violated: %d", res.Samples)
+	}
+}
+
+func TestPairSamplingParseAndRun(t *testing.T) {
+	alg, err := ParseAlgorithm("yoshida")
+	if err != nil || alg != AlgPairSampling {
+		t.Fatalf("parse: %v %v", alg, err)
+	}
+	if alg.String() != "PairSampling" {
+		t.Fatalf("String = %q", alg.String())
+	}
+	g := gen.Star(30)
+	res, err := Run(alg, g, Options{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group[0] != 0 {
+		t.Fatalf("dispatch run picked %v", res.Group)
+	}
+}

@@ -1,0 +1,84 @@
+package coverage
+
+// GreedyBudgeted solves the budgeted variant of the max-coverage
+// subproblem (the generalization of top-K GBC studied by Fink & Spoerhase,
+// WALCOM 2011, the paper's related work [10]): node v costs costs[v] and
+// the group's total cost must not exceed budget.
+//
+// It runs the classic cost-benefit greedy (highest marginal-coverage per
+// unit cost among still-affordable nodes) and, as in Khuller-Moss-Naor,
+// also considers the best single affordable node, returning whichever
+// covers more. Nodes with non-positive cost are invalid and cause a panic.
+func (c *Instance) GreedyBudgeted(costs []float64, budget float64) (group []int32, covered int) {
+	if len(costs) != c.n {
+		panic("coverage: costs length mismatch")
+	}
+	for _, cost := range costs {
+		if cost <= 0 {
+			panic("coverage: non-positive cost")
+		}
+	}
+
+	// Cost-benefit greedy.
+	isCovered := make([]bool, len(c.paths))
+	chosen := make([]bool, c.n)
+	remaining := budget
+	var cbGroup []int32
+	cbCovered := 0
+	for {
+		best, bestRatio, bestGain := int32(-1), 0.0, 0
+		for v := int32(0); int(v) < c.n; v++ {
+			if chosen[v] || costs[v] > remaining {
+				continue
+			}
+			var g int
+			for _, id := range c.index[v] {
+				if !isCovered[id] {
+					g++
+				}
+			}
+			if g == 0 {
+				continue
+			}
+			if ratio := float64(g) / costs[v]; ratio > bestRatio {
+				best, bestRatio, bestGain = v, ratio, g
+			}
+		}
+		if best == -1 {
+			break
+		}
+		chosen[best] = true
+		remaining -= costs[best]
+		cbGroup = append(cbGroup, best)
+		cbCovered += bestGain
+		for _, id := range c.index[best] {
+			isCovered[id] = true
+		}
+	}
+
+	// Best single affordable node.
+	bestSingle, bestSingleCov := int32(-1), 0
+	for v := int32(0); int(v) < c.n; v++ {
+		if costs[v] > budget {
+			continue
+		}
+		if g := len(c.index[v]); g > bestSingleCov {
+			// len(index) counts multiplicity only if a node repeated in a
+			// path; paths are simple so this is the coverage of {v}.
+			bestSingle, bestSingleCov = v, g
+		}
+	}
+	if bestSingleCov > cbCovered && bestSingle >= 0 {
+		return []int32{bestSingle}, bestSingleCov
+	}
+	return cbGroup, cbCovered
+}
+
+// GroupCost sums the costs of a group.
+func GroupCost(costs []float64, group []int32) float64 {
+	var sum float64
+	for _, v := range group {
+		sum += costs[v]
+	}
+	return sum
+}

@@ -1,0 +1,91 @@
+package coverage
+
+import "testing"
+
+func uniformCosts(n int) []float64 {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}
+
+func TestGreedyBudgetedUniformCostsMatchesGreedy(t *testing.T) {
+	c := inst(6, []int32{0, 2}, []int32{2, 3}, []int32{2, 4}, []int32{1}, []int32{1, 4}, []int32{5})
+	gB, covB := c.GreedyBudgeted(uniformCosts(6), 2)
+	_, covG := c.Greedy(2)
+	if covB != covG {
+		t.Fatalf("budget 2 with unit costs covered %d, plain greedy(2) covered %d", covB, covG)
+	}
+	if GroupCost(uniformCosts(6), gB) > 2 {
+		t.Fatalf("budget exceeded: %v", gB)
+	}
+}
+
+func TestGreedyBudgetedRespectsBudget(t *testing.T) {
+	c := inst(4, []int32{0}, []int32{1}, []int32{2}, []int32{3})
+	costs := []float64{5, 1, 1, 1}
+	group, covered := c.GreedyBudgeted(costs, 3)
+	if GroupCost(costs, group) > 3 {
+		t.Fatalf("cost %g over budget 3 (group %v)", GroupCost(costs, group), group)
+	}
+	if covered != 3 {
+		t.Fatalf("covered %d, want 3 (three unit-cost nodes)", covered)
+	}
+}
+
+func TestGreedyBudgetedPrefersCheapEquivalent(t *testing.T) {
+	// Nodes 0 and 1 cover the same two paths; 0 costs 10, 1 costs 1.
+	c := inst(3, []int32{0, 1}, []int32{0, 1}, []int32{2})
+	costs := []float64{10, 1, 1}
+	group, covered := c.GreedyBudgeted(costs, 2)
+	if covered != 3 {
+		t.Fatalf("covered %d, want 3", covered)
+	}
+	for _, v := range group {
+		if v == 0 {
+			t.Fatalf("expensive duplicate selected: %v", group)
+		}
+	}
+}
+
+func TestGreedyBudgetedBestSingleFallback(t *testing.T) {
+	// One expensive node covers 5 paths; cheap nodes cover 1 each. With
+	// budget 4 the ratio rule would buy four singles (4 paths) but the
+	// single expensive node (cost 4) covers 5 — KMN takes the single.
+	c := New(5)
+	for i := 0; i < 5; i++ {
+		c.Add([]int32{0})
+	}
+	c.Add([]int32{1})
+	c.Add([]int32{2})
+	c.Add([]int32{3})
+	c.Add([]int32{4})
+	costs := []float64{4, 1, 1, 1, 1}
+	group, covered := c.GreedyBudgeted(costs, 4)
+	if covered != 5 || len(group) != 1 || group[0] != 0 {
+		t.Fatalf("want the single big node (5 covered), got %v covering %d", group, covered)
+	}
+}
+
+func TestGreedyBudgetedNothingAffordable(t *testing.T) {
+	c := inst(2, []int32{0}, []int32{1})
+	group, covered := c.GreedyBudgeted([]float64{10, 10}, 5)
+	if len(group) != 0 || covered != 0 {
+		t.Fatalf("unaffordable instance returned %v covering %d", group, covered)
+	}
+}
+
+func TestGreedyBudgetedPanics(t *testing.T) {
+	c := inst(2, []int32{0})
+	for _, costs := range [][]float64{{1}, {0, 1}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("costs %v did not panic", costs)
+				}
+			}()
+			c.GreedyBudgeted(costs, 1)
+		}()
+	}
+}

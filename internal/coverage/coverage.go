@@ -1,0 +1,190 @@
+// Package coverage solves the maximum-coverage subproblem at the heart of
+// every sampling algorithm for top-K GBC: given a multiset of sampled
+// shortest paths, pick K nodes covering as many paths as possible (a path
+// is covered when it contains at least one picked node). The greedy rule is
+// a (1-1/e)-approximation (Nemhauser et al. 1978).
+//
+// Instance is growable — AdaAlg adds samples between iterations — and
+// Greedy can be re-run after growth. Both a lazy (CELF-style) greedy and a
+// straightforward reference greedy are provided; they produce identical
+// groups (same deterministic tie-breaking by node id).
+package coverage
+
+import "container/heap"
+
+// Instance is a growable max-coverage instance over nodes 0..n-1.
+type Instance struct {
+	n     int
+	paths [][]int32 // nil entries are "null" samples covered by nobody
+	index [][]int32 // node -> ids of paths containing it
+	total int64     // total stored path length, for cost accounting
+}
+
+// New returns an empty instance over n nodes.
+func New(n int) *Instance {
+	return &Instance{n: n, index: make([][]int32, n)}
+}
+
+// N returns the node-universe size.
+func (c *Instance) N() int { return c.n }
+
+// Len returns the number of paths added (including null samples).
+func (c *Instance) Len() int { return len(c.paths) }
+
+// Add appends one sampled path. A nil path records an unreachable-pair
+// sample: it counts toward Len but can never be covered. Nodes must be in
+// range and appear at most once per path (shortest paths are simple).
+func (c *Instance) Add(path []int32) {
+	id := int32(len(c.paths))
+	c.paths = append(c.paths, path)
+	for _, v := range path {
+		c.index[v] = append(c.index[v], id)
+		c.total++
+	}
+}
+
+// CoveredBy returns how many paths contain at least one node of group.
+func (c *Instance) CoveredBy(group []int32) int {
+	covered := make([]bool, len(c.paths))
+	count := 0
+	for _, v := range group {
+		for _, id := range c.index[v] {
+			if !covered[id] {
+				covered[id] = true
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Greedy picks k nodes by lazy (CELF-style) greedy maximum coverage and
+// returns the group together with the number of covered paths. Ties break
+// toward the smaller node id; once every path is covered (or no node has
+// positive gain) the group is padded with the smallest unchosen ids, so the
+// result always has exactly k nodes. It panics if k is out of range.
+func (c *Instance) Greedy(k int) (group []int32, covered int) {
+	if k < 0 || k > c.n {
+		panic("coverage: k out of range")
+	}
+	gain := make([]int32, c.n)
+	h := make(nodeHeap, 0, c.n)
+	for v := 0; v < c.n; v++ {
+		gain[v] = int32(len(c.index[v]))
+		if gain[v] > 0 {
+			h = append(h, nodeGain{int32(v), gain[v]})
+		}
+	}
+	heap.Init(&h)
+
+	isCovered := make([]bool, len(c.paths))
+	chosen := make([]bool, c.n)
+	group = make([]int32, 0, k)
+
+	for len(group) < k && len(h) > 0 {
+		top := h[0]
+		if top.gain != gain[top.node] {
+			// Stale priority: gains only decrease, so refresh and re-sift.
+			h[0].gain = gain[top.node]
+			heap.Fix(&h, 0)
+			continue
+		}
+		heap.Pop(&h)
+		v := top.node
+		if top.gain == 0 {
+			break
+		}
+		group = append(group, v)
+		chosen[v] = true
+		for _, id := range c.index[v] {
+			if isCovered[id] {
+				continue
+			}
+			isCovered[id] = true
+			covered++
+			for _, w := range c.paths[id] {
+				gain[w]--
+			}
+		}
+	}
+	// Pad with arbitrary (smallest-id) unchosen nodes: zero marginal gain.
+	for v := int32(0); len(group) < k; v++ {
+		if !chosen[v] {
+			group = append(group, v)
+			chosen[v] = true
+		}
+	}
+	return group, covered
+}
+
+// GreedyReference is a quadratic greedy used as a test oracle for Greedy:
+// it recomputes every node's marginal gain at each step with the same
+// tie-breaking (larger gain, then smaller id).
+func (c *Instance) GreedyReference(k int) (group []int32, covered int) {
+	if k < 0 || k > c.n {
+		panic("coverage: k out of range")
+	}
+	isCovered := make([]bool, len(c.paths))
+	chosen := make([]bool, c.n)
+	group = make([]int32, 0, k)
+	for len(group) < k {
+		best, bestGain := int32(-1), int32(0)
+		for v := int32(0); int(v) < c.n; v++ {
+			if chosen[v] {
+				continue
+			}
+			var g int32
+			for _, id := range c.index[v] {
+				if !isCovered[id] {
+					g++
+				}
+			}
+			if g > bestGain {
+				best, bestGain = v, g
+			}
+		}
+		if best == -1 {
+			break
+		}
+		group = append(group, best)
+		chosen[best] = true
+		for _, id := range c.index[best] {
+			if !isCovered[id] {
+				isCovered[id] = true
+				covered++
+			}
+		}
+	}
+	for v := int32(0); len(group) < k; v++ {
+		if !chosen[v] {
+			group = append(group, v)
+			chosen[v] = true
+		}
+	}
+	return group, covered
+}
+
+type nodeGain struct {
+	node int32
+	gain int32
+}
+
+// nodeHeap is a max-heap on gain with ties toward smaller node ids.
+type nodeHeap []nodeGain
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].node < h[j].node
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeGain)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

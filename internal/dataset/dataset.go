@@ -1,0 +1,142 @@
+// Package dataset registers the ten networks of the paper's Table I and
+// generates offline synthetic stand-ins for them.
+//
+// The module must build and run with no network access, so the eight SNAP/
+// WOSN graphs are substituted by generator configurations matched on node
+// count, edge count and directedness: Barabási–Albert for the undirected
+// heavy-tailed graphs, directed preferential attachment for the directed
+// ones. The two synthetic networks (BA, WS) are generated exactly as in the
+// paper. See DESIGN.md ("Substitutions") for why this preserves the
+// evaluation's behaviour.
+//
+// Every spec can be generated at paper scale (Scale = 1) or scaled down
+// (the experiment defaults) — the generator keeps the mean degree and
+// directedness fixed while shrinking n.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// Kind identifies the generator family backing a dataset stand-in.
+type Kind int
+
+const (
+	// KindBA is undirected Barabási–Albert preferential attachment.
+	KindBA Kind = iota
+	// KindWS is the undirected Watts–Strogatz small-world model.
+	KindWS
+	// KindDirPref is directed preferential attachment with reciprocation.
+	KindDirPref
+)
+
+// Spec describes one dataset of Table I and its synthetic stand-in.
+type Spec struct {
+	// Name is the paper's dataset name.
+	Name string
+	// PaperNodes and PaperEdges are the sizes reported in Table I.
+	PaperNodes, PaperEdges int
+	// Directed matches the Type column of Table I.
+	Directed bool
+	// Kind selects the stand-in generator.
+	Kind Kind
+	// AttachK is the per-node attachment/lattice degree parameter.
+	AttachK int
+	// RewireP is the WS rewiring probability (KindWS only).
+	RewireP float64
+	// RecipP is the reciprocation probability (KindDirPref only).
+	RecipP float64
+	// DefaultScale is the scale used by the experiment harness so sweeps
+	// finish on a single CPU; 1 means the stand-in is generated at full
+	// paper size even by default.
+	DefaultScale float64
+}
+
+// registry lists Table I in paper order.
+var registry = []Spec{
+	{Name: "GrQc", PaperNodes: 5244, PaperEdges: 14496, Kind: KindBA, AttachK: 3, DefaultScale: 1},
+	{Name: "Facebook", PaperNodes: 63731, PaperEdges: 817090, Kind: KindBA, AttachK: 13, DefaultScale: 0.08},
+	{Name: "Coauthor", PaperNodes: 53442, PaperEdges: 127968, Kind: KindBA, AttachK: 2, DefaultScale: 0.1},
+	{Name: "DBLP-2011", PaperNodes: 986324, PaperEdges: 3353618, Kind: KindBA, AttachK: 3, DefaultScale: 0.005},
+	{Name: "Epinions", PaperNodes: 75879, PaperEdges: 508837, Directed: true, Kind: KindDirPref, AttachK: 5, RecipP: 0.3, DefaultScale: 0.07},
+	{Name: "Twitter", PaperNodes: 92180, PaperEdges: 377942, Directed: true, Kind: KindDirPref, AttachK: 4, RecipP: 0.05, DefaultScale: 0.055},
+	{Name: "Email-euAll", PaperNodes: 265214, PaperEdges: 420045, Directed: true, Kind: KindDirPref, AttachK: 1, RecipP: 0.5, DefaultScale: 0.02},
+	{Name: "LiveJournal", PaperNodes: 5363260, PaperEdges: 54880888, Directed: true, Kind: KindDirPref, AttachK: 9, RecipP: 0.1, DefaultScale: 0.001},
+	{Name: "SyntheticNetwork-BA", PaperNodes: 100000, PaperEdges: 800000, Kind: KindBA, AttachK: 8, DefaultScale: 0.05},
+	{Name: "SyntheticNetwork-WS", PaperNodes: 100000, PaperEdges: 800000, Kind: KindWS, AttachK: 8, RewireP: 0.1, DefaultScale: 0.05},
+}
+
+// All returns the specs of Table I in paper order (a copy).
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the dataset names in paper order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, s := range registry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Lookup finds a spec by case-insensitive name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range registry {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	sorted := Names()
+	sort.Strings(sorted)
+	return Spec{}, fmt.Errorf("dataset: unknown dataset %q (known: %s)", name, strings.Join(sorted, ", "))
+}
+
+// Nodes returns the stand-in's node count at the given scale (minimum 100).
+func (s Spec) Nodes(scale float64) int {
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("dataset: scale %g out of (0, 1]", scale))
+	}
+	n := int(float64(s.PaperNodes) * scale)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// Generate builds the stand-in graph at the given scale, deterministically
+// from seed. Scale 1 reproduces the full Table I size.
+func (s Spec) Generate(scale float64, seed uint64) *graph.Graph {
+	n := s.Nodes(scale)
+	r := xrand.NewStream(seed, uint64(s.PaperNodes)) // per-dataset stream
+	switch s.Kind {
+	case KindBA:
+		return gen.BarabasiAlbert(n, s.AttachK, r)
+	case KindWS:
+		return gen.WattsStrogatz(n, s.AttachK, s.RewireP, r)
+	case KindDirPref:
+		return gen.DirectedPreferential(n, s.AttachK, s.RecipP, r)
+	}
+	panic(fmt.Sprintf("dataset: unknown kind %d", s.Kind))
+}
+
+// GenerateDefault builds the stand-in at its experiment default scale.
+func (s Spec) GenerateDefault(seed uint64) *graph.Graph {
+	return s.Generate(s.DefaultScale, seed)
+}
+
+// TypeString renders the Type column of Table I.
+func (s Spec) TypeString() string {
+	if s.Directed {
+		return "directed"
+	}
+	return "undirected"
+}

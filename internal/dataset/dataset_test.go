@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryMatchesTableI(t *testing.T) {
+	specs := All()
+	if len(specs) != 10 {
+		t.Fatalf("registry has %d entries, Table I has 10", len(specs))
+	}
+	if specs[0].Name != "GrQc" || specs[7].Name != "LiveJournal" {
+		t.Fatalf("paper order broken: %v", Names())
+	}
+	directed := 0
+	for _, s := range specs {
+		if s.Directed {
+			directed++
+		}
+	}
+	if directed != 4 {
+		t.Fatalf("%d directed datasets, Table I has 4", directed)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, err := Lookup("grqc")
+	if err != nil || s.Name != "GrQc" {
+		t.Fatalf("lookup failed: %v %v", s, err)
+	}
+	if _, err := Lookup("NotADataset"); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("expected unknown-dataset error, got %v", err)
+	}
+}
+
+func TestGenerateMatchesScaleAndShape(t *testing.T) {
+	for _, s := range All() {
+		// Generate small versions of everything; full GrQc only.
+		scale := 0.02
+		if s.Name == "GrQc" {
+			scale = 1
+		}
+		g := s.Generate(scale, 1)
+		if g.Directed() != s.Directed {
+			t.Fatalf("%s: directedness mismatch", s.Name)
+		}
+		wantN := s.Nodes(scale)
+		if g.N() != wantN {
+			t.Fatalf("%s: n = %d, want %d", s.Name, g.N(), wantN)
+		}
+		// Mean degree should track the paper's m/n within a factor ~2
+		// (dedup and reciprocation make it inexact).
+		paperRatio := float64(s.PaperEdges) / float64(s.PaperNodes)
+		gotRatio := float64(g.M()) / float64(g.N())
+		if gotRatio < paperRatio/2.5 || gotRatio > paperRatio*2.5 {
+			t.Fatalf("%s: m/n = %.2f, paper %.2f", s.Name, gotRatio, paperRatio)
+		}
+	}
+}
+
+func TestGrQcFullScaleSize(t *testing.T) {
+	s, _ := Lookup("GrQc")
+	g := s.Generate(1, 1)
+	if g.N() != 5244 {
+		t.Fatalf("GrQc n = %d, want 5244", g.N())
+	}
+	if math.Abs(float64(g.M())-14496) > 2000 {
+		t.Fatalf("GrQc m = %d, want ~14496", g.M())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s, _ := Lookup("Twitter")
+	a := s.Generate(0.02, 9)
+	b := s.Generate(0.02, 9)
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.M(), b.M())
+	}
+	c := s.Generate(0.02, 10)
+	if a.M() == c.M() {
+		// Different seeds could collide on M but it is very unlikely for
+		// a preferential-attachment graph with reciprocation.
+		equal := true
+		a.Edges(func(u, v int32) bool {
+			if !c.HasEdge(u, v) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		if equal {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	s, _ := Lookup("GrQc")
+	for _, bad := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("scale %g did not panic", bad)
+				}
+			}()
+			s.Nodes(bad)
+		}()
+	}
+}
+
+func TestDefaultScalesAreTractable(t *testing.T) {
+	for _, s := range All() {
+		n := s.Nodes(s.DefaultScale)
+		if n > 10000 {
+			t.Fatalf("%s default scale yields n = %d > 10000; experiments would crawl", s.Name, n)
+		}
+		if n < 100 {
+			t.Fatalf("%s default scale yields tiny n = %d", s.Name, n)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	grqc, _ := Lookup("GrQc")
+	ep, _ := Lookup("Epinions")
+	if grqc.TypeString() != "undirected" || ep.TypeString() != "directed" {
+		t.Fatal("TypeString wrong")
+	}
+}

@@ -1,0 +1,222 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/bfs"
+	"gbc/internal/brandes"
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+func TestGBCEmptyGroup(t *testing.T) {
+	if v := GBC(gen.Path(5), nil); v != 0 {
+		t.Fatalf("B(∅) = %g, want 0", v)
+	}
+}
+
+func TestGBCAllNodes(t *testing.T) {
+	g := gen.Cycle(6)
+	all := make([]int32, 6)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	want := float64(6 * 5)
+	if v := GBC(g, all); v != want {
+		t.Fatalf("B(V) = %g, want %g", v, want)
+	}
+}
+
+func TestGBCStar(t *testing.T) {
+	n := 7
+	g := gen.Star(n)
+	// Center covers every ordered pair.
+	if v := GBC(g, []int32{0}); v != float64(n*(n-1)) {
+		t.Fatalf("B({center}) = %g, want %d", v, n*(n-1))
+	}
+	// A leaf covers exactly the pairs it is an endpoint of.
+	if v := GBC(g, []int32{3}); v != float64(2*(n-1)) {
+		t.Fatalf("B({leaf}) = %g, want %d", v, 2*(n-1))
+	}
+}
+
+func TestGBCMiddleOfPath(t *testing.T) {
+	if v := GBC(gen.Path(3), []int32{1}); v != 6 {
+		t.Fatalf("B({middle}) = %g, want 6", v)
+	}
+}
+
+func TestGBCDirectedUnreachablePairs(t *testing.T) {
+	g := graph.MustFromEdges(3, true, [][2]int32{{0, 1}, {1, 2}})
+	// Pairs with a path: (0,1),(1,2),(0,2). Node 1 is on all three.
+	if v := GBC(g, []int32{1}); v != 3 {
+		t.Fatalf("B({1}) = %g, want 3", v)
+	}
+	// Node 0 only starts paths: (0,1),(0,2).
+	if v := GBC(g, []int32{0}); v != 2 {
+		t.Fatalf("B({0}) = %g, want 2", v)
+	}
+}
+
+func TestGBCFractionalCoverage(t *testing.T) {
+	// Diamond: 0-1-3, 0-2-3. Group {1} covers half of pair (0,3).
+	g := graph.MustFromEdges(4, false, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	// Endpoint pairs of 1: (0,1),(1,0),(1,2),(2,1),(1,3),(3,1) = 6.
+	// Plus (0,3),(3,0) at 1/2 each = 1. Pair (0,2),(2,0) passes 1? d(0,2)=1
+	// wait: 0-2 is an edge, so no. Total = 7.
+	if v := GBC(g, []int32{1}); math.Abs(v-7) > 1e-12 {
+		t.Fatalf("B({1}) = %g, want 7", v)
+	}
+}
+
+// Cross-oracle: on connected undirected graphs,
+// GBC({v}) = Brandes(v) + 2(n-1) (endpoint inclusion).
+func TestGBCMatchesBrandesPlusEndpoints(t *testing.T) {
+	r := xrand.New(21)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.BarabasiAlbert(40, 2, r.Split())
+		bc := brandes.Centrality(g)
+		n := float64(g.N())
+		for v := int32(0); int(v) < g.N(); v += 7 {
+			want := bc[v] + 2*(n-1)
+			got := GBC(g, []int32{v})
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("trial %d node %d: GBC %g, brandes+endpoints %g", trial, v, got, want)
+			}
+		}
+	}
+}
+
+// Oracle: GBC must match brute-force path enumeration for random groups.
+func TestGBCAgainstEnumeration(t *testing.T) {
+	r := xrand.New(22)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyiGNP(10, 0.3, trial%2 == 0, r.Split())
+		group := []int32{int32(r.Intn(10)), int32(r.Intn(10))}
+		var want float64
+		n := int32(g.N())
+		for s := int32(0); s < n; s++ {
+			for tt := int32(0); tt < n; tt++ {
+				if s == tt {
+					continue
+				}
+				paths := bfs.AllShortestPaths(g, s, tt)
+				if len(paths) == 0 {
+					continue
+				}
+				covered := 0
+				for _, p := range paths {
+					hit := false
+					for _, x := range p {
+						if x == group[0] || x == group[1] {
+							hit = true
+							break
+						}
+					}
+					if hit {
+						covered++
+					}
+				}
+				want += float64(covered) / float64(len(paths))
+			}
+		}
+		got := GBC(g, group)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d group %v: GBC %g, enumeration %g", trial, group, got, want)
+		}
+	}
+}
+
+func TestGBCMonotoneSubmodular(t *testing.T) {
+	r := xrand.New(23)
+	g := gen.BarabasiAlbert(30, 2, r.Split())
+	for trial := 0; trial < 20; trial++ {
+		a := int32(r.Intn(30))
+		b := int32(r.Intn(30))
+		c := int32(r.Intn(30))
+		if a == b || b == c || a == c {
+			continue
+		}
+		bA := GBC(g, []int32{a})
+		bAB := GBC(g, []int32{a, b})
+		bAC := GBC(g, []int32{a, c})
+		bABC := GBC(g, []int32{a, b, c})
+		if bAB < bA-1e-9 || bABC < bAB-1e-9 {
+			t.Fatalf("monotonicity violated: %g %g %g", bA, bAB, bABC)
+		}
+		// Submodularity: gain of c shrinks as the base grows.
+		if bABC-bAB > bAC-bA+1e-9 {
+			t.Fatalf("submodularity violated: marginal %g > %g", bABC-bAB, bAC-bA)
+		}
+	}
+}
+
+func TestNormalizedGBCBounds(t *testing.T) {
+	g := gen.Star(6)
+	if v := NormalizedGBC(g, []int32{0}); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("normalized center GBC = %g, want 1", v)
+	}
+	if v := NormalizedGBC(g, nil); v != 0 {
+		t.Fatalf("normalized empty GBC = %g, want 0", v)
+	}
+}
+
+func TestBruteForceOptimalStar(t *testing.T) {
+	g := gen.Star(7)
+	group, val := BruteForceOptimal(g, 1)
+	if group[0] != 0 || val != 42 {
+		t.Fatalf("optimal = %v (%g), want center with 42", group, val)
+	}
+}
+
+func TestBruteForceOptimalBarbell(t *testing.T) {
+	g := gen.Barbell(3, 1) // cliques {0,1,2} and {4,5,6}, bridge node 3
+	group, _ := BruteForceOptimal(g, 1)
+	if group[0] != 3 {
+		t.Fatalf("optimal single node = %v, want bridge 3", group)
+	}
+}
+
+func TestBruteForceOptimalK0(t *testing.T) {
+	group, val := BruteForceOptimal(gen.Path(4), 0)
+	if group != nil || val != 0 {
+		t.Fatalf("K=0: got %v, %g", group, val)
+	}
+}
+
+func TestBruteForcePanicsWhenHuge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for huge search space")
+		}
+	}()
+	BruteForceOptimal(gen.Cycle(60), 10)
+}
+
+func TestGreedyNearOptimal(t *testing.T) {
+	r := xrand.New(24)
+	for trial := 0; trial < 6; trial++ {
+		g := gen.ErdosRenyiGNM(14, 28, false, r.Split())
+		gGroup, gVal := Greedy(g, 2)
+		_, opt := BruteForceOptimal(g, 2)
+		if len(gGroup) != 2 {
+			t.Fatalf("greedy returned %v", gGroup)
+		}
+		if gVal < (1-1/math.E)*opt-1e-9 {
+			t.Fatalf("trial %d: greedy %g below (1-1/e)·opt (%g)", trial, gVal, opt)
+		}
+		if gVal > opt+1e-9 {
+			t.Fatalf("trial %d: greedy %g exceeds optimum %g", trial, gVal, opt)
+		}
+	}
+}
+
+func TestGreedyValueMatchesEvaluation(t *testing.T) {
+	g := gen.Barbell(4, 2)
+	group, val := Greedy(g, 3)
+	if re := GBC(g, group); math.Abs(re-val) > 1e-9 {
+		t.Fatalf("greedy reported %g but group evaluates to %g", val, re)
+	}
+}

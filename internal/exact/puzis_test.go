@@ -1,0 +1,111 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/gen"
+	"gbc/internal/xrand"
+)
+
+func TestGreedyPuzisMatchesGreedyValue(t *testing.T) {
+	r := xrand.New(41)
+	for trial := 0; trial < 8; trial++ {
+		g := gen.ErdosRenyiGNM(20, 45, trial%2 == 0, r.Split())
+		k := 1 + trial%3
+		_, vSlow := Greedy(g, k)
+		gp, vFast := GreedyPuzis(g, k)
+		if math.Abs(vSlow-vFast) > 1e-6*math.Max(1, vSlow) {
+			t.Fatalf("trial %d k=%d: Greedy %g vs GreedyPuzis %g", trial, k, vSlow, vFast)
+		}
+		// The reported value must equal an independent exact evaluation.
+		if re := GBC(g, gp); math.Abs(re-vFast) > 1e-6*math.Max(1, re) {
+			t.Fatalf("trial %d: Puzis reports %g, group evaluates to %g", trial, vFast, re)
+		}
+	}
+}
+
+func TestGreedyPuzisStar(t *testing.T) {
+	g := gen.Star(15)
+	group, val := GreedyPuzis(g, 1)
+	if group[0] != 0 || val != float64(15*14) {
+		t.Fatalf("GreedyPuzis on star = %v (%g)", group, val)
+	}
+}
+
+func TestGreedyPuzisBarbell(t *testing.T) {
+	g := gen.Barbell(4, 1)
+	group, _ := GreedyPuzis(g, 1)
+	if group[0] != 4 {
+		t.Fatalf("bridge node not selected first: %v", group)
+	}
+}
+
+func TestGreedyPuzisFullGroup(t *testing.T) {
+	g := gen.Cycle(8)
+	group, val := GreedyPuzis(g, 8)
+	if len(group) != 8 {
+		t.Fatalf("got %d nodes", len(group))
+	}
+	if math.Abs(val-float64(8*7)) > 1e-9 {
+		t.Fatalf("selecting all nodes must cover everything: %g", val)
+	}
+}
+
+func TestGreedyPuzisMarginalChainMatchesExact(t *testing.T) {
+	// The value after each prefix must equal GBC of that prefix.
+	r := xrand.New(42)
+	g := gen.BarabasiAlbert(40, 2, r.Split())
+	group, val := GreedyPuzis(g, 4)
+	if re := GBC(g, group); math.Abs(re-val) > 1e-6 {
+		t.Fatalf("total %g vs exact %g", val, re)
+	}
+	for i := 1; i <= 4; i++ {
+		prefix := group[:i]
+		if GBC(g, prefix) <= 0 {
+			t.Fatalf("prefix %v has zero centrality", prefix)
+		}
+	}
+}
+
+func TestGreedyPuzisAboveGuarantee(t *testing.T) {
+	r := xrand.New(43)
+	for trial := 0; trial < 5; trial++ {
+		g := gen.ErdosRenyiGNM(14, 30, false, r.Split())
+		_, opt := BruteForceOptimal(g, 2)
+		_, val := GreedyPuzis(g, 2)
+		if val < (1-1/math.E)*opt-1e-9 {
+			t.Fatalf("trial %d: %g below (1-1/e)·%g", trial, val, opt)
+		}
+	}
+}
+
+func TestGreedyPuzisZeroAndEmpty(t *testing.T) {
+	g := gen.Path(4)
+	if group, val := GreedyPuzis(g, 0); group != nil || val != 0 {
+		t.Fatalf("k=0: %v %g", group, val)
+	}
+}
+
+func TestGreedyPuzisDirected(t *testing.T) {
+	g := gen.DirectedCycle(6)
+	group, val := GreedyPuzis(g, 1)
+	// In a directed cycle every node is symmetric; value must match exact.
+	if re := GBC(g, group); math.Abs(re-val) > 1e-9 {
+		t.Fatalf("directed cycle: reported %g, exact %g", val, re)
+	}
+}
+
+func BenchmarkGreedyPuzisVsGreedy(b *testing.B) {
+	g := gen.BarabasiAlbert(150, 2, xrand.New(44))
+	b.Run("puzis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GreedyPuzis(g, 10)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Greedy(g, 10)
+		}
+	})
+}

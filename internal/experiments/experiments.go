@@ -1,0 +1,181 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI) on the dataset stand-ins:
+//
+//	Table I — dataset inventory
+//	Fig. 1  — average/maximum relative error β vs number of samples L
+//	Fig. 2  — normalized GBC of the four algorithms vs K
+//	Fig. 3  — normalized GBC vs error ratio ε
+//	Fig. 4  — number of samples vs K
+//	Fig. 5  — number of samples vs ε
+//
+// Each figure function returns structured points and can render an aligned
+// text table of the same series the paper plots. EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by cmd/experiments.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"gbc/internal/core"
+	"gbc/internal/dataset"
+	"gbc/internal/exact"
+	"gbc/internal/graph"
+	"gbc/internal/sampling"
+	"gbc/internal/xrand"
+)
+
+// Config controls an experiment sweep. The zero value is completed by
+// withDefaults to the paper's settings at repro scale.
+type Config struct {
+	// Datasets lists Table I names to run; empty means all ten.
+	Datasets []string
+	// Scale overrides every dataset's default scale when > 0.
+	Scale float64
+	// Seed makes the whole sweep deterministic.
+	Seed uint64
+	// Reps is the number of repetitions averaged per point (paper: 20,
+	// and 100 for Fig. 1). Default 3.
+	Reps int
+	// Gamma is the failure probability (paper: 0.01).
+	Gamma float64
+	// ExhaustEpsilon relaxes EXHAUST's ε (paper: 0.03). The default 0.1
+	// keeps default sweeps tractable on one CPU; see EXPERIMENTS.md.
+	ExhaustEpsilon float64
+	// KValues is the Fig. 2/4 sweep (paper: 20..100).
+	KValues []int
+	// EpsValues is the Fig. 3/5 sweep (paper: 0.1..0.5).
+	EpsValues []float64
+	// Fig1L is the Fig. 1 sample-count sweep (paper: 500..16000).
+	Fig1L []int
+	// Fig1K is the Fig. 1 group-size pair (paper: 50 and 100).
+	Fig1K []int
+	// MaxExactN bounds exact GBC evaluation; larger graphs are evaluated
+	// with an independent EvalSamples-path estimate.
+	MaxExactN int
+	// EvalSamples is the estimate size used beyond MaxExactN.
+	EvalSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Datasets) == 0 {
+		c.Datasets = dataset.Names()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.01
+	}
+	if c.ExhaustEpsilon == 0 {
+		c.ExhaustEpsilon = 0.1
+	}
+	if len(c.KValues) == 0 {
+		c.KValues = []int{20, 40, 60, 80, 100}
+	}
+	if len(c.EpsValues) == 0 {
+		c.EpsValues = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	if len(c.Fig1L) == 0 {
+		c.Fig1L = []int{500, 1000, 2000, 4000, 8000, 16000}
+	}
+	if len(c.Fig1K) == 0 {
+		c.Fig1K = []int{50, 100}
+	}
+	if c.MaxExactN == 0 {
+		c.MaxExactN = 20000
+	}
+	if c.EvalSamples == 0 {
+		c.EvalSamples = 100000
+	}
+	return c
+}
+
+// Quick returns a configuration small enough for tests and benchmarks:
+// two datasets at reduced scale, one repetition, short sweeps.
+func Quick() Config {
+	return Config{
+		Datasets:  []string{"GrQc", "Twitter"},
+		Scale:     0.05, // GrQc ~262 nodes, Twitter ~4609 nodes
+		Reps:      1,
+		KValues:   []int{10, 20},
+		EpsValues: []float64{0.2, 0.4},
+		Fig1L:     []int{500, 1000, 2000},
+		Fig1K:     []int{10},
+	}.withDefaults()
+}
+
+// loadGraph builds a dataset stand-in per the config.
+func (c Config) loadGraph(name string) (*graph.Graph, dataset.Spec, error) {
+	spec, err := dataset.Lookup(name)
+	if err != nil {
+		return nil, spec, err
+	}
+	scale := spec.DefaultScale
+	if c.Scale > 0 {
+		scale = c.Scale
+		if scale > 1 {
+			scale = 1
+		}
+	}
+	return spec.Generate(scale, c.Seed), spec, nil
+}
+
+// evaluate returns the normalized GBC of group: exact when the graph is
+// small enough, estimated from an independent sample set otherwise.
+func (c Config) evaluate(g *graph.Graph, group []int32, r *xrand.Rand) float64 {
+	n := float64(g.N())
+	if g.N() <= c.MaxExactN {
+		return exact.GBC(g, group) / (n * (n - 1))
+	}
+	set := sampling.NewBidirectionalSet(g, r)
+	set.GrowTo(c.EvalSamples)
+	return set.EstimateGroup(group) / (n * (n - 1))
+}
+
+// renderTable writes an aligned table.
+func renderTable(w io.Writer, header []string, rows [][]string) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// algorithms used by the quality figures, in the paper's plotting order.
+func qualityAlgorithms() []core.Algorithm {
+	return []core.Algorithm{core.AlgEXHAUST, core.AlgHEDGE, core.AlgCentRa, core.AlgAdaAlg}
+}
+
+// samplesAlgorithms used by the sample-count figures (EXHAUST excluded, as
+// in Figs. 4 and 5).
+func samplesAlgorithms() []core.Algorithm {
+	return []core.Algorithm{core.AlgHEDGE, core.AlgCentRa, core.AlgAdaAlg}
+}
+
+// runAlg executes one algorithm with per-point options derived from c.
+func (c Config) runAlg(alg core.Algorithm, g *graph.Graph, k int, eps float64, r *xrand.Rand) (*core.Result, error) {
+	opts := core.Options{K: k, Epsilon: eps, Gamma: c.Gamma, Rand: r}
+	if alg == core.AlgEXHAUST {
+		opts.Epsilon = c.ExhaustEpsilon
+		opts.Gamma = 0.01
+	}
+	return core.Run(alg, g, opts)
+}

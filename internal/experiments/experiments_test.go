@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a config small enough for unit tests.
+func tiny() Config {
+	return Config{
+		Datasets:  []string{"GrQc"},
+		Scale:     0.15, // ~786 nodes
+		Reps:      1,
+		KValues:   []int{10, 25},
+		EpsValues: []float64{0.3, 0.5},
+		Fig1L:     []int{200, 400},
+		Fig1K:     []int{5},
+		Seed:      3,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(Config{Datasets: []string{"GrQc", "Epinions"}, Scale: 0.03, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Name != "GrQc" || rows[0].PaperNodes != 5244 {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Type != "directed" {
+		t.Fatalf("Epinions should be directed: %+v", rows[1])
+	}
+	var buf bytes.Buffer
+	if err := RenderTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GrQc") || !strings.Contains(buf.String(), "5244") {
+		t.Fatalf("render missing content:\n%s", buf.String())
+	}
+}
+
+func TestTable1UnknownDataset(t *testing.T) {
+	if _, err := Table1(Config{Datasets: []string{"bogus"}}); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestFig1BetaShrinksWithL(t *testing.T) {
+	cfg := tiny()
+	cfg.Fig1L = []int{200, 800, 3200}
+	cfg.Reps = 3
+	points, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	// β should broadly shrink as L grows (compare first and last).
+	first, last := points[0], points[len(points)-1]
+	if first.L != 200 || last.L != 3200 {
+		t.Fatalf("unexpected L order: %+v %+v", first, last)
+	}
+	if last.AvgAbs > first.AvgAbs+0.02 {
+		t.Fatalf("avg |β| grew with L: %.4f -> %.4f", first.AvgAbs, last.AvgAbs)
+	}
+	for _, p := range points {
+		if p.MaxBeta < p.AvgBeta {
+			t.Fatalf("max β below avg β: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderFig1(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "avg β") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig2QualityOrderAndRender(t *testing.T) {
+	cfg := tiny()
+	points, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 K values × 4 algorithms.
+	if len(points) != 8 {
+		t.Fatalf("got %d points, want 8", len(points))
+	}
+	byAlg := map[string]float64{}
+	for _, p := range points {
+		if p.K == 25 {
+			byAlg[p.Algorithm] = p.NormalizedGBC
+		}
+		if p.NormalizedGBC <= 0 || p.NormalizedGBC > 1 {
+			t.Fatalf("normalized GBC out of range: %+v", p)
+		}
+	}
+	// All four algorithms should land within a modest band of EXHAUST.
+	ex := byAlg["EXHAUST"]
+	for alg, v := range byAlg {
+		if v < 0.75*ex {
+			t.Fatalf("%s quality %.4f far below EXHAUST %.4f", alg, v, ex)
+		}
+	}
+	// Larger K must cover at least as much for the same algorithm.
+	var ada10, ada5 float64
+	for _, p := range points {
+		if p.Algorithm == "AdaAlg" && p.K == 25 {
+			ada10 = p.NormalizedGBC
+		}
+		if p.Algorithm == "AdaAlg" && p.K == 10 {
+			ada5 = p.NormalizedGBC
+		}
+	}
+	if ada10 < ada5-0.02 {
+		t.Fatalf("GBC should grow with K: K=10 %.4f, K=25 %.4f", ada5, ada10)
+	}
+	var buf bytes.Buffer
+	if err := RenderQuality(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AdaAlg") {
+		t.Fatal("render missing algorithm names")
+	}
+}
+
+func TestFig3EpsilonSweep(t *testing.T) {
+	cfg := tiny()
+	points, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 K × 2 ε × 4 algorithms.
+	if len(points) != 8 {
+		t.Fatalf("got %d points, want 8", len(points))
+	}
+	for _, p := range points {
+		if p.K != 25 {
+			t.Fatalf("Fig3 must use the largest K: %+v", p)
+		}
+	}
+}
+
+func TestFig4SamplesShape(t *testing.T) {
+	cfg := tiny()
+	points, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(alg string, k int) float64 {
+		for _, p := range points {
+			if p.Algorithm == alg && p.K == k {
+				return p.Samples
+			}
+		}
+		t.Fatalf("missing point %s K=%d", alg, k)
+		return 0
+	}
+	// HEDGE > CentRa at every K; AdaAlg wins in the paper's K regime
+	// (the gap narrows toward small K, as in Fig. 4).
+	for _, k := range cfg.KValues {
+		h, c := get("HEDGE", k), get("CentRa", k)
+		if h <= c {
+			t.Fatalf("K=%d: HEDGE %.0f should exceed CentRa %.0f", k, h, c)
+		}
+	}
+	if a, c := get("AdaAlg", 25), get("CentRa", 25); a >= c {
+		t.Fatalf("K=25: AdaAlg %.0f should undercut CentRa %.0f", a, c)
+	}
+	// Baselines grow with K; AdaAlg stays nearly flat.
+	if get("HEDGE", 25) <= get("HEDGE", 10) {
+		t.Fatal("HEDGE samples should grow with K")
+	}
+	if get("CentRa", 25) <= get("CentRa", 10) {
+		t.Fatal("CentRa samples should grow with K")
+	}
+	var buf bytes.Buffer
+	if err := RenderSamples(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "samples") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig5SamplesDecreaseWithEpsilon(t *testing.T) {
+	cfg := tiny()
+	points, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(alg string, eps float64, k int) float64 {
+		for _, p := range points {
+			if p.Algorithm == alg && p.Epsilon == eps && p.K == k {
+				return p.Samples
+			}
+		}
+		t.Fatalf("missing point %s eps=%g k=%d", alg, eps, k)
+		return 0
+	}
+	for _, alg := range []string{"HEDGE", "CentRa", "AdaAlg"} {
+		for _, k := range []int{10, 25} {
+			if get(alg, 0.3, k) <= get(alg, 0.5, k) {
+				t.Fatalf("%s K=%d: samples should shrink as ε grows", alg, k)
+			}
+		}
+	}
+}
+
+func TestQuickConfigRuns(t *testing.T) {
+	cfg := Quick()
+	if len(cfg.Datasets) != 2 || cfg.Reps != 1 {
+		t.Fatalf("quick config unexpected: %+v", cfg)
+	}
+}
+
+func TestEvaluateFallsBackToSampling(t *testing.T) {
+	cfg := tiny()
+	cfg.MaxExactN = 10 // force the sampling path
+	cfg.EvalSamples = 20000
+	cfg = cfg.withDefaults()
+	points, err := Fig2(Config{
+		Datasets: cfg.Datasets, Scale: cfg.Scale, Reps: 1, Seed: 5,
+		KValues: []int{5}, MaxExactN: 10, EvalSamples: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.NormalizedGBC <= 0 || p.NormalizedGBC > 1 {
+			t.Fatalf("sampled evaluation out of range: %+v", p)
+		}
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	cfg := tiny()
+	points, err := Timing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3 algorithms", len(points))
+	}
+	for _, p := range points {
+		if p.K != 25 || p.Samples <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTiming(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ms/run") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig3ExhaustCachedAcrossEpsilon(t *testing.T) {
+	cfg := tiny()
+	points, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EXHAUST ignores the sweep ε, so its cached quality/sample values
+	// must be identical at every ε of a dataset.
+	vals := map[string][]float64{}
+	for _, p := range points {
+		if p.Algorithm == "EXHAUST" {
+			vals[p.Dataset] = append(vals[p.Dataset], p.NormalizedGBC, p.Samples)
+		}
+	}
+	for d, v := range vals {
+		for i := 2; i < len(v); i += 2 {
+			if v[i] != v[0] || v[i+1] != v[1] {
+				t.Fatalf("%s: EXHAUST not cached across ε: %v", d, v)
+			}
+		}
+	}
+}

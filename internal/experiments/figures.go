@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gbc/internal/bfs"
+	"gbc/internal/core"
+	"gbc/internal/dataset"
+	"gbc/internal/sampling"
+	"gbc/internal/xrand"
+)
+
+// Table1Row is one dataset line of Table I, with the stand-in's realized
+// size next to the paper's.
+type Table1Row struct {
+	Name                   string
+	PaperNodes, PaperEdges int
+	Nodes, Edges           int
+	Type                   string
+	Scale                  float64
+}
+
+// Table1 generates every requested stand-in and reports its realized size.
+func Table1(cfg Config) ([]Table1Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Table1Row
+	for _, name := range cfg.Datasets {
+		g, spec, err := cfg.loadGraph(name)
+		if err != nil {
+			return nil, err
+		}
+		scale := spec.DefaultScale
+		if cfg.Scale > 0 {
+			scale = cfg.Scale
+		}
+		rows = append(rows, Table1Row{
+			Name: spec.Name, PaperNodes: spec.PaperNodes, PaperEdges: spec.PaperEdges,
+			Nodes: g.N(), Edges: g.M(), Type: spec.TypeString(), Scale: scale,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 writes Table I with paper and stand-in sizes side by side.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	header := []string{"Dataset", "|V| (paper)", "|E| (paper)", "|V| (repro)", "|E| (repro)", "Type", "scale"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, fmt.Sprint(r.PaperNodes), fmt.Sprint(r.PaperEdges),
+			fmt.Sprint(r.Nodes), fmt.Sprint(r.Edges), r.Type, fmt.Sprintf("%g", r.Scale),
+		})
+	}
+	return renderTable(w, header, out)
+}
+
+// Fig1Point is one (dataset, K, L) measurement of the relative error β
+// between the biased and unbiased estimates (Fig. 1).
+type Fig1Point struct {
+	Dataset  string
+	K, L     int
+	AvgBeta  float64
+	MaxBeta  float64
+	AvgAbs   float64 // mean |β|, robustness against sign flips
+	Measured int     // repetitions aggregated
+}
+
+// Fig1 measures the convergence of β = 1 - B̄_L(C)/B̂_L(C) as L grows
+// (paper Fig. 1): per repetition two independent growing sample sets are
+// kept, the greedy group is recomputed at each L on the first set and
+// validated on the second.
+func Fig1(cfg Config) ([]Fig1Point, error) {
+	cfg = cfg.withDefaults()
+	var points []Fig1Point
+	for _, name := range cfg.Datasets {
+		g, spec, err := cfg.loadGraph(name)
+		if err != nil {
+			return nil, err
+		}
+		r := xrand.NewStream(cfg.Seed, uint64(len(name)))
+		for _, k := range cfg.Fig1K {
+			if k > g.N() {
+				continue
+			}
+			sum := make([]float64, len(cfg.Fig1L))
+			sumAbs := make([]float64, len(cfg.Fig1L))
+			maxB := make([]float64, len(cfg.Fig1L))
+			for rep := 0; rep < cfg.Reps; rep++ {
+				setS := sampling.NewBidirectionalSet(g, r.Split())
+				setT := sampling.NewBidirectionalSet(g, r.Split())
+				for i, l := range cfg.Fig1L {
+					setS.GrowTo(l)
+					group, covered := setS.Greedy(k)
+					biased := setS.Estimate(covered)
+					setT.GrowTo(l)
+					unbiased := setT.EstimateGroup(group)
+					beta := 0.0
+					if biased > 0 {
+						beta = 1 - unbiased/biased
+					}
+					sum[i] += beta
+					if beta < 0 {
+						sumAbs[i] -= beta
+					} else {
+						sumAbs[i] += beta
+					}
+					if beta > maxB[i] {
+						maxB[i] = beta
+					}
+				}
+			}
+			for i, l := range cfg.Fig1L {
+				points = append(points, Fig1Point{
+					Dataset: spec.Name, K: k, L: l,
+					AvgBeta: sum[i] / float64(cfg.Reps),
+					AvgAbs:  sumAbs[i] / float64(cfg.Reps),
+					MaxBeta: maxB[i], Measured: cfg.Reps,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// RenderFig1 writes the β-vs-L series.
+func RenderFig1(w io.Writer, points []Fig1Point) error {
+	header := []string{"Dataset", "K", "L", "avg β", "max β"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Dataset, fmt.Sprint(p.K), fmt.Sprint(p.L),
+			fmt.Sprintf("%.4f", p.AvgBeta), fmt.Sprintf("%.4f", p.MaxBeta),
+		})
+	}
+	return renderTable(w, header, rows)
+}
+
+// QualityPoint is one (dataset, K or ε, algorithm) quality measurement for
+// Figs. 2 and 3: the normalized GBC of the found group, averaged over Reps.
+type QualityPoint struct {
+	Dataset       string
+	K             int
+	Epsilon       float64
+	Algorithm     string
+	NormalizedGBC float64
+	Samples       float64 // average total samples (context for Figs. 4–5)
+}
+
+// sweepQuality runs the four algorithms over (k, eps) points.
+func (c Config) sweepQuality(name string, ks []int, epss []float64) ([]QualityPoint, error) {
+	g, spec, err := c.loadGraph(name)
+	if err != nil {
+		return nil, err
+	}
+	r := xrand.NewStream(c.Seed, uint64(7+len(name)))
+	var points []QualityPoint
+	// EXHAUST's configuration is independent of the sweep ε, so its runs
+	// are computed once per K and reused across the ε axis.
+	type cached struct{ q, s float64 }
+	exhaustByK := map[int]cached{}
+	for _, k := range ks {
+		if k > g.N() {
+			continue
+		}
+		for _, eps := range epss {
+			for _, alg := range qualityAlgorithms() {
+				if alg == core.AlgEXHAUST {
+					if hit, ok := exhaustByK[k]; ok {
+						points = append(points, QualityPoint{
+							Dataset: spec.Name, K: k, Epsilon: eps, Algorithm: alg.String(),
+							NormalizedGBC: hit.q, Samples: hit.s,
+						})
+						continue
+					}
+				}
+				var sumQ, sumS float64
+				for rep := 0; rep < c.Reps; rep++ {
+					res, err := c.runAlg(alg, g, k, eps, r.Split())
+					if err != nil {
+						return nil, err
+					}
+					sumQ += c.evaluate(g, res.Group, r.Split())
+					sumS += float64(res.Samples)
+				}
+				p := QualityPoint{
+					Dataset: spec.Name, K: k, Epsilon: eps, Algorithm: alg.String(),
+					NormalizedGBC: sumQ / float64(c.Reps),
+					Samples:       sumS / float64(c.Reps),
+				}
+				if alg == core.AlgEXHAUST {
+					exhaustByK[k] = cached{p.NormalizedGBC, p.Samples}
+				}
+				points = append(points, p)
+			}
+		}
+	}
+	return points, nil
+}
+
+// Fig2 sweeps K at ε = 0.3 (paper Fig. 2).
+func Fig2(cfg Config) ([]QualityPoint, error) {
+	cfg = cfg.withDefaults()
+	var points []QualityPoint
+	for _, name := range cfg.Datasets {
+		p, err := cfg.sweepQuality(name, cfg.KValues, []float64{0.3})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p...)
+	}
+	return points, nil
+}
+
+// Fig3 sweeps ε at K = 100 (paper Fig. 3). At quick scales the largest K
+// in cfg.KValues substitutes for 100 when the graph is smaller.
+func Fig3(cfg Config) ([]QualityPoint, error) {
+	cfg = cfg.withDefaults()
+	k := cfg.KValues[len(cfg.KValues)-1]
+	var points []QualityPoint
+	for _, name := range cfg.Datasets {
+		p, err := cfg.sweepQuality(name, []int{k}, cfg.EpsValues)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p...)
+	}
+	return points, nil
+}
+
+// RenderQuality writes normalized-GBC series for Fig. 2/3.
+func RenderQuality(w io.Writer, points []QualityPoint) error {
+	header := []string{"Dataset", "K", "ε", "Algorithm", "normalized GBC", "samples"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Dataset, fmt.Sprint(p.K), fmt.Sprintf("%.2f", p.Epsilon), p.Algorithm,
+			fmt.Sprintf("%.4f", p.NormalizedGBC), fmt.Sprintf("%.0f", p.Samples),
+		})
+	}
+	return renderTable(w, header, rows)
+}
+
+// SamplesPoint is one (dataset, K or ε, algorithm) sample-count
+// measurement for Figs. 4 and 5.
+type SamplesPoint struct {
+	Dataset   string
+	K         int
+	Epsilon   float64
+	Algorithm string
+	Samples   float64
+}
+
+func (c Config) sweepSamples(name string, ks []int, epss []float64) ([]SamplesPoint, error) {
+	g, spec, err := c.loadGraph(name)
+	if err != nil {
+		return nil, err
+	}
+	r := xrand.NewStream(c.Seed, uint64(13+len(name)))
+	var points []SamplesPoint
+	for _, k := range ks {
+		if k > g.N() {
+			continue
+		}
+		for _, eps := range epss {
+			for _, alg := range samplesAlgorithms() {
+				var sum float64
+				for rep := 0; rep < c.Reps; rep++ {
+					res, err := c.runAlg(alg, g, k, eps, r.Split())
+					if err != nil {
+						return nil, err
+					}
+					sum += float64(res.Samples)
+				}
+				points = append(points, SamplesPoint{
+					Dataset: spec.Name, K: k, Epsilon: eps, Algorithm: alg.String(),
+					Samples: sum / float64(c.Reps),
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// Fig4 sweeps K at ε = 0.3 and reports sample counts (paper Fig. 4).
+func Fig4(cfg Config) ([]SamplesPoint, error) {
+	cfg = cfg.withDefaults()
+	var points []SamplesPoint
+	for _, name := range cfg.Datasets {
+		p, err := cfg.sweepSamples(name, cfg.KValues, []float64{0.3})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p...)
+	}
+	return points, nil
+}
+
+// Fig5 sweeps ε at the smallest and largest K (paper Fig. 5: K = 20, 100).
+func Fig5(cfg Config) ([]SamplesPoint, error) {
+	cfg = cfg.withDefaults()
+	ks := []int{cfg.KValues[0], cfg.KValues[len(cfg.KValues)-1]}
+	if ks[0] == ks[1] {
+		ks = ks[:1]
+	}
+	var points []SamplesPoint
+	for _, name := range cfg.Datasets {
+		p, err := cfg.sweepSamples(name, ks, cfg.EpsValues)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p...)
+	}
+	return points, nil
+}
+
+// RenderSamples writes sample-count series for Fig. 4/5.
+func RenderSamples(w io.Writer, points []SamplesPoint) error {
+	header := []string{"Dataset", "K", "ε", "Algorithm", "samples"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Dataset, fmt.Sprint(p.K), fmt.Sprintf("%.2f", p.Epsilon),
+			p.Algorithm, fmt.Sprintf("%.0f", p.Samples),
+		})
+	}
+	return renderTable(w, header, rows)
+}
+
+// DiameterOf is a convenience for dataset statistics in reports; exposed so
+// cmd/experiments can annotate Table I on small graphs.
+func DiameterOf(spec dataset.Spec, scale float64, seed uint64) int32 {
+	return bfs.Diameter(spec.Generate(scale, seed))
+}
+
+// TimingPoint is one (dataset, algorithm) wall-clock measurement at the
+// largest configured K and ε = 0.3 — the running-time companion the
+// paper's §VI discusses alongside sample counts.
+type TimingPoint struct {
+	Dataset   string
+	K         int
+	Algorithm string
+	Millis    float64
+	Samples   float64
+}
+
+// Timing measures average wall-clock time per algorithm run.
+func Timing(cfg Config) ([]TimingPoint, error) {
+	cfg = cfg.withDefaults()
+	k := cfg.KValues[len(cfg.KValues)-1]
+	var points []TimingPoint
+	for _, name := range cfg.Datasets {
+		g, spec, err := cfg.loadGraph(name)
+		if err != nil {
+			return nil, err
+		}
+		if k > g.N() {
+			continue
+		}
+		r := xrand.NewStream(cfg.Seed, uint64(29+len(name)))
+		for _, alg := range samplesAlgorithms() {
+			var ms, samples float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				res, err := cfg.runAlg(alg, g, k, 0.3, r.Split())
+				if err != nil {
+					return nil, err
+				}
+				ms += float64(res.Elapsed.Microseconds()) / 1000
+				samples += float64(res.Samples)
+			}
+			points = append(points, TimingPoint{
+				Dataset: spec.Name, K: k, Algorithm: alg.String(),
+				Millis:  ms / float64(cfg.Reps),
+				Samples: samples / float64(cfg.Reps),
+			})
+		}
+	}
+	return points, nil
+}
+
+// RenderTiming writes the wall-clock table.
+func RenderTiming(w io.Writer, points []TimingPoint) error {
+	header := []string{"Dataset", "K", "Algorithm", "ms/run", "samples"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Dataset, fmt.Sprint(p.K), p.Algorithm,
+			fmt.Sprintf("%.1f", p.Millis), fmt.Sprintf("%.0f", p.Samples),
+		})
+	}
+	return renderTable(w, header, rows)
+}

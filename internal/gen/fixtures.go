@@ -1,0 +1,116 @@
+package gen
+
+import "gbc/internal/graph"
+
+// Path returns the path graph 0-1-...-(n-1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return mustBuild(b)
+}
+
+// Cycle returns the cycle graph on n nodes.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: Cycle needs n >= 3")
+	}
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return mustBuild(b)
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return mustBuild(b)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return mustBuild(b)
+}
+
+// Grid returns the rows×cols 4-neighbor grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows*cols, false)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return mustBuild(b)
+}
+
+// BinaryTree returns a complete binary tree with n nodes (node i has
+// children 2i+1 and 2i+2 when in range).
+func BinaryTree(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			b.AddEdge(int32(i), int32(l))
+		}
+		if r := 2*i + 2; r < n {
+			b.AddEdge(int32(i), int32(r))
+		}
+	}
+	return mustBuild(b)
+}
+
+// Barbell returns two K_k cliques joined by a path of pathLen extra nodes.
+// The bridge nodes have maximal betweenness — a useful test fixture.
+func Barbell(k, pathLen int) *graph.Graph {
+	n := 2*k + pathLen
+	b := graph.NewBuilder(n, false)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(int32(u), int32(v))
+			b.AddEdge(int32(k+pathLen+u), int32(k+pathLen+v))
+		}
+	}
+	prev := int32(0) // clique 1 exit node
+	for i := 0; i < pathLen; i++ {
+		b.AddEdge(prev, int32(k+i))
+		prev = int32(k + i)
+	}
+	b.AddEdge(prev, int32(k+pathLen)) // into clique 2
+	return mustBuild(b)
+}
+
+// DirectedCycle returns the directed cycle 0→1→...→(n-1)→0.
+func DirectedCycle(n int) *graph.Graph {
+	if n < 2 {
+		panic("gen: DirectedCycle needs n >= 2")
+	}
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return mustBuild(b)
+}
+
+func mustBuild(b *graph.Builder) *graph.Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,216 @@
+// Package gen provides deterministic synthetic network generators used for
+// tests and for the experiment stand-ins of the paper's datasets
+// (Barabási–Albert and Watts–Strogatz are the two synthetic networks of
+// Table I; the others substitute for the SNAP graphs).
+//
+// Every generator takes an explicit *xrand.Rand so runs are reproducible.
+package gen
+
+import (
+	"fmt"
+
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// BarabasiAlbert generates an undirected preferential-attachment graph with
+// n nodes where each new node attaches to k existing nodes chosen with
+// probability proportional to their current degree (the BA model).
+// The result has roughly n·k edges. It panics unless 1 <= k < n.
+func BarabasiAlbert(n, k int, r *xrand.Rand) *graph.Graph {
+	if k < 1 || k >= n {
+		panic(fmt.Sprintf("gen: BarabasiAlbert needs 1 <= k < n, got k=%d n=%d", k, n))
+	}
+	b := graph.NewBuilder(n, false)
+	// repeated stores one entry per edge endpoint: sampling uniformly from
+	// it is preferential attachment by degree.
+	repeated := make([]int32, 0, 2*n*k)
+	// Seed with a (k+1)-clique so early nodes have degree >= k.
+	seed := k + 1
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			b.AddEdge(int32(u), int32(v))
+			repeated = append(repeated, int32(u), int32(v))
+		}
+	}
+	targets := make([]int32, 0, k)
+	for u := seed; u < n; u++ {
+		targets = targets[:0]
+		for len(targets) < k {
+			v := repeated[r.Intn(len(repeated))]
+			if !contains(targets, v) {
+				targets = append(targets, v)
+			}
+		}
+		for _, v := range targets {
+			b.AddEdge(int32(u), v)
+			repeated = append(repeated, int32(u), v)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func contains(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// WattsStrogatz generates the small-world model: a ring lattice on n nodes
+// where each node connects to its k nearest neighbors on each side, with
+// each lattice edge rewired with probability p. It panics unless
+// 1 <= k and 2k < n and 0 <= p <= 1.
+func WattsStrogatz(n, k int, p float64, r *xrand.Rand) *graph.Graph {
+	if k < 1 || 2*k >= n || p < 0 || p > 1 {
+		panic(fmt.Sprintf("gen: WattsStrogatz bad parameters n=%d k=%d p=%g", n, k, p))
+	}
+	b := graph.NewBuilder(n, false)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if r.Float64() < p {
+				// Rewire to a uniform random non-self target.
+				v = r.Intn(n - 1)
+				if v >= u {
+					v++
+				}
+			}
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ErdosRenyiGNM generates a uniform graph with n nodes and (up to dedup)
+// m edges. Directed graphs draw ordered pairs, undirected unordered ones.
+func ErdosRenyiGNM(n, m int, directed bool, r *xrand.Rand) *graph.Graph {
+	if n < 2 || m < 0 {
+		panic(fmt.Sprintf("gen: ErdosRenyiGNM bad parameters n=%d m=%d", n, m))
+	}
+	b := graph.NewBuilder(n, directed)
+	for i := 0; i < m; i++ {
+		u, v := r.IntnPair(n)
+		b.AddEdge(int32(u), int32(v))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ErdosRenyiGNP generates G(n, p): every (ordered for directed, unordered
+// otherwise) pair is an edge independently with probability p. Quadratic in
+// n; intended for small test graphs.
+func ErdosRenyiGNP(n int, p float64, directed bool, r *xrand.Rand) *graph.Graph {
+	if n < 0 || p < 0 || p > 1 {
+		panic(fmt.Sprintf("gen: ErdosRenyiGNP bad parameters n=%d p=%g", n, p))
+	}
+	b := graph.NewBuilder(n, directed)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || (!directed && v < u) {
+				continue
+			}
+			if r.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// DirectedPreferential generates a directed heavy-tailed graph: each new
+// node u emits k out-edges whose targets are chosen preferentially by total
+// degree, and with probability pRecip a reciprocal edge is added. This is
+// the stand-in for the directed SNAP datasets (Epinions, Twitter, Email,
+// LiveJournal) whose in-degree distributions are heavy-tailed.
+func DirectedPreferential(n, k int, pRecip float64, r *xrand.Rand) *graph.Graph {
+	if k < 1 || k >= n {
+		panic(fmt.Sprintf("gen: DirectedPreferential needs 1 <= k < n, got k=%d n=%d", k, n))
+	}
+	b := graph.NewBuilder(n, true)
+	repeated := make([]int32, 0, 2*n*k)
+	seed := k + 1
+	for u := 0; u < seed; u++ {
+		for v := 0; v < seed; v++ {
+			if u == v {
+				continue
+			}
+			b.AddEdge(int32(u), int32(v))
+			repeated = append(repeated, int32(u), int32(v))
+		}
+	}
+	targets := make([]int32, 0, k)
+	for u := seed; u < n; u++ {
+		targets = targets[:0]
+		for len(targets) < k {
+			v := repeated[r.Intn(len(repeated))]
+			if v == int32(u) || contains(targets, v) {
+				continue
+			}
+			targets = append(targets, v)
+		}
+		for _, v := range targets {
+			b.AddEdge(int32(u), v)
+			repeated = append(repeated, int32(u), v)
+			if r.Float64() < pRecip {
+				b.AddEdge(v, int32(u))
+				repeated = append(repeated, v, int32(u))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// StochasticBlockModel generates a graph with len(sizes) communities; an
+// edge between nodes of communities i and j appears with probability
+// probs[i][j] (symmetric, undirected). Quadratic; for tests and examples.
+func StochasticBlockModel(sizes []int, probs [][]float64, r *xrand.Rand) *graph.Graph {
+	n := 0
+	comm := []int32{}
+	for c, s := range sizes {
+		if s < 0 {
+			panic("gen: negative community size")
+		}
+		for i := 0; i < s; i++ {
+			comm = append(comm, int32(c))
+		}
+		n += s
+	}
+	if len(probs) != len(sizes) {
+		panic("gen: probs shape mismatch")
+	}
+	b := graph.NewBuilder(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < probs[comm[u]][comm[v]] {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

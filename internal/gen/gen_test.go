@@ -1,0 +1,225 @@
+package gen
+
+import (
+	"testing"
+
+	"gbc/internal/xrand"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(500, 3, xrand.New(1))
+	if g.N() != 500 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Each of the n-4 later nodes adds exactly 3 edges; seed clique has 6.
+	want := 6 + (500-4)*3
+	if g.M() != want {
+		t.Fatalf("m = %d, want %d", g.M(), want)
+	}
+	if _, count := g.WeaklyConnectedComponents(); count != 1 {
+		t.Fatalf("BA graph not connected: %d components", count)
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	g := BarabasiAlbert(2000, 2, xrand.New(2))
+	_, max, mean := g.Degrees()
+	if float64(max) < 5*mean {
+		t.Fatalf("max degree %d not heavy-tailed vs mean %g", max, mean)
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(200, 3, xrand.New(7))
+	b := BarabasiAlbert(200, 3, xrand.New(7))
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.M(), b.M())
+	}
+	equal := true
+	a.Edges(func(u, v int32) bool {
+		if !b.HasEdge(u, v) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	if !equal {
+		t.Fatal("same seed produced different edge sets")
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k >= n")
+		}
+	}()
+	BarabasiAlbert(3, 3, xrand.New(1))
+}
+
+func TestWattsStrogatzNoRewire(t *testing.T) {
+	g := WattsStrogatz(20, 2, 0, xrand.New(1))
+	if g.M() != 40 {
+		t.Fatalf("m = %d, want 40 (ring lattice)", g.M())
+	}
+	// Ring lattice with k=2: every node has degree 4.
+	min, max, _ := g.Degrees()
+	if min != 4 || max != 4 {
+		t.Fatalf("degrees %d..%d, want all 4", min, max)
+	}
+}
+
+func TestWattsStrogatzRewired(t *testing.T) {
+	g := WattsStrogatz(500, 4, 0.1, xrand.New(3))
+	if g.N() != 500 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Rewiring dedups can only lose edges, never add.
+	if g.M() > 2000 || g.M() < 1800 {
+		t.Fatalf("m = %d, want near 2000", g.M())
+	}
+}
+
+func TestWattsStrogatzFullRewireStillValid(t *testing.T) {
+	g := WattsStrogatz(100, 2, 1.0, xrand.New(4))
+	if g.N() != 100 || g.M() == 0 {
+		t.Fatalf("degenerate graph n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestErdosRenyiGNM(t *testing.T) {
+	g := ErdosRenyiGNM(100, 300, false, xrand.New(5))
+	if g.N() != 100 || g.M() > 300 || g.M() < 250 {
+		t.Fatalf("GNM n=%d m=%d", g.N(), g.M())
+	}
+	d := ErdosRenyiGNM(100, 300, true, xrand.New(5))
+	if !d.Directed() {
+		t.Fatal("directed flag lost")
+	}
+}
+
+func TestErdosRenyiGNP(t *testing.T) {
+	g := ErdosRenyiGNP(60, 0.2, false, xrand.New(6))
+	exp := 0.2 * float64(60*59/2)
+	if float64(g.M()) < exp*0.7 || float64(g.M()) > exp*1.3 {
+		t.Fatalf("GNP m=%d, expected near %g", g.M(), exp)
+	}
+	if ErdosRenyiGNP(10, 0, false, xrand.New(1)).M() != 0 {
+		t.Fatal("p=0 should give empty graph")
+	}
+	if ErdosRenyiGNP(10, 1, false, xrand.New(1)).M() != 45 {
+		t.Fatal("p=1 should give complete graph")
+	}
+}
+
+func TestDirectedPreferential(t *testing.T) {
+	g := DirectedPreferential(500, 3, 0.3, xrand.New(7))
+	if !g.Directed() || g.N() != 500 {
+		t.Fatalf("bad shape: %v", g)
+	}
+	if _, count := g.WeaklyConnectedComponents(); count != 1 {
+		t.Fatalf("not weakly connected: %d components", count)
+	}
+	// In-degree should be heavy-tailed.
+	maxIn := 0
+	for v := int32(0); int(v) < g.N(); v++ {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 20 {
+		t.Fatalf("max in-degree %d not heavy-tailed", maxIn)
+	}
+}
+
+func TestStochasticBlockModel(t *testing.T) {
+	sizes := []int{30, 30}
+	probs := [][]float64{{0.5, 0.01}, {0.01, 0.5}}
+	g := StochasticBlockModel(sizes, probs, xrand.New(8))
+	if g.N() != 60 {
+		t.Fatalf("n = %d", g.N())
+	}
+	intra, inter := 0, 0
+	g.Edges(func(u, v int32) bool {
+		if (u < 30) == (v < 30) {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	if intra < 5*inter {
+		t.Fatalf("SBM communities not separated: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	if g := Path(5); g.M() != 4 {
+		t.Fatalf("Path(5) m=%d", g.M())
+	}
+	if g := Cycle(5); g.M() != 5 {
+		t.Fatalf("Cycle(5) m=%d", g.M())
+	}
+	if g := Star(5); g.M() != 4 || g.OutDegree(0) != 4 {
+		t.Fatalf("Star(5) wrong")
+	}
+	if g := Complete(5); g.M() != 10 {
+		t.Fatalf("Complete(5) m=%d", g.M())
+	}
+	if g := Grid(3, 4); g.N() != 12 || g.M() != 17 {
+		t.Fatalf("Grid(3,4) n=%d m=%d", g.N(), g.M())
+	}
+	if g := BinaryTree(7); g.M() != 6 {
+		t.Fatalf("BinaryTree(7) m=%d", g.M())
+	}
+	if g := DirectedCycle(4); !g.Directed() || g.M() != 4 {
+		t.Fatalf("DirectedCycle(4) wrong")
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4, 2)
+	if g.N() != 10 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if _, count := g.WeaklyConnectedComponents(); count != 1 {
+		t.Fatal("barbell must be connected")
+	}
+	// Two cliques of C(4,2)=6 edges each plus 3 bridge edges.
+	if g.M() != 15 {
+		t.Fatalf("m = %d, want 15", g.M())
+	}
+}
+
+func TestBarbellNoPath(t *testing.T) {
+	g := Barbell(3, 0)
+	if g.N() != 6 || g.M() != 7 {
+		t.Fatalf("Barbell(3,0): n=%d m=%d", g.N(), g.M())
+	}
+	if _, count := g.WeaklyConnectedComponents(); count != 1 {
+		t.Fatal("barbell with no path must still be connected")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Cycle(2) },
+		func() { DirectedCycle(1) },
+		func() { ErdosRenyiGNM(1, 5, false, xrand.New(1)) },
+		func() { ErdosRenyiGNP(5, 1.5, false, xrand.New(1)) },
+		func() { WattsStrogatz(5, 3, 0.1, xrand.New(1)) },
+		func() { DirectedPreferential(3, 3, 0.1, xrand.New(1)) },
+		func() { StochasticBlockModel([]int{-1}, [][]float64{{0.1}}, xrand.New(1)) },
+		func() { StochasticBlockModel([]int{2}, nil, xrand.New(1)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+// WeaklyConnectedComponents assigns a component id to every node, ignoring
+// edge direction, and returns the id slice together with the component count.
+// Ids are 0-based and assigned in discovery order.
+func (g *Graph) WeaklyConnectedComponents() (comp []int32, count int) {
+	comp = make([]int32, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	var c int32
+	for s := int32(0); int(s) < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = c
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.OutNeighbors(u) {
+				if comp[v] == -1 {
+					comp[v] = c
+					queue = append(queue, v)
+				}
+			}
+			if g.directed {
+				for _, v := range g.InNeighbors(u) {
+					if comp[v] == -1 {
+						comp[v] = c
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		c++
+	}
+	return comp, int(c)
+}
+
+// LargestComponent returns the subgraph induced by the largest weakly
+// connected component, together with a mapping from new node ids to the
+// original ids. If the graph is already connected the graph itself is
+// returned with a nil mapping.
+func (g *Graph) LargestComponent() (*Graph, []int32) {
+	comp, count := g.WeaklyConnectedComponents()
+	if count <= 1 {
+		return g, nil
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	keep := make([]int32, 0, sizes[best])
+	for v := int32(0); int(v) < g.n; v++ {
+		if comp[v] == int32(best) {
+			keep = append(keep, v)
+		}
+	}
+	sub := g.Subgraph(keep)
+	return sub, keep
+}
+
+// Subgraph returns the subgraph induced by nodes (which must be distinct and
+// in range), relabeled to 0..len(nodes)-1 in the given order. Original ids
+// are preserved as labels.
+func (g *Graph) Subgraph(nodes []int32) *Graph {
+	newID := make([]int32, g.n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for i, v := range nodes {
+		newID[v] = int32(i)
+	}
+	b := NewBuilder(len(nodes), g.directed)
+	labels := make([]int64, len(nodes))
+	for i, v := range nodes {
+		labels[i] = g.Label(v)
+		adj := g.OutNeighbors(v)
+		for j, w := range adj {
+			if nw := newID[w]; nw != -1 {
+				if g.directed || nw >= int32(i) {
+					if g.Weighted() {
+						b.AddWeightedEdge(int32(i), nw, g.OutWeights(v)[j])
+					} else {
+						b.AddEdge(int32(i), nw)
+					}
+				}
+			}
+		}
+	}
+	b.SetLabels(labels)
+	sub, err := b.Build()
+	if err != nil {
+		panic(err) // impossible: inputs validated above
+	}
+	return sub
+}
+
+// Degrees returns min, max and mean out-degree.
+func (g *Graph) Degrees() (min, max int, mean float64) {
+	if g.n == 0 {
+		return 0, 0, 0
+	}
+	min = g.OutDegree(0)
+	for v := int32(0); int(v) < g.n; v++ {
+		d := g.OutDegree(v)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		mean += float64(d)
+	}
+	mean /= float64(g.n)
+	return min, max, mean
+}

@@ -1,0 +1,333 @@
+// Package graph provides the static graph substrate used by every other
+// package in this module: a compressed-sparse-row (CSR) representation of
+// directed or undirected unweighted graphs, builders, edge-list text I/O,
+// connected components and basic statistics.
+//
+// Nodes are dense integers 0..N-1 (int32 internally to keep large graphs
+// compact). Graphs are immutable once built.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an immutable unweighted graph in CSR form.
+//
+// For a directed graph both out- and in-adjacency are stored (the samplers
+// need reverse traversal). For an undirected graph a single symmetric
+// adjacency is stored and shared by both views.
+type Graph struct {
+	directed bool
+	n        int
+	m        int // number of edges (each undirected edge counted once)
+
+	outOff []int
+	outAdj []int32
+	inOff  []int
+	inAdj  []int32
+
+	// outWts/inWts align with outAdj/inAdj; nil for unweighted graphs.
+	outWts []float64
+	inWts  []float64
+
+	labels []int64 // optional original node ids (nil if nodes were 0..n-1)
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.outWts != nil }
+
+// OutWeights returns the weights aligned with OutNeighbors(v).
+// It panics on unweighted graphs.
+func (g *Graph) OutWeights(v int32) []float64 {
+	if g.outWts == nil {
+		panic("graph: OutWeights on an unweighted graph")
+	}
+	return g.outWts[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InWeights returns the weights aligned with InNeighbors(v).
+// It panics on unweighted graphs.
+func (g *Graph) InWeights(v int32) []float64 {
+	if g.inWts == nil {
+		panic("graph: InWeights on an unweighted graph")
+	}
+	return g.inWts[g.inOff[v]:g.inOff[v+1]]
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges; each undirected edge counts once.
+func (g *Graph) M() int { return g.m }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// OutNeighbors returns the out-neighbors of v in ascending order.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v int32) []int32 {
+	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InNeighbors returns the in-neighbors of v in ascending order.
+// For undirected graphs this equals OutNeighbors.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) InNeighbors(v int32) []int32 {
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutDegree returns the number of out-neighbors of v.
+func (g *Graph) OutDegree(v int32) int { return g.outOff[v+1] - g.outOff[v] }
+
+// InDegree returns the number of in-neighbors of v.
+func (g *Graph) InDegree(v int32) int { return g.inOff[v+1] - g.inOff[v] }
+
+// HasEdge reports whether the edge (u, v) exists (u→v for directed graphs).
+func (g *Graph) HasEdge(u, v int32) bool {
+	adj := g.OutNeighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// Weight returns the weight of edge (u, v) and whether the edge exists.
+// Unweighted graphs report weight 1 for existing edges.
+func (g *Graph) Weight(u, v int32) (float64, bool) {
+	adj := g.OutNeighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	if i >= len(adj) || adj[i] != v {
+		return 0, false
+	}
+	if g.outWts == nil {
+		return 1, true
+	}
+	return g.outWts[g.outOff[u]+i], true
+}
+
+// Label returns the original id of node v if the graph was built from an
+// edge list with non-dense ids, and v itself otherwise.
+func (g *Graph) Label(v int32) int64 {
+	if g.labels == nil {
+		return int64(v)
+	}
+	return g.labels[v]
+}
+
+// Edges calls fn for every edge (u, v). For undirected graphs each edge is
+// reported once with u <= v. Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(u, v int32) bool) {
+	for u := int32(0); int(u) < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !g.directed && v < u {
+				continue
+			}
+			if !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("graph{%s, n=%d, m=%d}", kind, g.n, g.m)
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// Self-loops are dropped and parallel edges are deduplicated (a weighted
+// parallel edge keeps the smallest weight).
+type Builder struct {
+	n        int
+	directed bool
+	src, dst []int32
+	wts      []float64 // nil until AddWeightedEdge is first used
+	labels   []int64
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int, directed bool) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge records the edge (u, v); u→v if the graph is directed. In a
+// builder that has seen AddWeightedEdge the edge gets weight 1.
+// It panics if an endpoint is out of range.
+func (b *Builder) AddEdge(u, v int32) {
+	b.addEdge(u, v)
+	if b.wts != nil {
+		b.wts = append(b.wts, 1)
+	}
+}
+
+// AddWeightedEdge records the edge (u, v) with a positive finite weight,
+// switching the builder (and the built graph) to weighted mode; edges
+// added earlier with AddEdge get weight 1. It panics on invalid input.
+func (b *Builder) AddWeightedEdge(u, v int32, w float64) {
+	if !(w > 0) || math.IsInf(w, 1) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) has invalid weight %g", u, v, w))
+	}
+	b.addEdge(u, v)
+	if b.wts == nil {
+		b.wts = make([]float64, len(b.src)-1, len(b.src)+16)
+		for i := range b.wts {
+			b.wts[i] = 1
+		}
+	}
+	b.wts = append(b.wts, w)
+}
+
+func (b *Builder) addEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+}
+
+// SetLabels attaches original node ids (used by the edge-list reader).
+func (b *Builder) SetLabels(labels []int64) { b.labels = labels }
+
+// Build constructs the immutable Graph. The Builder must not be reused.
+func (b *Builder) Build() (*Graph, error) {
+	if b.labels != nil && len(b.labels) != b.n {
+		return nil, errors.New("graph: label count does not match node count")
+	}
+	g := &Graph{directed: b.directed, n: b.n, labels: b.labels}
+
+	// Canonicalize: drop self loops; for undirected, store both directions.
+	src, dst := b.src[:0:0], b.dst[:0:0]
+	var wts []float64
+	for i := range b.src {
+		u, v := b.src[i], b.dst[i]
+		if u == v {
+			continue
+		}
+		src = append(src, u)
+		dst = append(dst, v)
+		if b.wts != nil {
+			wts = append(wts, b.wts[i])
+		}
+		if !b.directed {
+			src = append(src, v)
+			dst = append(dst, u)
+			if b.wts != nil {
+				wts = append(wts, b.wts[i])
+			}
+		}
+	}
+
+	g.outOff, g.outAdj, g.outWts = buildCSR(b.n, src, dst, wts)
+	if b.directed {
+		g.inOff, g.inAdj, g.inWts = buildCSR(b.n, dst, src, wts)
+		// m = number of directed edges after dedup.
+		g.m = len(g.outAdj)
+	} else {
+		g.inOff, g.inAdj, g.inWts = g.outOff, g.outAdj, g.outWts
+		g.m = len(g.outAdj) / 2
+	}
+	return g, nil
+}
+
+// csrRow co-sorts one adjacency row with its weights by (neighbor, weight).
+type csrRow struct {
+	adj []int32
+	wts []float64
+}
+
+func (r csrRow) Len() int { return len(r.adj) }
+func (r csrRow) Less(i, j int) bool {
+	if r.adj[i] != r.adj[j] {
+		return r.adj[i] < r.adj[j]
+	}
+	return r.wts[i] < r.wts[j]
+}
+func (r csrRow) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.wts[i], r.wts[j] = r.wts[j], r.wts[i]
+}
+
+// buildCSR builds a CSR with sorted, deduplicated adjacency lists; wts may
+// be nil for unweighted graphs, otherwise a parallel weight array is
+// returned and a deduplicated edge keeps its smallest weight.
+func buildCSR(n int, src, dst []int32, wts []float64) ([]int, []int32, []float64) {
+	counts := make([]int, n+1)
+	for _, u := range src {
+		counts[u+1]++
+	}
+	off := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + counts[i+1]
+	}
+	adj := make([]int32, len(src))
+	var wadj []float64
+	if wts != nil {
+		wadj = make([]float64, len(src))
+	}
+	cursor := make([]int, n)
+	copy(cursor, off[:n])
+	for i := range src {
+		u := src[i]
+		adj[cursor[u]] = dst[i]
+		if wts != nil {
+			wadj[cursor[u]] = wts[i]
+		}
+		cursor[u]++
+	}
+	// Sort and dedup each row, compacting in place. With weights the row
+	// is sorted by (neighbor, weight), so keeping the first occurrence of
+	// each neighbor keeps the minimum weight.
+	w := 0
+	newOff := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		row := adj[off[u]:off[u+1]]
+		if wts != nil {
+			sort.Sort(csrRow{row, wadj[off[u]:off[u+1]]})
+		} else {
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		}
+		newOff[u] = w
+		var prev int32 = -1
+		for i, v := range row {
+			if v != prev {
+				adj[w] = v
+				if wts != nil {
+					wadj[w] = wadj[off[u]+i]
+				}
+				w++
+				prev = v
+			}
+		}
+	}
+	newOff[n] = w
+	if wts == nil {
+		return newOff, adj[:w:w], nil
+	}
+	return newOff, adj[:w:w], wadj[:w:w]
+}
+
+// FromEdges is a convenience constructor from an explicit edge slice.
+func FromEdges(n int, directed bool, edges [][2]int32) (*Graph, error) {
+	b := NewBuilder(n, directed)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error; for tests and fixtures.
+func MustFromEdges(n int, directed bool, edges [][2]int32) *Graph {
+	g, err := FromEdges(n, directed, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gbc/internal/xrand"
+)
+
+func triangle() *Graph {
+	return MustFromEdges(3, false, [][2]int32{{0, 1}, {1, 2}, {2, 0}})
+}
+
+func TestBasicUndirected(t *testing.T) {
+	g := triangle()
+	if g.N() != 3 || g.M() != 3 || g.Directed() {
+		t.Fatalf("unexpected shape: %v", g)
+	}
+	for v := int32(0); v < 3; v++ {
+		if g.OutDegree(v) != 2 || g.InDegree(v) != 2 {
+			t.Fatalf("node %d degree: out=%d in=%d", v, g.OutDegree(v), g.InDegree(v))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge must exist both ways")
+	}
+}
+
+func TestBasicDirected(t *testing.T) {
+	g := MustFromEdges(3, true, [][2]int32{{0, 1}, {1, 2}})
+	if !g.Directed() || g.M() != 2 {
+		t.Fatalf("unexpected: %v", g)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("directed edge must be one-way")
+	}
+	if g.OutDegree(1) != 1 || g.InDegree(1) != 1 {
+		t.Fatalf("degrees of middle node: out=%d in=%d", g.OutDegree(1), g.InDegree(1))
+	}
+	if got := g.InNeighbors(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("InNeighbors(2) = %v", got)
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	g := MustFromEdges(2, false, [][2]int32{{0, 0}, {0, 1}, {1, 1}})
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1 (self loops dropped)", g.M())
+	}
+}
+
+func TestParallelEdgesDeduped(t *testing.T) {
+	g := MustFromEdges(2, true, [][2]int32{{0, 1}, {0, 1}, {0, 1}})
+	if g.M() != 1 || g.OutDegree(0) != 1 {
+		t.Fatalf("parallel edges not deduped: m=%d deg=%d", g.M(), g.OutDegree(0))
+	}
+	u := MustFromEdges(2, false, [][2]int32{{0, 1}, {1, 0}})
+	if u.M() != 1 {
+		t.Fatalf("undirected reciprocal edges not deduped: m=%d", u.M())
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := MustFromEdges(5, true, [][2]int32{{0, 4}, {0, 2}, {0, 3}, {0, 1}})
+	adj := g.OutNeighbors(0)
+	for i := 1; i < len(adj); i++ {
+		if adj[i-1] >= adj[i] {
+			t.Fatalf("adjacency not sorted: %v", adj)
+		}
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, false).AddEdge(0, 2)
+}
+
+func TestEdgesIterationUndirectedOnce(t *testing.T) {
+	g := triangle()
+	count := 0
+	g.Edges(func(u, v int32) bool {
+		if u > v {
+			t.Fatalf("undirected edge reported with u > v: (%d,%d)", u, v)
+		}
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("iterated %d edges, want 3", count)
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := triangle()
+	count := 0
+	g.Edges(func(u, v int32) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop iterated %d edges", count)
+	}
+}
+
+func TestComponentsUndirected(t *testing.T) {
+	g := MustFromEdges(6, false, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	comp, n := g.WeaklyConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatalf("bad components: %v", comp)
+	}
+}
+
+func TestComponentsDirectedAreWeak(t *testing.T) {
+	g := MustFromEdges(3, true, [][2]int32{{0, 1}, {2, 1}})
+	_, n := g.WeaklyConnectedComponents()
+	if n != 1 {
+		t.Fatalf("weak components = %d, want 1", n)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := MustFromEdges(7, false, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {4, 5}})
+	sub, mapping := g.LargestComponent()
+	if sub.N() != 4 || sub.M() != 3 {
+		t.Fatalf("largest component n=%d m=%d", sub.N(), sub.M())
+	}
+	if len(mapping) != 4 || mapping[0] != 0 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	// A connected graph returns itself.
+	tr := triangle()
+	same, mp := tr.LargestComponent()
+	if same != tr || mp != nil {
+		t.Fatal("connected graph should be returned unchanged")
+	}
+}
+
+func TestSubgraphDirected(t *testing.T) {
+	g := MustFromEdges(4, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	sub := g.Subgraph([]int32{1, 2, 3})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("subgraph n=%d m=%d, want 3, 2", sub.N(), sub.M())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Fatal("subgraph edges wrong")
+	}
+	if sub.Label(0) != 1 || sub.Label(2) != 3 {
+		t.Fatalf("labels wrong: %d %d", sub.Label(0), sub.Label(2))
+	}
+}
+
+func TestDegreesStats(t *testing.T) {
+	g := MustFromEdges(4, false, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	min, max, mean := g.Degrees()
+	if min != 1 || max != 3 || mean != 1.5 {
+		t.Fatalf("degrees = %d %d %g", min, max, mean)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := MustFromEdges(0, false, nil)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatal("empty graph wrong")
+	}
+	min, max, mean := g.Degrees()
+	if min != 0 || max != 0 || mean != 0 {
+		t.Fatal("empty degrees wrong")
+	}
+}
+
+// Property: for random graphs, degree sums match edge counts and adjacency
+// is symmetric when undirected.
+func TestCSRInvariants(t *testing.T) {
+	r := xrand.New(99)
+	f := func(seed uint16, directedRaw bool) bool {
+		n := 2 + int(seed%30)
+		nEdges := int(seed % 97)
+		b := NewBuilder(n, directedRaw)
+		for i := 0; i < nEdges; i++ {
+			b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		outSum, inSum := 0, 0
+		for v := int32(0); int(v) < n; v++ {
+			outSum += g.OutDegree(v)
+			inSum += g.InDegree(v)
+		}
+		if outSum != inSum {
+			return false
+		}
+		if directedRaw && outSum != g.M() {
+			return false
+		}
+		if !directedRaw {
+			if outSum != 2*g.M() {
+				return false
+			}
+			sym := true
+			g.Edges(func(u, v int32) bool {
+				if !g.HasEdge(v, u) {
+					sym = false
+					return false
+				}
+				return true
+			})
+			if !sym {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

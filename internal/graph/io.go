@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list in the SNAP style:
+// lines of "u v", with '#' or '%' comment lines ignored. Node ids may be
+// arbitrary non-negative integers; they are relabeled densely to 0..n-1 in
+// first-appearance order and the original ids are kept as labels.
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return readEdgeList(r, directed, false)
+}
+
+// ReadWeightedEdgeList parses lines of "u v w" with a positive weight w;
+// everything else is as ReadEdgeList.
+func ReadWeightedEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return readEdgeList(r, directed, true)
+}
+
+func readEdgeList(r io.Reader, directed, weighted bool) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	id := make(map[int64]int32)
+	var labels []int64
+	var src, dst []int32
+	var wts []float64
+	intern := func(raw int64) int32 {
+		if v, ok := id[raw]; ok {
+			return v
+		}
+		v := int32(len(labels))
+		id[raw] = v
+		labels = append(labels, raw)
+		return v
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		if weighted {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'u v w', got %q", lineNo, line)
+			}
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || !(w > 0) {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+			}
+			wts = append(wts, w)
+		}
+		src = append(src, intern(u))
+		dst = append(dst, intern(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	b := NewBuilder(len(labels), directed)
+	for i := range src {
+		if weighted {
+			b.AddWeightedEdge(src[i], dst[i], wts[i])
+		} else {
+			b.AddEdge(src[i], dst[i])
+		}
+	}
+	dense := true
+	for i, l := range labels {
+		if l != int64(i) {
+			dense = false
+			break
+		}
+	}
+	if !dense {
+		b.SetLabels(labels)
+	}
+	return b.Build()
+}
+
+// ReadEdgeListFile reads an edge list from path; see ReadEdgeList.
+func ReadEdgeListFile(path string, directed bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f, directed)
+}
+
+// WriteEdgeList writes the graph as a text edge list with a header comment.
+// Original labels are used when present, so a read/write round trip
+// preserves node identity.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "# %s graph: %d nodes, %d edges\n", kind, g.n, g.m); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int32) bool {
+		if g.Weighted() {
+			w, _ := g.Weight(u, v)
+			_, werr = fmt.Fprintf(bw, "%d %d %g\n", g.Label(u), g.Label(v), w)
+		} else {
+			_, werr = fmt.Fprintf(bw, "%d %d\n", g.Label(u), g.Label(v))
+		}
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes the graph to path; see WriteEdgeList.
+func (g *Graph) WriteEdgeListFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1
+1 2
+
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListSparseIDs(t *testing.T) {
+	in := "100 200\n200 7\n"
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.Label(0) != 100 || g.Label(1) != 200 || g.Label(2) != 7 {
+		t.Fatalf("labels: %d %d %d", g.Label(0), g.Label(1), g.Label(2))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",                      // too few fields
+		"a b\n",                    // non-numeric
+		"0 x\n",                    // second field bad
+		"-1 2\n",                   // negative id
+		"3 -9\n",                   // negative id
+		"1 99999999999999999999\n", // overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), false); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := MustFromEdges(4, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: %v -> %v", g, g2)
+	}
+	g.Edges(func(u, v int32) bool {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost in round trip", u, v)
+		}
+		return true
+	})
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := MustFromEdges(3, false, [][2]int32{{0, 1}, {1, 2}})
+	if err := g.WriteEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeListFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 3 || g2.M() != 2 {
+		t.Fatalf("file round trip: n=%d m=%d", g2.N(), g2.M())
+	}
+}
+
+func TestReadEdgeListFileMissing(t *testing.T) {
+	if _, err := ReadEdgeListFile("/nonexistent/file.txt", false); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLabelsPreservedThroughWrite(t *testing.T) {
+	in := "10 20\n20 30\n"
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "10 20") && !strings.Contains(out, "20 10") {
+		t.Fatalf("labels not preserved in output:\n%s", out)
+	}
+}
+
+func TestReadWeightedEdgeList(t *testing.T) {
+	in := "0 1 2.5\n1 2 1\n"
+	g, err := ReadWeightedEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() || g.M() != 2 {
+		t.Fatalf("weighted=%v m=%d", g.Weighted(), g.M())
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 2.5 {
+		t.Fatalf("weight(0,1) = %g, %v", w, ok)
+	}
+	if w, ok := g.Weight(1, 0); !ok || w != 2.5 {
+		t.Fatalf("undirected weight must mirror: %g, %v", w, ok)
+	}
+}
+
+func TestReadWeightedEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0 1\n",    // missing weight
+		"0 1 x\n",  // bad weight
+		"0 1 -2\n", // negative weight
+		"0 1 0\n",  // zero weight
+	}
+	for _, in := range cases {
+		if _, err := ReadWeightedEdgeList(strings.NewReader(in), false); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWeightedWriteReadRoundTrip(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddWeightedEdge(0, 1, 1.5)
+	b.AddWeightedEdge(1, 2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadWeightedEdgeList(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g2.Weight(0, 1); !ok || w != 1.5 {
+		t.Fatalf("round trip lost weight: %g, %v", w, ok)
+	}
+}
+
+func TestWeightedDedupKeepsMinWeight(t *testing.T) {
+	b := NewBuilder(2, true)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(0, 1, 7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.Weight(0, 1); w != 2 {
+		t.Fatalf("dedup kept weight %g, want min 2", w)
+	}
+}
+
+func TestMixedAddEdgeGetsUnitWeight(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddWeightedEdge(1, 2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("builder with weighted edges must produce a weighted graph")
+	}
+	if w, _ := g.Weight(0, 1); w != 1 {
+		t.Fatalf("plain AddEdge weight = %g, want 1", w)
+	}
+}
+
+func TestAddWeightedEdgePanicsOnBadWeight(t *testing.T) {
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("weight %g did not panic", w)
+				}
+			}()
+			NewBuilder(2, false).AddWeightedEdge(0, 1, w)
+		}()
+	}
+}
+
+func TestSubgraphPreservesWeights(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 3)
+	b.AddWeightedEdge(2, 3, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := g.Subgraph([]int32{1, 2, 3})
+	if !sub.Weighted() {
+		t.Fatal("subgraph lost weights")
+	}
+	if w, ok := sub.Weight(0, 1); !ok || w != 3 {
+		t.Fatalf("subgraph weight = %g, %v; want 3", w, ok)
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+import "sort"
+
+// Stats summarizes a graph's structure; used for dataset reporting and
+// stand-in realism checks.
+type Stats struct {
+	Nodes, Edges     int
+	Directed         bool
+	MinDegree        int
+	MaxDegree        int
+	MeanDegree       float64
+	Components       int
+	LargestComponent int
+	GlobalClustering float64 // closed triplets / all triplets (undirected)
+}
+
+// ComputeStats gathers the summary. Triangle counting is O(Σ d(v)²); for
+// very large graphs prefer calling the individual methods.
+func (g *Graph) ComputeStats() Stats {
+	min, max, mean := g.Degrees()
+	comp, count := g.WeaklyConnectedComponents()
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	st := Stats{
+		Nodes: g.n, Edges: g.m, Directed: g.directed,
+		MinDegree: min, MaxDegree: max, MeanDegree: mean,
+		Components: count, LargestComponent: largest,
+	}
+	if !g.directed {
+		st.GlobalClustering = g.GlobalClustering()
+	}
+	return st
+}
+
+// GlobalClustering returns the global clustering coefficient (transitivity)
+// of an undirected graph: 3·triangles / open-or-closed triplets. Returns 0
+// for graphs with no triplet. It panics on directed graphs.
+func (g *Graph) GlobalClustering() float64 {
+	if g.directed {
+		panic("graph: GlobalClustering on a directed graph")
+	}
+	var triangles, triplets int64
+	for u := int32(0); int(u) < g.n; u++ {
+		d := int64(g.OutDegree(u))
+		triplets += d * (d - 1) / 2
+		adj := g.OutNeighbors(u)
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				if g.HasEdge(adj[i], adj[j]) {
+					triangles++ // counted once per center u; 3x per triangle
+				}
+			}
+		}
+	}
+	if triplets == 0 {
+		return 0
+	}
+	return float64(triangles) / float64(triplets)
+}
+
+// DegreeHistogram returns the out-degree distribution as (degree, count)
+// pairs in ascending degree order.
+func (g *Graph) DegreeHistogram() (degrees []int, counts []int) {
+	hist := map[int]int{}
+	for v := int32(0); int(v) < g.n; v++ {
+		hist[g.OutDegree(v)]++
+	}
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = hist[d]
+	}
+	return degrees, counts
+}

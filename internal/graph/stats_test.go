@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGlobalClusteringTriangle(t *testing.T) {
+	g := triangle()
+	if c := g.GlobalClustering(); c != 1 {
+		t.Fatalf("triangle clustering = %g, want 1", c)
+	}
+}
+
+func TestGlobalClusteringPath(t *testing.T) {
+	g := MustFromEdges(3, false, [][2]int32{{0, 1}, {1, 2}})
+	if c := g.GlobalClustering(); c != 0 {
+		t.Fatalf("path clustering = %g, want 0", c)
+	}
+}
+
+func TestGlobalClusteringMixed(t *testing.T) {
+	// Triangle plus a pendant: 3 closed triplets (1 triangle counted at 3
+	// centers), node 1 center has C(3,2)=3 triplets, others 1 each.
+	g := MustFromEdges(4, false, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {1, 3}})
+	// triplets: deg = [2,3,2,1] -> 1 + 3 + 1 + 0 = 5; triangles (per
+	// center): centers 0,1,2 each have one closed pair = 3.
+	want := 3.0 / 5.0
+	if c := g.GlobalClustering(); math.Abs(c-want) > 1e-12 {
+		t.Fatalf("clustering = %g, want %g", c, want)
+	}
+}
+
+func TestGlobalClusteringPanicsOnDirected(t *testing.T) {
+	g := MustFromEdges(3, true, [][2]int32{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.GlobalClustering()
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := MustFromEdges(4, false, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	degrees, counts := g.DegreeHistogram()
+	if len(degrees) != 2 || degrees[0] != 1 || degrees[1] != 3 {
+		t.Fatalf("degrees = %v", degrees)
+	}
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := MustFromEdges(5, false, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}})
+	st := g.ComputeStats()
+	if st.Nodes != 5 || st.Edges != 4 || st.Directed {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Components != 2 || st.LargestComponent != 3 {
+		t.Fatalf("components = %d largest = %d", st.Components, st.LargestComponent)
+	}
+	if st.MinDegree != 1 || st.MaxDegree != 2 {
+		t.Fatalf("degrees = %d..%d", st.MinDegree, st.MaxDegree)
+	}
+	if st.GlobalClustering <= 0 {
+		t.Fatal("triangle component should give positive clustering")
+	}
+}
+
+func TestComputeStatsDirectedSkipsClustering(t *testing.T) {
+	g := MustFromEdges(3, true, [][2]int32{{0, 1}, {1, 2}})
+	st := g.ComputeStats()
+	if st.GlobalClustering != 0 {
+		t.Fatalf("directed stats should skip clustering, got %g", st.GlobalClustering)
+	}
+}

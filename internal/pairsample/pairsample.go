@@ -1,0 +1,276 @@
+// Package pairsample implements the *pair sampling* scheme of Yoshida
+// (KDD 2014), the predecessor of path sampling discussed in the paper's
+// related work [36]: each sample keeps ALL shortest paths between a random
+// node pair (as a pruned shortest-path DAG), and a group covers the
+// fraction σ_st(C)/σ_st of the sample. Mahmoody et al. later showed the
+// pair-sampling analysis inadequate for the (1-1/e-ε) guarantee, and its
+// sample bound carries a 1/μ_opt² factor — both reasons the paper (and
+// AdaAlg) build on single-path sampling instead. The implementation exists
+// so the trade-off can be measured; see the PairSampling baseline in
+// package core.
+package pairsample
+
+import (
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// DAG is one pair sample: the shortest-path DAG between s and t pruned to
+// the nodes that lie on at least one shortest s-t path, in topological
+// (distance) order, with local predecessor lists.
+type DAG struct {
+	Nodes   []int32   // global ids, Nodes[0] == s, Nodes[len-1] == t
+	preds   [][]int32 // local indices into Nodes
+	SigmaST float64   // total number of shortest s-t paths
+}
+
+// SampleDAG extracts the shortest-path DAG between s and t. ok is false
+// when t is unreachable from s. s must differ from t.
+func SampleDAG(g *graph.Graph, s, t int32) (*DAG, bool) {
+	if s == t {
+		panic("pairsample: s == t")
+	}
+	dist, sigma, order := truncatedSSSP(g, s, t)
+	if dist[t] < 0 {
+		return nil, false
+	}
+	d := dist[t]
+	// Backward pass: keep nodes that reach t along DAG edges. order is in
+	// BFS (non-decreasing distance) sequence, so a reverse scan sees every
+	// node after all its DAG successors.
+	onPath := map[int32]bool{t: true}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		if !onPath[u] || dist[u] == 0 {
+			continue
+		}
+		for _, w := range g.InNeighbors(u) {
+			if dist[w] == dist[u]-1 {
+				onPath[w] = true
+			}
+		}
+	}
+	// Filtering order keeps nodes in topological (distance) sequence; t is
+	// the unique kept node at distance d, so it lands last.
+	var nodes []int32
+	for _, u := range order {
+		if onPath[u] && dist[u] <= d {
+			nodes = append(nodes, u)
+		}
+	}
+	local := make(map[int32]int32, len(nodes))
+	for i, u := range nodes {
+		local[u] = int32(i)
+	}
+	preds := make([][]int32, len(nodes))
+	for i, u := range nodes {
+		for _, w := range g.InNeighbors(u) {
+			if dist[w] == dist[u]-1 {
+				if lw, ok := local[w]; ok {
+					preds[i] = append(preds[i], lw)
+				}
+			}
+		}
+	}
+	return &DAG{Nodes: nodes, preds: preds, SigmaST: sigma[t]}, true
+}
+
+// truncatedSSSP is a BFS from s stopped once t's level completes.
+func truncatedSSSP(g *graph.Graph, s, t int32) (dist []int32, sigma []float64, order []int32) {
+	n := g.N()
+	dist = make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma = make([]float64, n)
+	dist[s] = 0
+	sigma[s] = 1
+	order = append(order, s)
+	limit := int32(-1)
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		du := dist[u]
+		if limit >= 0 && du >= limit {
+			break
+		}
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				order = append(order, v)
+				if v == t {
+					limit = du + 1
+				}
+			}
+			if dist[v] == du+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	return dist, sigma, order
+}
+
+// CoveredFraction returns σ_st(C)/σ_st for this sample: the fraction of
+// shortest s-t paths containing at least one node of blocked (a global
+// node-indexed membership slice).
+func (d *DAG) CoveredFraction(blocked []bool) float64 {
+	avoid := d.avoidCounts(blocked)
+	return 1 - avoid[len(avoid)-1]/d.SigmaST
+}
+
+// avoidCounts runs the forward avoiding DP over the DAG: avoid[i] is the
+// number of shortest s→Nodes[i] path prefixes avoiding blocked nodes.
+func (d *DAG) avoidCounts(blocked []bool) []float64 {
+	avoid := make([]float64, len(d.Nodes))
+	if !blocked[d.Nodes[0]] {
+		avoid[0] = 1
+	}
+	for i := 1; i < len(d.Nodes); i++ {
+		if blocked[d.Nodes[i]] {
+			continue
+		}
+		var a float64
+		for _, p := range d.preds[i] {
+			a += avoid[p]
+		}
+		avoid[i] = a
+	}
+	return avoid
+}
+
+// avoidCountsReverse is the backward analog: avoid[i] counts the shortest
+// Nodes[i]→t path suffixes whose nodes (Nodes[i] included) all avoid
+// blocked. Successor lists are not stored, so suffix counts are pushed to
+// predecessors in reverse topological order.
+func (d *DAG) avoidCountsReverse(blocked []bool) []float64 {
+	n := len(d.Nodes)
+	avoid := make([]float64, n)
+	if !blocked[d.Nodes[n-1]] {
+		avoid[n-1] = 1
+	}
+	for i := n - 1; i >= 0; i-- {
+		if avoid[i] == 0 {
+			continue
+		}
+		for _, p := range d.preds[i] {
+			if !blocked[d.Nodes[p]] {
+				avoid[p] += avoid[i]
+			}
+		}
+	}
+	return avoid
+}
+
+// AccumulateGains adds, for every unblocked node v on this DAG, the
+// marginal covered fraction gained by adding v to the group:
+// σ̃_sv·σ̃_vt/σ_st with σ̃ the avoiding counts under blocked.
+func (d *DAG) AccumulateGains(blocked []bool, gains []float64) {
+	fwd := d.avoidCounts(blocked)
+	bwd := d.avoidCountsReverse(blocked)
+	for i, u := range d.Nodes {
+		if blocked[u] {
+			continue
+		}
+		if g := fwd[i] * bwd[i] / d.SigmaST; g > 0 {
+			gains[u] += g
+		}
+	}
+}
+
+// Set is a growable collection of pair samples.
+type Set struct {
+	g    *graph.Graph
+	r    *xrand.Rand
+	dags []*DAG
+	// nulls counts samples whose pair was unreachable.
+	nulls int
+}
+
+// NewSet returns an empty pair-sample set drawing randomness from r.
+// Weighted graphs are not supported.
+func NewSet(g *graph.Graph, r *xrand.Rand) *Set {
+	if g.N() < 2 {
+		panic("pairsample: graph needs at least two nodes")
+	}
+	if g.Weighted() {
+		panic("pairsample: weighted graphs are not supported")
+	}
+	return &Set{g: g, r: r}
+}
+
+// Len returns the number of samples drawn (null samples included).
+func (s *Set) Len() int { return len(s.dags) + s.nulls }
+
+// GrowTo samples additional pairs until Len() == L.
+func (s *Set) GrowTo(L int) {
+	for s.Len() < L {
+		a, b := s.r.IntnPair(s.g.N())
+		dag, ok := SampleDAG(s.g, int32(a), int32(b))
+		if !ok {
+			s.nulls++
+			continue
+		}
+		s.dags = append(s.dags, dag)
+	}
+}
+
+// Greedy picks k nodes maximizing the summed covered fraction over the
+// samples, recomputing exact fractional marginal gains each step. Returns
+// the group and its total covered fraction (out of Len()).
+func (s *Set) Greedy(k int) ([]int32, float64) {
+	n := s.g.N()
+	if k < 0 || k > n {
+		panic("pairsample: k out of range")
+	}
+	blocked := make([]bool, n)
+	gains := make([]float64, n)
+	group := make([]int32, 0, k)
+	total := 0.0
+	for len(group) < k {
+		for i := range gains {
+			gains[i] = 0
+		}
+		for _, d := range s.dags {
+			d.AccumulateGains(blocked, gains)
+		}
+		best, bestGain := int32(-1), 0.0
+		for v := 0; v < n; v++ {
+			if !blocked[v] && gains[v] > bestGain {
+				best, bestGain = int32(v), gains[v]
+			}
+		}
+		if best == -1 {
+			// Everything covered: pad with smallest unblocked ids.
+			for v := int32(0); len(group) < k; v++ {
+				if !blocked[v] {
+					blocked[v] = true
+					group = append(group, v)
+				}
+			}
+			break
+		}
+		blocked[best] = true
+		group = append(group, best)
+		total += bestGain
+	}
+	return group, total
+}
+
+// EstimateGroup returns the unbiased estimator of B(C) from this set:
+// (Σ covered fractions)/L · n(n-1). Pair samples average the full
+// fractional coverage, so the estimator has lower variance than
+// single-path sampling at equal L (each sample costs more to collect).
+func (s *Set) EstimateGroup(group []int32) float64 {
+	if s.Len() == 0 {
+		panic("pairsample: estimate on empty set")
+	}
+	blocked := make([]bool, s.g.N())
+	for _, v := range group {
+		blocked[v] = true
+	}
+	var covered float64
+	for _, d := range s.dags {
+		covered += d.CoveredFraction(blocked)
+	}
+	n := float64(s.g.N())
+	return covered / float64(s.Len()) * n * (n - 1)
+}

@@ -1,0 +1,190 @@
+package pairsample
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/exact"
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+func TestSampleDAGDiamond(t *testing.T) {
+	g := graph.MustFromEdges(4, false, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	dag, ok := SampleDAG(g, 0, 3)
+	if !ok {
+		t.Fatal("reachable pair reported unreachable")
+	}
+	if dag.SigmaST != 2 {
+		t.Fatalf("σ = %g, want 2", dag.SigmaST)
+	}
+	if len(dag.Nodes) != 4 || dag.Nodes[0] != 0 || dag.Nodes[3] != 3 {
+		t.Fatalf("nodes = %v", dag.Nodes)
+	}
+}
+
+func TestSampleDAGPrunesOffPathNodes(t *testing.T) {
+	// Node 4 hangs off node 1 but is not on any 0→3 shortest path.
+	g := graph.MustFromEdges(5, false, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 4}})
+	dag, ok := SampleDAG(g, 0, 3)
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	for _, u := range dag.Nodes {
+		if u == 4 {
+			t.Fatalf("off-path node kept: %v", dag.Nodes)
+		}
+	}
+}
+
+func TestSampleDAGUnreachable(t *testing.T) {
+	g := graph.MustFromEdges(3, true, [][2]int32{{0, 1}})
+	if _, ok := SampleDAG(g, 0, 2); ok {
+		t.Fatal("unreachable pair reported reachable")
+	}
+}
+
+func TestCoveredFraction(t *testing.T) {
+	g := graph.MustFromEdges(4, false, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	dag, _ := SampleDAG(g, 0, 3)
+	blocked := make([]bool, 4)
+	if f := dag.CoveredFraction(blocked); f != 0 {
+		t.Fatalf("empty group covers %g", f)
+	}
+	blocked[1] = true
+	if f := dag.CoveredFraction(blocked); f != 0.5 {
+		t.Fatalf("one branch covers %g, want 0.5", f)
+	}
+	blocked[2] = true
+	if f := dag.CoveredFraction(blocked); f != 1 {
+		t.Fatalf("both branches cover %g, want 1", f)
+	}
+	// Endpoint coverage.
+	blocked = make([]bool, 4)
+	blocked[0] = true
+	if f := dag.CoveredFraction(blocked); f != 1 {
+		t.Fatalf("endpoint covers %g, want 1", f)
+	}
+}
+
+func TestAccumulateGainsMatchesMarginals(t *testing.T) {
+	r := xrand.New(61)
+	g := gen.ErdosRenyiGNM(20, 50, false, r.Split())
+	for trial := 0; trial < 40; trial++ {
+		a, b := r.IntnPair(20)
+		dag, ok := SampleDAG(g, int32(a), int32(b))
+		if !ok {
+			continue
+		}
+		blocked := make([]bool, 20)
+		blocked[r.Intn(20)] = true
+		base := dag.CoveredFraction(blocked)
+		gains := make([]float64, 20)
+		dag.AccumulateGains(blocked, gains)
+		for v := 0; v < 20; v++ {
+			if blocked[v] {
+				if gains[v] != 0 {
+					t.Fatalf("blocked node has gain %g", gains[v])
+				}
+				continue
+			}
+			blocked[v] = true
+			want := dag.CoveredFraction(blocked) - base
+			blocked[v] = false
+			if math.Abs(gains[v]-want) > 1e-12 {
+				t.Fatalf("pair (%d,%d) node %d: gain %g, direct marginal %g", a, b, v, gains[v], want)
+			}
+		}
+	}
+}
+
+func TestEstimateConvergesToExactGBC(t *testing.T) {
+	r := xrand.New(62)
+	g := gen.BarabasiAlbert(120, 2, r.Split())
+	group := []int32{0, 7, 13}
+	want := exact.GBC(g, group)
+	// Average several independent estimates: checks unbiasedness rather
+	// than a single draw's noise.
+	var sum float64
+	const reps = 5
+	for i := 0; i < reps; i++ {
+		set := NewSet(g, r.Split())
+		set.GrowTo(4000)
+		sum += set.EstimateGroup(group)
+	}
+	got := sum / reps
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("pair-sampling estimate %g vs exact %g", got, want)
+	}
+}
+
+func TestPairEstimatorLowerVarianceThanPathEstimator(t *testing.T) {
+	// At equal L the pair estimator averages full fractions and should
+	// have (weakly) lower variance than 0/1 path sampling.
+	r := xrand.New(63)
+	g := gen.BarabasiAlbert(100, 2, r.Split())
+	group := []int32{1, 4}
+	want := exact.GBC(g, group)
+	const L, reps = 300, 30
+	var pairVar float64
+	for i := 0; i < reps; i++ {
+		set := NewSet(g, r.Split())
+		set.GrowTo(L)
+		d := set.EstimateGroup(group) - want
+		pairVar += d * d
+	}
+	pairVar /= reps
+	// Binomial variance of the 0/1 estimator at the same L.
+	n := float64(g.N())
+	p := want / (n * (n - 1))
+	pathVar := p * (1 - p) / L * n * (n - 1) * n * (n - 1)
+	if pairVar > pathVar*1.15 {
+		t.Fatalf("pair variance %g not below path-sampling variance %g", pairVar, pathVar)
+	}
+}
+
+func TestGreedyFindsBridge(t *testing.T) {
+	g := gen.Barbell(5, 1)
+	set := NewSet(g, xrand.New(64))
+	set.GrowTo(400)
+	group, covered := set.Greedy(1)
+	if group[0] != 5 {
+		t.Fatalf("greedy picked %v, want bridge 5", group)
+	}
+	if covered <= 0 {
+		t.Fatalf("covered %g", covered)
+	}
+}
+
+func TestGreedyPads(t *testing.T) {
+	g := gen.Path(2)
+	set := NewSet(g, xrand.New(65))
+	set.GrowTo(10)
+	group, _ := set.Greedy(2)
+	if len(group) != 2 {
+		t.Fatalf("group %v", group)
+	}
+}
+
+func TestGreedyPanics(t *testing.T) {
+	set := NewSet(gen.Path(3), xrand.New(66))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	set.Greedy(5)
+}
+
+func TestNullSamplesCounted(t *testing.T) {
+	g := graph.MustFromEdges(4, true, [][2]int32{{0, 1}, {2, 3}})
+	set := NewSet(g, xrand.New(67))
+	set.GrowTo(100)
+	if set.Len() != 100 {
+		t.Fatalf("Len = %d", set.Len())
+	}
+	if set.nulls == 0 {
+		t.Fatal("expected null samples on a mostly-disconnected digraph")
+	}
+}

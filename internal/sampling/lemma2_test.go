@@ -1,0 +1,79 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/exact"
+	"gbc/internal/gen"
+	"gbc/internal/xrand"
+)
+
+// TestLemma2TailBound validates the paper's Lemma 2 empirically: for a
+// fixed group C and L sampled paths,
+//
+//	Pr[ B̄_L(C) - B(C) >= λ·B(C) ] <= exp(-L·λ²·B(C) / ((2+2λ/3)·n(n-1)))
+//
+// and symmetrically for the lower tail. The martingale bound must hold for
+// the dependent sampling scheme of Algorithm 1; here the samples are i.i.d.
+// (a special case of the martingale setting), so the bound applies and the
+// empirical frequency over many trials must not exceed it beyond binomial
+// noise.
+func TestLemma2TailBound(t *testing.T) {
+	r := xrand.New(201)
+	g := gen.BarabasiAlbert(120, 2, r.Split())
+	group := []int32{0, 3, 9}
+	bc := exact.GBC(g, group)
+	n := float64(g.N())
+	nn := n * (n - 1)
+
+	const (
+		L      = 400
+		trials = 1500
+	)
+	for _, lambda := range []float64{0.05, 0.1, 0.2} {
+		bound := math.Exp(-float64(L) * lambda * lambda * bc / ((2 + 2*lambda/3) * nn))
+		upper, lower := 0, 0
+		for i := 0; i < trials; i++ {
+			set := NewBidirectionalSet(g, r.Split())
+			set.GrowTo(L)
+			est := set.EstimateGroup(group)
+			if est-bc >= lambda*bc {
+				upper++
+			}
+			if est-bc <= -lambda*bc {
+				lower++
+			}
+		}
+		// Allow ~4σ binomial slack above the bound.
+		slack := 4 * math.Sqrt(bound*(1-bound)/trials)
+		if f := float64(upper) / trials; f > bound+slack+0.002 {
+			t.Fatalf("λ=%g: upper-tail frequency %.4f exceeds Lemma 2 bound %.4f", lambda, f, bound)
+		}
+		if f := float64(lower) / trials; f > bound+slack+0.002 {
+			t.Fatalf("λ=%g: lower-tail frequency %.4f exceeds Lemma 2 bound %.4f", lambda, f, bound)
+		}
+	}
+}
+
+// TestLemma2BoundNotVacuous documents that the chosen parameters actually
+// exercise the bound (i.e. the deviation events do occur at small λ, so
+// the test above is not passing vacuously).
+func TestLemma2BoundNotVacuous(t *testing.T) {
+	r := xrand.New(202)
+	g := gen.BarabasiAlbert(120, 2, r.Split())
+	group := []int32{0, 3, 9}
+	bc := exact.GBC(g, group)
+	seen := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		set := NewBidirectionalSet(g, r.Split())
+		set.GrowTo(400)
+		if math.Abs(set.EstimateGroup(group)-bc) >= 0.02*bc {
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no ±2% deviations in 200 trials; the tail test would be vacuous")
+	}
+}

@@ -1,0 +1,99 @@
+package sampling
+
+import (
+	"testing"
+
+	"gbc/internal/gen"
+	"gbc/internal/xrand"
+)
+
+// samplesEqual compares two sets sample-by-sample via coverage behaviour.
+func setsIdentical(t *testing.T, a, b *Set) {
+	t.Helper()
+	if a.Len() != b.Len() || a.Unreachable != b.Unreachable {
+		t.Fatalf("shape differs: (%d,%d) vs (%d,%d)", a.Len(), a.Unreachable, b.Len(), b.Unreachable)
+	}
+	// Equal greedy outcomes at several K plus equal per-node coverage is a
+	// strong fingerprint of identical sample multisets.
+	for _, k := range []int{1, 3, 8} {
+		ga, ca := a.Greedy(k)
+		gb, cb := b.Greedy(k)
+		if ca != cb {
+			t.Fatalf("greedy(%d) coverage differs: %d vs %d", k, ca, cb)
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("greedy(%d) groups differ: %v vs %v", k, ga, gb)
+			}
+		}
+	}
+	for v := int32(0); int(v) < a.g.N(); v++ {
+		if a.CoveredBy([]int32{v}) != b.CoveredBy([]int32{v}) {
+			t.Fatalf("node %d coverage differs", v)
+		}
+	}
+}
+
+func TestParallelGrowMatchesSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, xrand.New(101))
+	seq := NewBidirectionalSet(g, xrand.New(7))
+	seq.GrowTo(2000)
+	for _, workers := range []int{2, 3, 8} {
+		par := NewBidirectionalSet(g, xrand.New(7))
+		par.Workers = workers
+		par.GrowTo(2000)
+		setsIdentical(t, seq, par)
+	}
+}
+
+func TestParallelIncrementalGrowth(t *testing.T) {
+	// Growing in stages with different worker counts must still match.
+	g := gen.BarabasiAlbert(300, 2, xrand.New(102))
+	seq := NewBidirectionalSet(g, xrand.New(9))
+	seq.GrowTo(1500)
+	par := NewBidirectionalSet(g, xrand.New(9))
+	par.Workers = 4
+	par.GrowTo(300)
+	par.Workers = 2
+	par.GrowTo(900)
+	par.Workers = 6
+	par.GrowTo(1500)
+	setsIdentical(t, seq, par)
+}
+
+func TestParallelForwardSet(t *testing.T) {
+	g := gen.DirectedPreferential(300, 3, 0.2, xrand.New(103))
+	seq := NewForwardSet(g, xrand.New(11))
+	seq.GrowTo(800)
+	par := NewForwardSet(g, xrand.New(11))
+	par.Workers = 4
+	par.GrowTo(800)
+	setsIdentical(t, seq, par)
+}
+
+func TestCustomSamplerIgnoresWorkers(t *testing.T) {
+	// A Set over a caller-supplied sampler has no factory: Workers > 1
+	// must silently stay sequential rather than race on the shared
+	// workspace.
+	g := gen.BarabasiAlbert(200, 2, xrand.New(104))
+	seq := NewForwardSet(g, xrand.New(13))
+	seq.GrowTo(400)
+	custom := NewSet(g, seq.sampler, xrand.New(13))
+	custom.Workers = 8
+	custom.GrowTo(400)
+	if custom.Len() != 400 {
+		t.Fatalf("Len = %d", custom.Len())
+	}
+}
+
+func TestCoreWorkersOptionDeterministic(t *testing.T) {
+	// End-to-end: the Workers option must not change any result.
+	g := gen.BarabasiAlbert(300, 3, xrand.New(105))
+	seq := NewBidirectionalSet(g, xrand.New(15))
+	seq.Workers = 1
+	par := NewBidirectionalSet(g, xrand.New(15))
+	par.Workers = 4
+	seq.GrowTo(3000)
+	par.GrowTo(3000)
+	setsIdentical(t, seq, par)
+}

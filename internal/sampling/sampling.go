@@ -1,0 +1,194 @@
+// Package sampling implements the path-sampling procedure shared by every
+// randomized top-K GBC algorithm (paper §III-D): draw a uniform ordered
+// node pair (s, t), s != t, find all shortest s–t paths with a balanced
+// bidirectional BFS, and keep one of them uniformly at random. A pair with
+// no s–t path yields a "null" sample covered by no group, which keeps the
+// estimator B̂(C) = covered/L · n(n-1) unbiased under the n(n-1)
+// normalization of Eq. (4).
+//
+// Set is one growable collection of such samples backed by a coverage
+// instance — AdaAlg maintains two (S for optimizing, T for validating).
+// Each sample index draws from its own deterministic RNG stream, so a Set
+// grown with several workers is byte-identical to one grown sequentially
+// from the same seed.
+package sampling
+
+import (
+	"sync"
+
+	"gbc/internal/bfs"
+	"gbc/internal/coverage"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// PairSampler draws one shortest path between two given nodes.
+// Both *bfs.Bidirectional and *bfs.Forward implement it.
+type PairSampler interface {
+	Sample(s, t int32, r *xrand.Rand) bfs.Sample
+}
+
+// Set is a growable set of sampled shortest paths over a fixed graph.
+// It is not safe for concurrent use by multiple goroutines (GrowTo itself
+// may use internal workers; see Workers).
+type Set struct {
+	g            *graph.Graph
+	seed0, seed1 uint64
+	sampler      PairSampler
+	newSampler   func() PairSampler // nil when only a shared sampler exists
+	cov          *coverage.Instance
+
+	// Workers sets the number of goroutines used by GrowTo. Values < 2, or
+	// a Set built around a caller-supplied single sampler, sample
+	// sequentially. The result is identical either way.
+	Workers int
+
+	// Unreachable counts null samples (pairs with no path).
+	Unreachable int
+}
+
+// NewSet returns an empty sample set around a caller-supplied sampler,
+// seeded from r. Such a set always grows sequentially; use
+// NewBidirectionalSet or NewForwardSet for parallel growth.
+func NewSet(g *graph.Graph, sampler PairSampler, r *xrand.Rand) *Set {
+	s := newSet(g, r)
+	s.sampler = sampler
+	return s
+}
+
+// NewBidirectionalSet is the common construction: a Set backed by balanced
+// bidirectional BFS samplers (one per worker).
+func NewBidirectionalSet(g *graph.Graph, r *xrand.Rand) *Set {
+	s := newSet(g, r)
+	s.newSampler = func() PairSampler { return bfs.NewBidirectional(g) }
+	s.sampler = s.newSampler()
+	return s
+}
+
+// NewForwardSet is a Set backed by truncated forward-BFS samplers; the
+// reference sampler for tests and ablations.
+func NewForwardSet(g *graph.Graph, r *xrand.Rand) *Set {
+	s := newSet(g, r)
+	s.newSampler = func() PairSampler { return bfs.NewForward(g) }
+	s.sampler = s.newSampler()
+	return s
+}
+
+// NewWeightedSet is a Set backed by truncated Dijkstra samplers for
+// weighted graphs. It panics if g is unweighted.
+func NewWeightedSet(g *graph.Graph, r *xrand.Rand) *Set {
+	s := newSet(g, r)
+	s.newSampler = func() PairSampler { return bfs.NewDijkstra(g) }
+	s.sampler = s.newSampler()
+	return s
+}
+
+// NewSetFor picks the natural sampler for g: Dijkstra when weighted,
+// balanced bidirectional BFS otherwise.
+func NewSetFor(g *graph.Graph, r *xrand.Rand) *Set {
+	if g.Weighted() {
+		return NewWeightedSet(g, r)
+	}
+	return NewBidirectionalSet(g, r)
+}
+
+func newSet(g *graph.Graph, r *xrand.Rand) *Set {
+	if g.N() < 2 {
+		panic("sampling: graph needs at least two nodes")
+	}
+	return &Set{g: g, seed0: r.Uint64(), seed1: r.Uint64(), cov: coverage.New(g.N())}
+}
+
+// rngFor returns the dedicated RNG stream of sample index i.
+func (s *Set) rngFor(i int) *xrand.Rand {
+	return xrand.NewStream(s.seed0, s.seed1+uint64(i))
+}
+
+// drawOne samples index i with the given workspace sampler; nil means the
+// drawn pair was unreachable.
+func (s *Set) drawOne(i int, sampler PairSampler) []int32 {
+	r := s.rngFor(i)
+	a, b := r.IntnPair(s.g.N())
+	smp := sampler.Sample(int32(a), int32(b), r)
+	if !smp.Reachable {
+		return nil
+	}
+	return smp.Path
+}
+
+// Len returns the number of samples drawn so far (null samples included).
+func (s *Set) Len() int { return s.cov.Len() }
+
+// GrowTo samples additional shortest paths until Len() == L.
+// Growing to a smaller or equal L is a no-op.
+func (s *Set) GrowTo(L int) {
+	cur := s.cov.Len()
+	if L <= cur {
+		return
+	}
+	if s.Workers > 1 && s.newSampler != nil {
+		s.growParallel(cur, L)
+		return
+	}
+	for i := cur; i < L; i++ {
+		s.add(s.drawOne(i, s.sampler))
+	}
+}
+
+// growParallel draws indices [cur, L) across Workers goroutines and then
+// commits them in index order, matching the sequential result exactly.
+func (s *Set) growParallel(cur, L int) {
+	count := L - cur
+	paths := make([][]int32, count)
+	var wg sync.WaitGroup
+	for w := 0; w < s.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sampler := s.newSampler()
+			for i := w; i < count; i += s.Workers {
+				paths[i] = s.drawOne(cur+i, sampler)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range paths {
+		s.add(p)
+	}
+}
+
+func (s *Set) add(path []int32) {
+	if path == nil {
+		s.Unreachable++
+		s.cov.Add(nil)
+		return
+	}
+	s.cov.Add(path)
+}
+
+// Coverage exposes the underlying max-coverage instance (for greedy).
+func (s *Set) Coverage() *coverage.Instance { return s.cov }
+
+// Greedy picks the K-node group covering the most samples and returns it
+// with its covered count.
+func (s *Set) Greedy(k int) ([]int32, int) { return s.cov.Greedy(k) }
+
+// CoveredBy returns how many samples contain a node of group.
+func (s *Set) CoveredBy(group []int32) int { return s.cov.CoveredBy(group) }
+
+// Estimate converts a covered count on this set into the centrality
+// estimate of Eq. (4): covered/L · n(n-1). It panics if the set is empty.
+func (s *Set) Estimate(coveredCount int) float64 {
+	L := s.cov.Len()
+	if L == 0 {
+		panic("sampling: Estimate on empty set")
+	}
+	n := float64(s.g.N())
+	return float64(coveredCount) / float64(L) * n * (n - 1)
+}
+
+// EstimateGroup is CoveredBy followed by Estimate: the unbiased estimator
+// B̄_L(C) for a group chosen independently of this set.
+func (s *Set) EstimateGroup(group []int32) float64 {
+	return s.Estimate(s.CoveredBy(group))
+}

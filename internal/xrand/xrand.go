@@ -1,0 +1,169 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by every randomized component in this module.
+//
+// All samplers, generators and algorithms take an explicit *Rand so that
+// experiments are exactly reproducible from a seed, and so that independent
+// sample streams (e.g. the S and T sets of AdaAlg) can be split from a
+// parent stream without correlation.
+//
+// The generator is PCG-XSH-RR 64/32 extended to 64-bit output by pairing two
+// 32-bit draws; it is not cryptographically secure.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator.
+// It is not safe for concurrent use; split per-goroutine streams with Split.
+type Rand struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+}
+
+const pcgMult = 6364136223846793005
+
+// New returns a generator seeded with seed on the default stream.
+func New(seed uint64) *Rand {
+	return NewStream(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewStream returns a generator with an explicit stream id. Distinct stream
+// ids yield statistically independent sequences for the same seed.
+func NewStream(seed, stream uint64) *Rand {
+	r := &Rand{inc: stream<<1 | 1}
+	r.state = 0
+	r.next32()
+	r.state += seed
+	r.next32()
+	return r
+}
+
+// Split derives a new independent generator from r, advancing r.
+// Successive calls yield distinct streams.
+func (r *Rand) Split() *Rand {
+	return NewStream(r.Uint64(), r.Uint64())
+}
+
+func (r *Rand) next32() uint32 {
+	old := r.state
+	r.state = old*pcgMult + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	return uint64(r.next32())<<32 | uint64(r.next32())
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 { return r.next32() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Lemire's method with 64x64->128 via math/bits-free approach:
+	// use rejection sampling on the top bits to avoid a 128-bit multiply.
+	// For simplicity and correctness, use classic rejection:
+	mask := ^uint64(0)
+	if n&(n-1) == 0 { // power of two
+		return r.Uint64() & (n - 1)
+	}
+	limit := mask - mask%n
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// IntnPair returns a uniform ordered pair (a, b) with a != b, both in [0, n).
+// It panics if n < 2.
+func (r *Rand) IntnPair(n int) (a, b int) {
+	if n < 2 {
+		panic("xrand: IntnPair needs n >= 2")
+	}
+	a = r.Intn(n)
+	b = r.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// WeightedIndex returns an index i with probability weights[i]/sum(weights).
+// Weights must be non-negative with a positive finite sum; otherwise it
+// panics. Intended for small slices (linear scan).
+func (r *Rand) WeightedIndex(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic("xrand: invalid weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("xrand: WeightedIndex with non-positive total weight")
+	}
+	x := r.Float64() * sum
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return len(weights) - 1 // x == sum due to rounding
+}
+
+// Binomial returns a sample from Binomial(n, p) by inversion for small n·p
+// and by explicit trials otherwise. Intended for generator plumbing, not
+// performance-critical paths.
+func (r *Rand) Binomial(n int, p float64) int {
+	if n < 0 || p < 0 || p > 1 {
+		panic("xrand: invalid Binomial parameters")
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}

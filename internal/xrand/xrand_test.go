@@ -1,0 +1,289 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a, b := NewStream(7, 1), NewStream(7, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different streams produced %d/100 equal draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(3)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams produced %d/100 equal draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of Float64 = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(8)
+	const buckets, n = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	// chi-square with 9 dof; 99.9% critical value ~ 27.9
+	var chi2 float64
+	exp := float64(n) / buckets
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 27.9 {
+		t.Fatalf("chi-square = %g too large; counts %v", chi2, counts)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(14)
+	const n, trials = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	exp := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-exp) > 5*math.Sqrt(exp) {
+			t.Fatalf("Perm first element %d count %d, expected ~%g", i, c, exp)
+		}
+	}
+}
+
+func TestIntnPairDistinct(t *testing.T) {
+	r := New(15)
+	counts := map[[2]int]int{}
+	const n, trials = 4, 60000
+	for i := 0; i < trials; i++ {
+		a, b := r.IntnPair(n)
+		if a == b || a < 0 || b < 0 || a >= n || b >= n {
+			t.Fatalf("IntnPair returned invalid (%d,%d)", a, b)
+		}
+		counts[[2]int{a, b}]++
+	}
+	exp := float64(trials) / float64(n*(n-1))
+	for k, c := range counts {
+		if math.Abs(float64(c)-exp) > 6*math.Sqrt(exp) {
+			t.Fatalf("pair %v count %d, expected ~%g", k, c, exp)
+		}
+	}
+	if len(counts) != n*(n-1) {
+		t.Fatalf("saw %d distinct pairs, want %d", len(counts), n*(n-1))
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	r := New(16)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[r.WeightedIndex(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %g, want ~3", ratio)
+	}
+}
+
+func TestWeightedIndexPanicsOnBadWeights(t *testing.T) {
+	cases := [][]float64{{-1, 2}, {0, 0}, {math.NaN()}, {math.Inf(1)}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("WeightedIndex(%v) did not panic", w)
+				}
+			}()
+			New(1).WeightedIndex(w)
+		}()
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 200; i++ {
+		k := r.Binomial(20, 0.3)
+		if k < 0 || k > 20 {
+			t.Fatalf("Binomial out of range: %d", k)
+		}
+	}
+	if r.Binomial(10, 0) != 0 {
+		t.Fatal("Binomial(n, 0) != 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("Binomial(n, 1) != n")
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(18)
+	s := []int{1, 2, 3, 4, 5}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffle lost elements: %v", s)
+	}
+}
+
+func TestUint32Differs(t *testing.T) {
+	r := New(19)
+	a, b := r.Uint32(), r.Uint32()
+	if a == b {
+		// One collision is possible but two identical draws in a row from
+		// PCG would indicate a broken state update.
+		if c := r.Uint32(); c == a {
+			t.Fatal("Uint32 appears constant")
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPairPanicsOnTinyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).IntnPair(1)
+}
+
+func TestBinomialPanicsOnBadParams(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{-1, 0.5}, {3, -0.1}, {3, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Binomial(%d, %g) did not panic", tc.n, tc.p)
+				}
+			}()
+			New(1).Binomial(tc.n, tc.p)
+		}()
+	}
+}

@@ -1,0 +1,72 @@
+package gbc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperScaleGrQc runs the full pipeline at the paper's actual GrQc
+// size (5244 nodes): AdaAlg at K=50/ε=0.3 as in Figs. 2/4, verified
+// against the exact oracle. Skipped under -short.
+func TestPaperScaleGrQc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped with -short")
+	}
+	g, err := Dataset("GrQc", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5244 {
+		t.Fatalf("n = %d, want the paper's 5244", g.N())
+	}
+	res, err := TopK(g, Options{K: 50, Epsilon: 0.3, Gamma: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("AdaAlg did not converge at paper scale")
+	}
+	exact := ExactNormalizedGBC(g, res.Group)
+	if rel := math.Abs(res.NormalizedEstimate-exact) / exact; rel > 0.1 {
+		t.Fatalf("estimate %.4f vs exact %.4f (rel %.3f)", res.NormalizedEstimate, exact, rel)
+	}
+	// The paper's Fig. 4 regime: a K=50 run should need only thousands of
+	// samples, far below the ~n² pair space.
+	if res.Samples > 100000 {
+		t.Fatalf("sample count %d implausibly high at paper scale", res.Samples)
+	}
+	t.Logf("paper-scale GrQc: %d samples, normalized GBC %.4f (exact %.4f)",
+		res.Samples, res.NormalizedEstimate, exact)
+}
+
+// TestPaperScaleComparison reproduces the headline sample-count ordering at
+// paper scale on GrQc. Skipped under -short.
+func TestPaperScaleComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped with -short")
+	}
+	g, err := Dataset("GrQc", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 100, Epsilon: 0.3, Seed: 3}
+	ada, err := TopK(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cen, err := TopKWith(CentRa, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(cen.Samples) / float64(ada.Samples)
+	if ratio < 2 {
+		t.Fatalf("K=100 CentRa/AdaAlg sample ratio %.1f below the paper's 2-18x band", ratio)
+	}
+	vAda := ExactGBC(g, ada.Group)
+	vCen := ExactGBC(g, cen.Group)
+	if vAda < 0.93*vCen {
+		t.Fatalf("quality gap too large: AdaAlg %.1f vs CentRa %.1f", vAda, vCen)
+	}
+	t.Logf("paper-scale K=100: AdaAlg %d vs CentRa %d samples (%.1fx), quality ratio %.3f",
+		ada.Samples, cen.Samples, ratio, vAda/vCen)
+}

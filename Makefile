@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figures fmt vet clean
+.PHONY: all build test race fuzz cover bench figures fmt vet clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sampling/ ./internal/core/
+	$(GO) test -race ./...
+
+# Short smoke run of the edge-list parser fuzzers (native Go fuzzing).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReadEdgeList$$ -fuzztime 10s ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzReadWeightedEdgeList -fuzztime 10s ./internal/graph
 
 cover:
 	$(GO) test -cover ./...

@@ -122,16 +122,22 @@ func TestEstimateGBCAPI(t *testing.T) {
 	g := BarabasiAlbert(200, 2, 11)
 	group := []int32{0, 3, 8}
 	exact := ExactGBC(g, group)
-	est := EstimateGBC(g, group, 20000, 12)
+	est, err := EstimateGBC(g, group, 20000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(est-exact)/exact > 0.08 {
 		t.Fatalf("estimate %g vs exact %g", est, exact)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for zero samples")
-		}
-	}()
-	EstimateGBC(g, group, 0, 1)
+	if _, err := EstimateGBC(g, group, 0, 1); err == nil {
+		t.Fatal("expected error for zero samples")
+	}
+	if _, err := EstimateGBC(nil, group, 10, 1); err == nil {
+		t.Fatal("expected error for nil graph")
+	}
+	if _, err := EstimateGBC(g, []int32{int32(g.N())}, 10, 1); err == nil {
+		t.Fatal("expected error for out-of-range group node")
+	}
 }
 
 func TestCommunityAPI(t *testing.T) {

@@ -6,39 +6,77 @@
 //	gbc -input network.txt -k 20
 //	gbc -dataset GrQc -k 50 -alg CentRa -eps 0.2
 //	gbc -dataset Twitter -scale 0.05 -k 20 -verify
+//	gbc -dataset LiveJournal -k 20 -timeout 5s        # best group within 5s
+//	gbc -input big.txt -k 50 -eps 0.05 -timeout 30s -workers 8
+//
+// Adaptive sampling has no a-priori bound on its total work, so -timeout
+// bounds the wall-clock time of the run: on expiry (or on Ctrl-C) the best
+// group found so far is printed with its stop reason ("Deadline" or
+// "Cancelled") and converged: false — a partial result, not an error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"gbc"
 )
 
 func main() {
-	var (
-		input      = flag.String("input", "", "edge list file ('u v' lines; '#' comments)")
-		directed   = flag.Bool("directed", false, "treat the input edge list as directed")
-		weightedIn = flag.Bool("weighted", false, "treat the input edge list as weighted ('u v w' lines)")
-		ds         = flag.String("dataset", "", "generate a Table I dataset stand-in instead of reading a file")
-		scale      = flag.Float64("scale", 0, "dataset scale in (0,1]; 0 = dataset default")
-		k          = flag.Int("k", 10, "group size K")
-		algName    = flag.String("alg", "AdaAlg", "algorithm: AdaAlg, HEDGE, CentRa, EXHAUST or PairSampling")
-		eps        = flag.Float64("eps", 0.3, "error ratio ε in (0, 1-1/e)")
-		gamma      = flag.Float64("gamma", 0.01, "failure probability γ")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		verify     = flag.Bool("verify", false, "also compute the exact B(C) of the found group (O(n(n+m)))")
-		trace      = flag.Bool("trace", false, "print per-iteration statistics")
-		labels     = flag.Bool("labels", false, "print original node labels instead of dense ids")
-		jsonOut    = flag.Bool("json", false, "emit the result as a JSON object instead of text")
-	)
+	var o cliOptions
+	flag.StringVar(&o.input, "input", "", "edge list file ('u v' lines; '#' comments)")
+	flag.BoolVar(&o.directed, "directed", false, "treat the input edge list as directed")
+	flag.BoolVar(&o.weightedIn, "weighted", false, "treat the input edge list as weighted ('u v w' lines)")
+	flag.StringVar(&o.dataset, "dataset", "", "generate a Table I dataset stand-in instead of reading a file")
+	flag.Float64Var(&o.scale, "scale", 0, "dataset scale in (0,1]; 0 = dataset default")
+	flag.IntVar(&o.k, "k", 10, "group size K")
+	flag.StringVar(&o.algName, "alg", "AdaAlg", "algorithm: AdaAlg, HEDGE, CentRa, EXHAUST or PairSampling")
+	flag.Float64Var(&o.eps, "eps", 0.3, "error ratio ε in (0, 1-1/e)")
+	flag.Float64Var(&o.gamma, "gamma", 0.01, "failure probability γ")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-clock bound (e.g. 5s, 2m); on expiry the best-so-far group is printed (0 = none)")
+	flag.IntVar(&o.workers, "workers", 0, "sampling goroutines (<2 = sequential; results are identical)")
+	flag.BoolVar(&o.verify, "verify", false, "also compute the exact B(C) of the found group (O(n(n+m)))")
+	flag.BoolVar(&o.trace, "trace", false, "print per-iteration statistics")
+	flag.BoolVar(&o.labels, "labels", false, "print original node labels instead of dense ids")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as a JSON object instead of text")
 	flag.Parse()
-	if err := run(*input, *directed, *weightedIn, *ds, *scale, *k, *algName, *eps, *gamma, *seed, *verify, *trace, *labels, *jsonOut); err != nil {
+
+	// Ctrl-C cancels the run gracefully: the algorithms return their
+	// best-so-far group with StopReason Cancelled, which is printed like
+	// any other result. A second Ctrl-C kills the process as usual.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "gbc:", err)
 		os.Exit(1)
 	}
+}
+
+// cliOptions carries the parsed command line.
+type cliOptions struct {
+	input      string
+	directed   bool
+	weightedIn bool
+	dataset    string
+	scale      float64
+	k          int
+	algName    string
+	eps        float64
+	gamma      float64
+	seed       uint64
+	timeout    time.Duration
+	workers    int
+	verify     bool
+	trace      bool
+	labels     bool
+	jsonOut    bool
 }
 
 // jsonResult is the machine-readable output of -json.
@@ -59,84 +97,91 @@ type jsonResult struct {
 	SamplesT      int     `json:"samplesValidate"`
 	Iterations    int     `json:"iterations"`
 	Converged     bool    `json:"converged"`
+	StopReason    string  `json:"stopReason"`
 	ElapsedMillis float64 `json:"elapsedMillis"`
 	ExactGBC      float64 `json:"exactGBC,omitempty"`
 }
 
-func run(input string, directed, weightedIn bool, ds string, scale float64, k int, algName string,
-	eps, gamma float64, seed uint64, verify, trace, labels, jsonOut bool) error {
+func run(ctx context.Context, o cliOptions) error {
 	var g *gbc.Graph
 	var err error
 	switch {
-	case input != "" && ds != "":
+	case o.input != "" && o.dataset != "":
 		return fmt.Errorf("-input and -dataset are mutually exclusive")
-	case input != "" && weightedIn:
+	case o.input != "" && o.weightedIn:
 		var f *os.File
-		if f, err = os.Open(input); err == nil {
-			g, err = gbc.LoadWeightedEdgeList(f, directed)
+		if f, err = os.Open(o.input); err == nil {
+			g, err = gbc.LoadWeightedEdgeList(f, o.directed)
 			f.Close()
 		}
-	case input != "":
-		g, err = gbc.LoadEdgeListFile(input, directed)
-	case ds != "":
-		s := scale
+	case o.input != "":
+		g, err = gbc.LoadEdgeListFile(o.input, o.directed)
+	case o.dataset != "":
+		s := o.scale
 		if s == 0 {
 			s = 0.1
 		}
-		g, err = gbc.Dataset(ds, s, seed)
+		g, err = gbc.Dataset(o.dataset, s, o.seed)
 	default:
 		return fmt.Errorf("need -input FILE or -dataset NAME (known: %v)", gbc.DatasetNames())
 	}
 	if err != nil {
 		return err
 	}
-	alg, err := gbc.ParseAlgorithm(algName)
+	alg, err := gbc.ParseAlgorithm(o.algName)
 	if err != nil {
 		return err
 	}
-	if !jsonOut {
+	if !o.jsonOut {
 		fmt.Printf("graph: %v\n", g)
 	}
 
-	opts := gbc.Options{K: k, Epsilon: eps, Gamma: gamma, Seed: seed, CollectTrace: trace}
-	res, err := gbc.TopKWith(alg, g, opts)
+	opts := gbc.Options{
+		K: o.k, Epsilon: o.eps, Gamma: o.gamma, Seed: o.seed,
+		CollectTrace: o.trace, MaxDuration: o.timeout, Workers: o.workers,
+	}
+	res, err := gbc.TopKWithContext(ctx, alg, g, opts)
 	if err != nil {
 		return err
 	}
-	if jsonOut {
+	if res.Group == nil {
+		return fmt.Errorf("stopped (%v) before any group was found — raise -timeout", res.StopReason)
+	}
+	if o.jsonOut {
 		out := jsonResult{
 			Algorithm: alg.String(), Nodes: g.N(), Edges: g.M(), Directed: g.Directed(),
-			K: k, Epsilon: eps, Gamma: gamma, Seed: seed,
+			K: o.k, Epsilon: o.eps, Gamma: o.gamma, Seed: o.seed,
 			Estimate: res.Estimate, Normalized: res.NormalizedEstimate,
 			Samples: res.Samples, SamplesS: res.SamplesS, SamplesT: res.SamplesT,
 			Iterations: res.Iterations, Converged: res.Converged,
+			StopReason:    res.StopReason.String(),
 			ElapsedMillis: float64(res.Elapsed.Microseconds()) / 1000,
 		}
 		for _, v := range res.Group {
-			if labels {
+			if o.labels {
 				out.Group = append(out.Group, g.Label(v))
 			} else {
 				out.Group = append(out.Group, int64(v))
 			}
 		}
-		if verify {
+		if o.verify {
 			out.ExactGBC = gbc.ExactGBC(g, res.Group)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
-	if trace {
+	if o.trace {
 		fmt.Println("  q      guess          L     biased    unbiased  cnt      β        ε_sum")
 		for _, it := range res.Trace {
 			fmt.Printf("%3d %10.1f %10d %10.1f %11.1f %4d %8.4f %8.4f\n",
 				it.Q, it.Guess, it.L, it.Biased, it.Unbiased, it.Cnt, it.Beta, it.EpsilonSum)
 		}
 	}
-	fmt.Printf("algorithm: %v (ε=%g, γ=%g, seed=%d)\n", alg, eps, gamma, seed)
-	fmt.Printf("group (K=%d):", k)
+	fmt.Printf("algorithm: %v (ε=%g, γ=%g, seed=%d)\n", alg, o.eps, o.gamma, o.seed)
+	fmt.Printf("group (K=%d):", o.k)
 	for _, v := range res.Group {
-		if labels {
+		if o.labels {
 			fmt.Printf(" %d", g.Label(v))
 		} else {
 			fmt.Printf(" %d", v)
@@ -144,9 +189,13 @@ func run(input string, directed, weightedIn bool, ds string, scale float64, k in
 	}
 	fmt.Println()
 	fmt.Printf("estimated GBC: %.1f (normalized %.4f)\n", res.Estimate, res.NormalizedEstimate)
-	fmt.Printf("samples: %d (S=%d, T=%d), iterations: %d, converged: %v, elapsed: %v\n",
-		res.Samples, res.SamplesS, res.SamplesT, res.Iterations, res.Converged, res.Elapsed)
-	if verify {
+	fmt.Printf("samples: %d (S=%d, T=%d), iterations: %d, converged: %v (%v), elapsed: %v\n",
+		res.Samples, res.SamplesS, res.SamplesT, res.Iterations, res.Converged, res.StopReason, res.Elapsed)
+	if !res.Converged {
+		fmt.Printf("note: stopped early (%v) — the group is best-so-far without the (1-1/e-ε) guarantee\n",
+			res.StopReason)
+	}
+	if o.verify {
 		exact := gbc.ExactGBC(g, res.Group)
 		n := float64(g.N())
 		fmt.Printf("exact GBC: %.1f (normalized %.4f); estimate off by %+.2f%%\n",

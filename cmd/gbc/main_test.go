@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestRunErrors(t *testing.T) {
@@ -22,15 +24,18 @@ func TestRunErrors(t *testing.T) {
 		{"bad epsilon", "", "GrQc", "AdaAlg", 0.99},
 	}
 	for _, tc := range cases {
-		err := run(tc.input, false, false, tc.ds, 0.02, 3, tc.alg, tc.eps, 0.01, 1, false, false, false, false)
-		if err == nil {
+		o := cliOptions{input: tc.input, dataset: tc.ds, scale: 0.02, k: 3,
+			algName: tc.alg, eps: tc.eps, gamma: 0.01, seed: 1}
+		if err := run(context.Background(), o); err == nil {
 			t.Fatalf("%s: expected error", tc.name)
 		}
 	}
 }
 
 func TestRunDatasetSuccess(t *testing.T) {
-	if err := run("", false, false, "GrQc", 0.05, 5, "AdaAlg", 0.3, 0.01, 1, true, true, false, false); err != nil {
+	o := cliOptions{dataset: "GrQc", scale: 0.05, k: 5, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1, verify: true, trace: true}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,13 +47,17 @@ func TestRunFromFileWithLabels(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, "", 0, 2, "CentRa", 0.3, 0.01, 1, true, false, true, false); err != nil {
+	o := cliOptions{input: path, k: 2, algName: "CentRa",
+		eps: 0.3, gamma: 0.01, seed: 1, verify: true, labels: true}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
-	if err := run("", false, false, "GrQc", 0.05, 3, "AdaAlg", 0.3, 0.01, 1, true, false, false, true); err != nil {
+	o := cliOptions{dataset: "GrQc", scale: 0.05, k: 3, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1, verify: true, jsonOut: true}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,18 +69,47 @@ func TestRunWeightedInput(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, true, "", 0, 2, "AdaAlg", 0.3, 0.01, 1, true, false, false, false); err != nil {
+	o := cliOptions{input: path, weightedIn: true, k: 2, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1, verify: true}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
-	// A weighted file parsed without -weighted still loads (extra column
-	// ignored is NOT allowed -> actually the plain reader takes the first
-	// two fields, so it succeeds); the -weighted flag on a 2-column file
-	// must error.
+	// A 2-column file parsed with -weighted must error.
 	plain := filepath.Join(dir, "p.txt")
 	if err := os.WriteFile(plain, []byte("0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(plain, false, true, "", 0, 1, "AdaAlg", 0.3, 0.01, 1, false, false, false, false); err == nil {
+	o = cliOptions{input: plain, weightedIn: true, k: 1, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1}
+	if err := run(context.Background(), o); err == nil {
 		t.Fatal("expected error for -weighted on a 2-column file")
 	}
+}
+
+// TestRunTimeoutPartialResult drives the -timeout path: an aggressive ε on
+// a larger dataset cannot converge in 30ms, yet the run must succeed and
+// print a partial (best-so-far) result rather than erroring out.
+func TestRunTimeoutPartialResult(t *testing.T) {
+	o := cliOptions{dataset: "Facebook", scale: 0.5, k: 10, algName: "AdaAlg",
+		eps: 0.05, gamma: 0.01, seed: 1, timeout: 30 * time.Millisecond, jsonOut: true}
+	start := time.Now()
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run with 30ms timeout took %v", elapsed)
+	}
+}
+
+// TestRunCancelledContext simulates Ctrl-C: a pre-cancelled context must
+// still yield either a graceful partial result or a clear error (when not a
+// single sample was drawn), never a panic or a hang.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := cliOptions{dataset: "GrQc", scale: 0.05, k: 3, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1}
+	err := run(ctx, o)
+	// Either outcome is acceptable; the run must simply return promptly.
+	_ = err
 }

@@ -1,0 +1,82 @@
+package gbc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gbc/internal/bfs"
+	"gbc/internal/core"
+	"gbc/internal/graph"
+	"gbc/internal/sampling"
+	"gbc/internal/xrand"
+)
+
+func TestTopKContextDeadlinePartialResult(t *testing.T) {
+	g := BarabasiAlbert(15000, 3, 42)
+	const deadline = 100 * time.Millisecond
+	start := time.Now()
+	res, err := TopK(g, Options{K: 10, Epsilon: 0.08, Seed: 1, MaxDuration: deadline})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.StopReason != StopDeadline {
+		t.Fatalf("converged=%v reason=%v, want a deadline stop", res.Converged, res.StopReason)
+	}
+	if len(res.Group) != 10 {
+		t.Fatalf("best-so-far group %v, want 10 nodes", res.Group)
+	}
+	if elapsed > deadline+time.Second {
+		t.Fatalf("run overshot the %v deadline by %v", deadline, elapsed-deadline)
+	}
+}
+
+func TestTopKContextCancellation(t *testing.T) {
+	g := BarabasiAlbert(15000, 3, 42)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		cancel()
+	}()
+	res, err := TopKContext(ctx, g, Options{K: 5, Epsilon: 0.08, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.StopReason != StopCancelled {
+		t.Fatalf("converged=%v reason=%v, want cancelled", res.Converged, res.StopReason)
+	}
+	if res.Group == nil {
+		t.Fatal("no best-so-far group")
+	}
+}
+
+// apiBoomSampler panics after a fixed number of draws.
+type apiBoomSampler struct{ calls int }
+
+func (b *apiBoomSampler) Sample(s, t int32, r *xrand.Rand) bfs.Sample {
+	b.calls++
+	if b.calls > 50 {
+		panic("boom: injected sampler fault")
+	}
+	return bfs.Sample{Reachable: false}
+}
+
+func TestTopKContextWorkerPanicSurfacesAsError(t *testing.T) {
+	core.SamplerSetHook = func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
+		return sampling.NewFactorySet(g, func() sampling.PairSampler {
+			return &apiBoomSampler{}
+		}, r)
+	}
+	defer func() { core.SamplerSetHook = nil }()
+	g := BarabasiAlbert(200, 2, 3)
+	res, err := TopKContext(context.Background(), g, Options{K: 3, Seed: 4, Workers: 4})
+	if err == nil {
+		t.Fatalf("expected a worker-panic error, got result %+v", res)
+	}
+	var pe *sampling.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a *sampling.PanicError", err, err)
+	}
+}

@@ -21,8 +21,10 @@
 package gbc
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 
 	"gbc/internal/brandes"
 	"gbc/internal/community"
@@ -50,6 +52,29 @@ type Options = core.Options
 // sampled shortest paths and the algorithm's stopping state.
 type Result = core.Result
 
+// StopReason states why a computation returned: converged by its own rule,
+// sample cap, deadline, cancellation, or exhausted iterations. Any value
+// other than StopConverged means the returned group is best-so-far without
+// the (1-1/e-ε) guarantee.
+type StopReason = core.StopReason
+
+// The stop reasons a Result can carry.
+const (
+	// StopConverged: the stopping rule fired; the guarantee holds with
+	// probability 1-γ.
+	StopConverged = core.StopConverged
+	// StopSampleCap: Options.MaxSamples was reached first.
+	StopSampleCap = core.StopSampleCap
+	// StopDeadline: Options.MaxDuration or the context deadline expired.
+	StopDeadline = core.StopDeadline
+	// StopCancelled: the context passed to a *Context entry point was
+	// cancelled.
+	StopCancelled = core.StopCancelled
+	// StopIterationsExhausted: every outer iteration ran without the
+	// stopping rule firing.
+	StopIterationsExhausted = core.StopIterationsExhausted
+)
+
 // Algorithm selects one of the implemented algorithms.
 type Algorithm = core.Algorithm
 
@@ -76,9 +101,28 @@ func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm
 // 1-γ the returned group is a (1-1/e-ε)-approximation.
 func TopK(g *Graph, opts Options) (*Result, error) { return core.AdaAlg(g, opts) }
 
+// TopKContext is TopK under a context. Adaptive sampling has no a-priori
+// bound on its total work, so production callers should bound every request
+// with a context deadline or Options.MaxDuration. Cancellation does not
+// produce an error: the best group found so far is returned with
+// Result.Converged == false and Result.StopReason saying what happened
+// (deadline, cancellation, sample cap). Everything computed before the stop
+// is deterministic — the partial result equals what an uncancelled run had
+// at the same sample count. A panic in a sampling worker goroutine is
+// recovered and returned as an error instead of crashing the process.
+func TopKContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	return core.AdaAlgCtx(ctx, g, opts)
+}
+
 // TopKWith is TopK with an explicit algorithm choice.
 func TopKWith(alg Algorithm, g *Graph, opts Options) (*Result, error) {
 	return core.Run(alg, g, opts)
+}
+
+// TopKWithContext is TopKWith under a context; every algorithm shares the
+// cancellation semantics documented on TopKContext.
+func TopKWithContext(ctx context.Context, alg Algorithm, g *Graph, opts Options) (*Result, error) {
+	return core.RunCtx(ctx, alg, g, opts)
 }
 
 // NewBuilder returns a graph builder for n nodes.
@@ -174,14 +218,38 @@ func ExactGBC(g *Graph, group []int32) float64 { return exact.GBC(g, group) }
 // EstimateGBC estimates B(C) of a user-supplied group from `samples`
 // sampled shortest paths — the unbiased estimator of Eq. (4), for graphs
 // too large for ExactGBC. The standard error scales as
-// n(n-1)·sqrt(µ(1-µ)/samples) with µ = B(C)/(n(n-1)).
-func EstimateGBC(g *Graph, group []int32, samples int, seed uint64) float64 {
+// n(n-1)·sqrt(µ(1-µ)/samples) with µ = B(C)/(n(n-1)). It returns an error
+// for a non-positive sample count, a nil or too-small graph, or a group
+// node outside the graph.
+func EstimateGBC(g *Graph, group []int32, samples int, seed uint64) (float64, error) {
+	return EstimateGBCContext(context.Background(), g, group, samples, seed)
+}
+
+// EstimateGBCContext is EstimateGBC under a context. On cancellation or
+// deadline expiry the estimate computed from the samples drawn so far —
+// still unbiased, just noisier — is returned together with the context's
+// error; the estimate is NaN only if not a single sample was drawn.
+func EstimateGBCContext(ctx context.Context, g *Graph, group []int32, samples int, seed uint64) (float64, error) {
 	if samples <= 0 {
-		panic("gbc: EstimateGBC needs a positive sample count")
+		return 0, fmt.Errorf("gbc: EstimateGBC needs a positive sample count, got %d", samples)
+	}
+	if g == nil || g.N() < 2 {
+		return 0, fmt.Errorf("gbc: EstimateGBC needs a graph with at least 2 nodes")
+	}
+	for _, v := range group {
+		if v < 0 || int(v) >= g.N() {
+			return 0, fmt.Errorf("gbc: EstimateGBC group node %d out of range [0, %d)", v, g.N())
+		}
 	}
 	set := sampling.NewSetFor(g, xrand.New(seed))
-	set.GrowTo(samples)
-	return set.EstimateGroup(group)
+	err := set.GrowToCtx(ctx, samples)
+	if set.Len() == 0 {
+		if err == nil {
+			err = fmt.Errorf("gbc: EstimateGBC drew no samples")
+		}
+		return math.NaN(), err
+	}
+	return set.EstimateGroup(group), err
 }
 
 // ExactNormalizedGBC is ExactGBC divided by n(n-1), in [0, 1].
@@ -232,6 +300,15 @@ func ApproxNodeBetweenness(g *Graph, epsilon, delta float64, seed uint64) ([]flo
 	return brandes.ApproxCentrality(g, brandes.ApproxOptions{Epsilon: epsilon, Delta: delta}, xrand.New(seed))
 }
 
+// ApproxNodeBetweennessContext is ApproxNodeBetweenness under a context. On
+// cancellation or deadline expiry the estimates from the samples drawn so
+// far — unbiased but without the epsilon guarantee — are returned together
+// with the context's error, so callers can use the partial values while
+// reporting honestly that the guarantee was not reached.
+func ApproxNodeBetweennessContext(ctx context.Context, g *Graph, epsilon, delta float64, seed uint64) ([]float64, int, error) {
+	return brandes.ApproxCentralityCtx(ctx, g, brandes.ApproxOptions{Epsilon: epsilon, Delta: delta}, xrand.New(seed))
+}
+
 // GreedyExactTopK runs the successive exact greedy of Puzis et al. (2007):
 // a (1-1/e)-approximation with exact marginals, O(n²) memory — the
 // non-sampling reference for graphs up to a few thousand nodes.
@@ -247,4 +324,10 @@ type BudgetedOptions = core.BudgetedOptions
 // not exceed opts.Budget.
 func BudgetedTopK(g *Graph, opts BudgetedOptions) (*Result, error) {
 	return core.BudgetedGBC(g, opts)
+}
+
+// BudgetedTopKContext is BudgetedTopK under a context; see TopKContext for
+// the cancellation semantics.
+func BudgetedTopKContext(ctx context.Context, g *Graph, opts BudgetedOptions) (*Result, error) {
+	return core.BudgetedGBCCtx(ctx, g, opts)
 }

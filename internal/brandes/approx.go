@@ -1,8 +1,10 @@
 package brandes
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"gbc/internal/bfs"
 	"gbc/internal/graph"
@@ -19,6 +21,10 @@ type ApproxOptions struct {
 	Delta float64
 	// MaxSamples caps the sample count (0 = the Hoeffding worst case).
 	MaxSamples int
+	// MaxDuration bounds the wall-clock time (0 = no bound); on expiry the
+	// estimates from the samples drawn so far are returned alongside
+	// context.DeadlineExceeded (see ApproxCentralityCtx).
+	MaxDuration time.Duration
 }
 
 // ApproxCentrality estimates the betweenness centrality of every node by
@@ -37,6 +43,17 @@ type ApproxOptions struct {
 // betweenness (ordered-pair convention, endpoints excluded, as Centrality).
 // Returns the estimates and the number of sampled paths used.
 func ApproxCentrality(g *graph.Graph, opts ApproxOptions, r *xrand.Rand) ([]float64, int, error) {
+	return ApproxCentralityCtx(context.Background(), g, opts, r)
+}
+
+// ApproxCentralityCtx is ApproxCentrality under a context. Cancellation,
+// the context deadline and ApproxOptions.MaxDuration degrade gracefully:
+// the estimates computed from the L samples drawn so far — still unbiased,
+// but without the ε guarantee — are returned together with the context's
+// error, so callers can both use the partial values and report honestly
+// that the guarantee was not reached. The context is checked every few
+// hundred samples.
+func ApproxCentralityCtx(ctx context.Context, g *graph.Graph, opts ApproxOptions, r *xrand.Rand) ([]float64, int, error) {
 	n := g.N()
 	if n < 2 {
 		return nil, 0, fmt.Errorf("brandes: graph needs at least 2 nodes")
@@ -49,6 +66,14 @@ func ApproxCentrality(g *graph.Graph, opts ApproxOptions, r *xrand.Rand) ([]floa
 	}
 	if opts.Delta <= 0 || opts.Delta >= 1 {
 		return nil, 0, fmt.Errorf("brandes: delta %g out of (0, 1)", opts.Delta)
+	}
+	if opts.MaxDuration < 0 {
+		return nil, 0, fmt.Errorf("brandes: negative MaxDuration")
+	}
+	if opts.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.MaxDuration)
+		defer cancel()
 	}
 	logTerm := math.Log(3 * float64(n) / opts.Delta)
 	// Hoeffding worst case: the rule below always stops by here.
@@ -68,11 +93,18 @@ func ApproxCentrality(g *graph.Graph, opts ApproxOptions, r *xrand.Rand) ([]floa
 	counts := make([]float64, n)
 	L := 0
 	target := 256
+	var ctxErr error
+sampling:
 	for {
 		if target > worst {
 			target = worst
 		}
 		for ; L < target; L++ {
+			if L%256 == 0 {
+				if ctxErr = ctx.Err(); ctxErr != nil {
+					break sampling
+				}
+			}
 			a, b := r.IntnPair(n)
 			smp := sampler.Sample(int32(a), int32(b), r)
 			if !smp.Reachable {
@@ -102,8 +134,10 @@ func ApproxCentrality(g *graph.Graph, opts ApproxOptions, r *xrand.Rand) ([]floa
 	}
 	nn := float64(n) * float64(n-1)
 	bc := make([]float64, n)
-	for v := range bc {
-		bc[v] = counts[v] / float64(L) * nn
+	if L > 0 {
+		for v := range bc {
+			bc[v] = counts[v] / float64(L) * nn
+		}
 	}
-	return bc, L, nil
+	return bc, L, ctxErr
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -9,9 +10,39 @@ import (
 	"gbc/internal/xrand"
 )
 
+// SamplerSetHook, when non-nil, replaces the sampler-set construction of
+// AdaAlg and the static baselines. It exists so tests can inject faulty
+// samplers (e.g. to exercise worker-panic recovery) through the public API;
+// production code must leave it nil.
+var SamplerSetHook func(g *graph.Graph, r *xrand.Rand) *sampling.Set
+
+// newSamplerSet builds the sampler set an algorithm run draws from,
+// honoring the ablation switches in opts and the test hook.
+func newSamplerSet(g *graph.Graph, opts Options, r *xrand.Rand) *sampling.Set {
+	var set *sampling.Set
+	switch {
+	case SamplerSetHook != nil:
+		set = SamplerSetHook(g, r)
+	case g.Weighted():
+		set = sampling.NewWeightedSet(g, r)
+	case opts.UseForwardSampler:
+		set = sampling.NewForwardSet(g, r)
+	default:
+		set = sampling.NewBidirectionalSet(g, r)
+	}
+	set.Workers = opts.Workers
+	return set
+}
+
 // AdaAlg runs Algorithm 1 of the paper: the adaptive sampling algorithm for
 // the top-K group betweenness centrality problem. It returns a group that
 // is a (1-1/e-ε)-approximation with probability at least 1-γ.
+// AdaAlg is AdaAlgCtx with a background context.
+func AdaAlg(g *graph.Graph, opts Options) (*Result, error) {
+	return AdaAlgCtx(context.Background(), g, opts)
+}
+
+// AdaAlgCtx runs Algorithm 1 under a context.
 //
 // The algorithm keeps two independently grown sample sets of shortest
 // paths: S, on which the greedy max-coverage group C_q and its biased
@@ -22,11 +53,21 @@ import (
 // cnt >= 2 on, the error split ε₁ (Eq. 10) and the observed relative error
 // β between the two estimates are combined into ε_sum (Ineq. 11), and the
 // algorithm stops as soon as ε_sum <= ε.
-func AdaAlg(g *graph.Graph, opts Options) (*Result, error) {
+//
+// Cancelling ctx, or exceeding its deadline or Options.MaxDuration, does
+// not produce an error: the best group found so far is returned with
+// Converged == false and Result.StopReason saying what happened.
+// Cancellation is checked between outer iterations and every few thousand
+// samples inside one, so even a single huge L_q round stops promptly. A
+// panic in a sampling worker goroutine is recovered and returned as an
+// error instead of crashing the process.
+func AdaAlgCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
 	}
+	ctx, cancel := withMaxDuration(ctx, opts.MaxDuration)
+	defer cancel()
 	start := time.Now()
 	r := opts.rng()
 	n := float64(g.N())
@@ -42,36 +83,61 @@ func AdaAlg(g *graph.Graph, opts Options) (*Result, error) {
 	}
 	theta := Theta(opts.Epsilon, opts.Gamma, qMax)
 
-	newSet := func(rr *xrand.Rand) *sampling.Set {
-		var set *sampling.Set
-		switch {
-		case g.Weighted():
-			set = sampling.NewWeightedSet(g, rr)
-		case opts.UseForwardSampler:
-			set = sampling.NewForwardSet(g, rr)
-		default:
-			set = sampling.NewBidirectionalSet(g, rr)
-		}
-		set.Workers = opts.Workers
-		return set
-	}
 	// Independent streams for S and T: the unbiasedness of B̄ requires that
 	// T is independent of the group chosen from S.
-	setS := newSet(r.Split())
-	setT := newSet(r.Split())
+	setS := newSamplerSet(g, opts, r.Split())
+	setT := newSamplerSet(g, opts, r.Split())
 
 	res := &Result{Base: b, Theta: theta}
+	finish := func() *Result {
+		res.SamplesS = setS.Len()
+		res.SamplesT = setT.Len()
+		res.Samples = res.SamplesS + res.SamplesT
+		res.NormalizedEstimate = res.Estimate / nn
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	// interrupted absorbs a cancellation/deadline from a growth call into a
+	// graceful partial result, salvaging a best-so-far group from whatever
+	// samples were committed if no iteration completed yet. Worker panics
+	// pass through as errors.
+	interrupted := func(err error) (*Result, error) {
+		reason, ok := stopReasonFor(err)
+		if !ok {
+			return nil, err
+		}
+		if res.Group == nil && setS.Len() > 0 {
+			group, covered := setS.Greedy(opts.K)
+			res.Group = group
+			res.BiasedEstimate = setS.Estimate(covered)
+			if setT.Len() > 0 {
+				res.Estimate = setT.EstimateGroup(group)
+			} else {
+				res.Estimate = res.BiasedEstimate
+			}
+		}
+		res.StopReason = reason
+		return finish(), nil
+	}
+
 	cnt := 0
+	res.StopReason = StopIterationsExhausted
 	for q := 1; q <= qMax; q++ {
 		guess := nn / math.Pow(b, float64(q))
 		lq := int(math.Ceil(theta * math.Pow(b, float64(q))))
 		if opts.MaxSamples > 0 && 2*lq > opts.MaxSamples {
-			break // cap reached; fall through with the best group so far
+			// Cap reached; fall through with the best group so far.
+			res.StopReason = StopSampleCap
+			break
 		}
-		setS.GrowTo(lq)
+		if err := setS.GrowToCtx(ctx, lq); err != nil {
+			return interrupted(err)
+		}
 		group, covered := setS.Greedy(opts.K)
 		biased := setS.Estimate(covered)
-		setT.GrowTo(lq)
+		if err := setT.GrowToCtx(ctx, lq); err != nil {
+			return interrupted(err)
+		}
 		unbiased := setT.EstimateGroup(group)
 
 		res.Group = group
@@ -94,6 +160,7 @@ func AdaAlg(g *graph.Graph, opts Options) (*Result, error) {
 			res.Trace = append(res.Trace, Iteration{
 				Q: q, Guess: guess, L: lq, Biased: biased, Unbiased: unbiased,
 				Cnt: cnt, Beta: beta, Epsilon1: eps1, EpsilonSum: epsSum,
+				Group: append([]int32(nil), group...),
 			})
 		}
 		if cnt >= 2 {
@@ -103,14 +170,10 @@ func AdaAlg(g *graph.Graph, opts Options) (*Result, error) {
 			res.EpsilonSum = epsSum
 			if epsSum <= opts.Epsilon {
 				res.Converged = true
+				res.StopReason = StopConverged
 				break
 			}
 		}
 	}
-	res.SamplesS = setS.Len()
-	res.SamplesT = setT.Len()
-	res.Samples = res.SamplesS + res.SamplesT
-	res.NormalizedEstimate = res.Estimate / nn
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return finish(), nil
 }

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
 	"gbc/internal/graph"
-	"gbc/internal/sampling"
 )
 
 // sampleBound gives the per-guess sample count of a static (non-adaptive)
@@ -17,36 +17,59 @@ type sampleBound func(nn, guess float64) float64
 // to the bound, run greedy max coverage, and accept as soon as the greedy
 // estimate reaches the guess (so the bound was computed from a value no
 // larger than ~2·opt).
-func runStatic(g *graph.Graph, opts Options, bound sampleBound) (*Result, error) {
+//
+// Cancellation, deadlines and MaxDuration degrade gracefully exactly as in
+// AdaAlgCtx: the best group so far comes back with Result.StopReason set
+// instead of an error.
+func runStatic(ctx context.Context, g *graph.Graph, opts Options, bound sampleBound) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
 	}
+	ctx, cancel := withMaxDuration(ctx, opts.MaxDuration)
+	defer cancel()
 	start := time.Now()
 	r := opts.rng()
 	n := float64(g.N())
 	nn := n * (n - 1)
 
-	var set *sampling.Set
-	switch {
-	case g.Weighted():
-		set = sampling.NewWeightedSet(g, r.Split())
-	case opts.UseForwardSampler:
-		set = sampling.NewForwardSet(g, r.Split())
-	default:
-		set = sampling.NewBidirectionalSet(g, r.Split())
-	}
-	set.Workers = opts.Workers
+	set := newSamplerSet(g, opts, r.Split())
 
 	res := &Result{}
+	finish := func() *Result {
+		res.SamplesS = set.Len()
+		res.Samples = res.SamplesS
+		res.NormalizedEstimate = res.Estimate / nn
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	interrupted := func(err error) (*Result, error) {
+		reason, ok := stopReasonFor(err)
+		if !ok {
+			return nil, err
+		}
+		if res.Group == nil && set.Len() > 0 {
+			group, covered := set.Greedy(opts.K)
+			res.Group = group
+			res.Estimate = set.Estimate(covered)
+			res.BiasedEstimate = res.Estimate
+		}
+		res.StopReason = reason
+		return finish(), nil
+	}
+
+	res.StopReason = StopIterationsExhausted
 	qMax := int(math.Ceil(math.Log2(nn))) + 1
 	for q := 1; q <= qMax; q++ {
 		guess := nn / math.Pow(2, float64(q))
 		lq := int(math.Ceil(bound(nn, guess)))
 		if opts.MaxSamples > 0 && lq > opts.MaxSamples {
+			res.StopReason = StopSampleCap
 			break
 		}
-		set.GrowTo(lq)
+		if err := set.GrowToCtx(ctx, lq); err != nil {
+			return interrupted(err)
+		}
 		group, covered := set.Greedy(opts.K)
 		biased := set.Estimate(covered)
 
@@ -57,29 +80,33 @@ func runStatic(g *graph.Graph, opts Options, bound sampleBound) (*Result, error)
 		if opts.CollectTrace {
 			res.Trace = append(res.Trace, Iteration{
 				Q: q, Guess: guess, L: lq, Biased: biased, Unbiased: math.NaN(),
+				Group: append([]int32(nil), group...),
 			})
 		}
 		if biased >= guess {
 			res.Converged = true
+			res.StopReason = StopConverged
 			break
 		}
 	}
-	res.SamplesS = set.Len()
-	res.Samples = res.SamplesS
-	res.NormalizedEstimate = res.Estimate / nn
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return finish(), nil
 }
 
 // HEDGE is the sampling algorithm of Mahmoody, Tsourakakis and Upfal
 // (KDD 2016): the union bound over the n^K candidate groups yields a
 // sample count proportional to (K·ln n + ln(2/γ))/(ε²·μ_opt).
 func HEDGE(g *graph.Graph, opts Options) (*Result, error) {
+	return HEDGECtx(context.Background(), g, opts)
+}
+
+// HEDGECtx is HEDGE under a context; see AdaAlgCtx for the cancellation
+// semantics.
+func HEDGECtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	eps, gamma := opts.Epsilon, opts.Gamma
 	k := float64(opts.K)
 	n := float64(g.N())
-	return runStatic(g, opts, func(nn, guess float64) float64 {
+	return runStatic(ctx, g, opts, func(nn, guess float64) float64 {
 		return (k*math.Log(n) + math.Log(2/gamma)) * (2 + eps) / (eps * eps) * nn / guess
 	})
 }
@@ -89,10 +116,16 @@ func HEDGE(g *graph.Graph, opts Options) (*Result, error) {
 // K·log K (the form quoted in §VI of the paper), which is what makes it the
 // state of the art among the static algorithms.
 func CentRa(g *graph.Graph, opts Options) (*Result, error) {
+	return CentRaCtx(context.Background(), g, opts)
+}
+
+// CentRaCtx is CentRa under a context; see AdaAlgCtx for the cancellation
+// semantics.
+func CentRaCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	eps, gamma := opts.Epsilon, opts.Gamma
 	k := float64(opts.K)
-	return runStatic(g, opts, func(nn, guess float64) float64 {
+	return runStatic(ctx, g, opts, func(nn, guess float64) float64 {
 		return (k*math.Log(k+1) + math.Log(2/gamma)) * (2 + eps) / (eps * eps) * nn / guess
 	})
 }
@@ -110,11 +143,17 @@ const (
 // paper's defaults when non-zero (the experiment harness uses a slightly
 // larger ε to keep default runs fast; see EXPERIMENTS.md).
 func EXHAUST(g *graph.Graph, opts Options) (*Result, error) {
+	return EXHAUSTCtx(context.Background(), g, opts)
+}
+
+// EXHAUSTCtx is EXHAUST under a context; see AdaAlgCtx for the cancellation
+// semantics.
+func EXHAUSTCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	if opts.Epsilon == 0 {
 		opts.Epsilon = ExhaustEpsilon
 	}
 	if opts.Gamma == 0 {
 		opts.Gamma = ExhaustGamma
 	}
-	return HEDGE(g, opts)
+	return HEDGECtx(ctx, g, opts)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -22,6 +23,9 @@ type BudgetedOptions struct {
 	Seed    uint64
 	// MaxSamples caps the sample count (0 = no cap).
 	MaxSamples int
+	// MaxDuration bounds the wall-clock time of the run (0 = no bound), as
+	// in Options.MaxDuration.
+	MaxDuration time.Duration
 }
 
 // BudgetedGBC solves the budgeted generalization of the top-K GBC problem
@@ -34,6 +38,12 @@ type BudgetedOptions struct {
 // is correspondingly weaker than AdaAlg's — this is an extension, not part
 // of the paper's Algorithm 1.
 func BudgetedGBC(g *graph.Graph, opts BudgetedOptions) (*Result, error) {
+	return BudgetedGBCCtx(context.Background(), g, opts)
+}
+
+// BudgetedGBCCtx is BudgetedGBC under a context; see AdaAlgCtx for the
+// cancellation semantics.
+func BudgetedGBCCtx(ctx context.Context, g *graph.Graph, opts BudgetedOptions) (*Result, error) {
 	if g == nil || g.N() < 2 {
 		return nil, fmt.Errorf("core: graph needs at least 2 nodes")
 	}
@@ -64,6 +74,11 @@ func BudgetedGBC(g *graph.Graph, opts BudgetedOptions) (*Result, error) {
 	if opts.Epsilon <= 0 || opts.Epsilon >= 1-invE {
 		return nil, fmt.Errorf("core: epsilon %g out of (0, 1-1/e)", opts.Epsilon)
 	}
+	if opts.MaxDuration < 0 {
+		return nil, fmt.Errorf("core: negative MaxDuration")
+	}
+	ctx, cancel := withMaxDuration(ctx, opts.MaxDuration)
+	defer cancel()
 
 	start := time.Now()
 	n := float64(g.N())
@@ -74,14 +89,43 @@ func BudgetedGBC(g *graph.Graph, opts BudgetedOptions) (*Result, error) {
 	r := xrand.New(opts.Seed)
 	set := sampling.NewSetFor(g, r)
 	res := &Result{}
+	finish := func() *Result {
+		res.SamplesS = set.Len()
+		res.Samples = res.SamplesS
+		res.NormalizedEstimate = res.Estimate / nn
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	salvage := func() {
+		if res.Group == nil && set.Len() > 0 {
+			group, covered := set.Coverage().GreedyBudgeted(opts.Costs, opts.Budget)
+			res.Group = group
+			res.Estimate = set.Estimate(covered)
+			res.BiasedEstimate = res.Estimate
+		}
+	}
+	interrupted := func(err error) (*Result, error) {
+		reason, ok := stopReasonFor(err)
+		if !ok {
+			return nil, err
+		}
+		salvage()
+		res.StopReason = reason
+		return finish(), nil
+	}
+
+	res.StopReason = StopIterationsExhausted
 	qMax := int(math.Ceil(math.Log2(nn))) + 1
 	for q := 1; q <= qMax; q++ {
 		guess := nn / math.Pow(2, float64(q))
 		lq := int(math.Ceil((kHat*math.Log(n) + math.Log(2/gamma)) * (2 + eps) / (eps * eps) * nn / guess))
 		if opts.MaxSamples > 0 && lq > opts.MaxSamples {
+			res.StopReason = StopSampleCap
 			break
 		}
-		set.GrowTo(lq)
+		if err := set.GrowToCtx(ctx, lq); err != nil {
+			return interrupted(err)
+		}
 		group, covered := set.Coverage().GreedyBudgeted(opts.Costs, opts.Budget)
 		biased := set.Estimate(covered)
 
@@ -91,19 +135,15 @@ func BudgetedGBC(g *graph.Graph, opts BudgetedOptions) (*Result, error) {
 		res.Iterations = q
 		if biased >= guess {
 			res.Converged = true
+			res.StopReason = StopConverged
 			break
 		}
 	}
 	if res.Group == nil && opts.MaxSamples > 0 {
-		set.GrowTo(opts.MaxSamples)
-		group, covered := set.Coverage().GreedyBudgeted(opts.Costs, opts.Budget)
-		res.Group = group
-		res.Estimate = set.Estimate(covered)
-		res.BiasedEstimate = res.Estimate
+		if err := set.GrowToCtx(ctx, opts.MaxSamples); err != nil {
+			return interrupted(err)
+		}
+		salvage()
 	}
-	res.SamplesS = set.Len()
-	res.Samples = res.SamplesS
-	res.NormalizedEstimate = res.Estimate / nn
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return finish(), nil
 }

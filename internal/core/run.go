@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gbc/internal/graph"
@@ -59,17 +60,25 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 
 // Run dispatches to the selected algorithm.
 func Run(alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), alg, g, opts)
+}
+
+// RunCtx dispatches to the selected algorithm under a context: every
+// algorithm honors cancellation, context deadlines and Options.MaxDuration
+// by returning its best-so-far result with Result.StopReason set (see
+// AdaAlgCtx).
+func RunCtx(ctx context.Context, alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
 	switch alg {
 	case AlgAdaAlg:
-		return AdaAlg(g, opts)
+		return AdaAlgCtx(ctx, g, opts)
 	case AlgHEDGE:
-		return HEDGE(g, opts)
+		return HEDGECtx(ctx, g, opts)
 	case AlgCentRa:
-		return CentRa(g, opts)
+		return CentRaCtx(ctx, g, opts)
 	case AlgEXHAUST:
-		return EXHAUST(g, opts)
+		return EXHAUSTCtx(ctx, g, opts)
 	case AlgPairSampling:
-		return PairSampling(g, opts)
+		return PairSamplingCtx(ctx, g, opts)
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %v", alg)
 }

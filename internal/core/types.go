@@ -18,6 +18,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -53,8 +55,13 @@ type Options struct {
 	UseForwardSampler bool
 	// MaxSamples caps the total number of sampled paths (0 = no cap). When
 	// the cap is hit the current best group is returned with
-	// Converged == false.
+	// Converged == false and StopReason == StopSampleCap.
 	MaxSamples int
+	// MaxDuration bounds the wall-clock time of the run (0 = no bound).
+	// When it expires the best group found so far is returned with
+	// Converged == false and StopReason == StopDeadline. Equivalent to
+	// passing a context with that deadline to the *Ctx entry point.
+	MaxDuration time.Duration
 	// CollectTrace records per-iteration statistics in Result.Trace.
 	CollectTrace bool
 	// Workers sets the number of goroutines used to draw samples (< 2 =
@@ -101,7 +108,33 @@ func (o Options) validate(g *graph.Graph) error {
 	if o.MaxSamples < 0 {
 		return fmt.Errorf("core: negative MaxSamples")
 	}
+	if o.MaxDuration < 0 {
+		return fmt.Errorf("core: negative MaxDuration")
+	}
 	return nil
+}
+
+// withMaxDuration layers Options.MaxDuration onto ctx as a deadline. The
+// returned cancel func must be called to release the timer.
+func withMaxDuration(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// stopReasonFor classifies an error from a cancelled growth: context
+// cancellation and deadline expiry map to a StopReason (ok true) and are
+// absorbed into a graceful partial result; anything else — in practice a
+// recovered worker panic — is a real error the caller must surface.
+func stopReasonFor(err error) (StopReason, bool) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return StopDeadline, true
+	case errors.Is(err, context.Canceled):
+		return StopCancelled, true
+	}
+	return StopNone, false
 }
 
 func (o Options) rng() *xrand.Rand {
@@ -122,6 +155,51 @@ type Iteration struct {
 	Beta       float64 // relative error β
 	Epsilon1   float64 // ε₁ (0 when cnt < 2)
 	EpsilonSum float64 // ε_sum (0 when cnt < 2)
+	Group      []int32 // the group selected in this iteration
+}
+
+// StopReason states why a run returned when it did. Any reason other than
+// StopConverged means the algorithm's own stopping rule had not yet fired:
+// the result is the best group found so far but carries no (1-1/e-ε)
+// guarantee.
+type StopReason int
+
+const (
+	// StopNone is the zero value: the run has not stopped (never set on a
+	// returned Result).
+	StopNone StopReason = iota
+	// StopConverged: the algorithm's stopping rule fired; the approximation
+	// guarantee holds with probability 1-γ.
+	StopConverged
+	// StopSampleCap: Options.MaxSamples was reached first.
+	StopSampleCap
+	// StopDeadline: Options.MaxDuration or the context deadline expired.
+	StopDeadline
+	// StopCancelled: the context was cancelled.
+	StopCancelled
+	// StopIterationsExhausted: every outer iteration ran without the
+	// stopping rule firing (possible only on pathological inputs — the
+	// guess g_q eventually falls below any positive optimum).
+	StopIterationsExhausted
+)
+
+// String returns the reason name as used in Result reports.
+func (s StopReason) String() string {
+	switch s {
+	case StopNone:
+		return "None"
+	case StopConverged:
+		return "Converged"
+	case StopSampleCap:
+		return "SampleCap"
+	case StopDeadline:
+		return "Deadline"
+	case StopCancelled:
+		return "Cancelled"
+	case StopIterationsExhausted:
+		return "IterationsExhausted"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(s))
 }
 
 // Result is the outcome of a top-K GBC computation.
@@ -154,8 +232,12 @@ type Result struct {
 	Base, Theta float64
 
 	// Converged reports whether the algorithm stopped by its own rule
-	// rather than exhausting iterations or hitting MaxSamples.
+	// rather than exhausting iterations, hitting MaxSamples, or being
+	// cancelled. Equivalent to StopReason == StopConverged.
 	Converged bool
+	// StopReason states why the run returned: converged, sample cap,
+	// deadline, cancellation, or exhausted iterations.
+	StopReason StopReason
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// Trace holds per-iteration statistics when Options.CollectTrace.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -23,6 +24,12 @@ import (
 // for small μ_opt; set Options.MaxSamples to keep runs bounded on graphs
 // where the optimum covers a small fraction of pairs.
 func PairSampling(g *graph.Graph, opts Options) (*Result, error) {
+	return PairSamplingCtx(context.Background(), g, opts)
+}
+
+// PairSamplingCtx is PairSampling under a context; see AdaAlgCtx for the
+// cancellation semantics.
+func PairSamplingCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
@@ -30,6 +37,8 @@ func PairSampling(g *graph.Graph, opts Options) (*Result, error) {
 	if g.Weighted() {
 		return nil, fmt.Errorf("core: PairSampling does not support weighted graphs")
 	}
+	ctx, cancel := withMaxDuration(ctx, opts.MaxDuration)
+	defer cancel()
 	start := time.Now()
 	r := opts.rng()
 	n := float64(g.N())
@@ -37,6 +46,32 @@ func PairSampling(g *graph.Graph, opts Options) (*Result, error) {
 
 	set := pairsample.NewSet(g, r.Split())
 	res := &Result{}
+	finish := func() *Result {
+		res.SamplesS = set.Len()
+		res.Samples = res.SamplesS
+		res.NormalizedEstimate = res.Estimate / nn
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	salvage := func() {
+		if res.Group == nil && set.Len() > 0 {
+			group, covered := set.Greedy(opts.K)
+			res.Group = group
+			res.Estimate = covered / float64(set.Len()) * nn
+			res.BiasedEstimate = res.Estimate
+		}
+	}
+	interrupted := func(err error) (*Result, error) {
+		reason, ok := stopReasonFor(err)
+		if !ok {
+			return nil, err
+		}
+		salvage()
+		res.StopReason = reason
+		return finish(), nil
+	}
+
+	res.StopReason = StopIterationsExhausted
 	eps, gamma := opts.Epsilon, opts.Gamma
 	qMax := int(math.Ceil(math.Log2(nn))) + 1
 	for q := 1; q <= qMax; q++ {
@@ -44,9 +79,12 @@ func PairSampling(g *graph.Graph, opts Options) (*Result, error) {
 		ratio := nn / guess
 		lq := int(math.Ceil((2*math.Log(n) + math.Log(2/gamma)) * (2 + eps) / (eps * eps) * ratio * ratio))
 		if opts.MaxSamples > 0 && lq > opts.MaxSamples {
+			res.StopReason = StopSampleCap
 			break
 		}
-		set.GrowTo(lq)
+		if err := set.GrowToCtx(ctx, lq); err != nil {
+			return interrupted(err)
+		}
 		group, covered := set.Greedy(opts.K)
 		biased := covered / float64(set.Len()) * nn
 
@@ -57,25 +95,22 @@ func PairSampling(g *graph.Graph, opts Options) (*Result, error) {
 		if opts.CollectTrace {
 			res.Trace = append(res.Trace, Iteration{
 				Q: q, Guess: guess, L: lq, Biased: biased, Unbiased: math.NaN(),
+				Group: append([]int32(nil), group...),
 			})
 		}
 		if biased >= guess {
 			res.Converged = true
+			res.StopReason = StopConverged
 			break
 		}
 	}
-	if res.Group == nil {
+	if res.Group == nil && opts.MaxSamples > 0 {
 		// Every per-guess bound exceeded MaxSamples: solve on the capped
 		// sample budget and report non-convergence.
-		set.GrowTo(opts.MaxSamples)
-		group, covered := set.Greedy(opts.K)
-		res.Group = group
-		res.Estimate = covered / float64(set.Len()) * nn
-		res.BiasedEstimate = res.Estimate
+		if err := set.GrowToCtx(ctx, opts.MaxSamples); err != nil {
+			return interrupted(err)
+		}
+		salvage()
 	}
-	res.SamplesS = set.Len()
-	res.Samples = res.SamplesS
-	res.NormalizedEstimate = res.Estimate / nn
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return finish(), nil
 }

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fuzzMaxNodes keeps fuzz inputs from allocating large graphs; correctness
+// does not depend on the limit's value.
+const fuzzMaxNodes = 1 << 12
+
+// checkParsedGraph asserts the structural invariants every successfully
+// parsed graph must satisfy, then round-trips it through WriteEdgeList.
+func checkParsedGraph(t *testing.T, g *Graph, directed, weighted bool) {
+	t.Helper()
+	n := g.N()
+	if n > fuzzMaxNodes {
+		t.Fatalf("parsed %d nodes, above the %d limit", n, fuzzMaxNodes)
+	}
+	if g.Directed() != directed {
+		t.Fatalf("directedness mismatch")
+	}
+	if g.Weighted() != weighted {
+		t.Fatalf("weightedness mismatch: got %v", g.Weighted())
+	}
+	seen := make(map[int64]bool, n)
+	for v := int32(0); int(v) < n; v++ {
+		l := g.Label(v)
+		if l < 0 {
+			t.Fatalf("node %d has negative label %d", v, l)
+		}
+		if seen[l] {
+			t.Fatalf("label %d appears twice", l)
+		}
+		seen[l] = true
+	}
+	g.Edges(func(u, v int32) bool {
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			t.Fatalf("edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			t.Fatalf("self-loop (%d,%d) survived", u, v)
+		}
+		if weighted {
+			w, ok := g.Weight(u, v)
+			if !ok {
+				t.Fatalf("edge (%d,%d) reported by Edges but absent", u, v)
+			}
+			if !(w > 0) || math.IsInf(w, 1) {
+				t.Fatalf("edge (%d,%d) has invalid weight %g", u, v, w)
+			}
+		}
+		return true
+	})
+
+	// Round trip: writing and re-reading must succeed and preserve the
+	// edge count (isolated nodes — e.g. from dropped self-loops — are not
+	// written, so the node count may shrink).
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var g2 *Graph
+	var err error
+	if weighted {
+		g2, err = ReadWeightedEdgeListLimit(&buf, directed, fuzzMaxNodes)
+	} else {
+		g2, err = ReadEdgeListLimit(&buf, directed, fuzzMaxNodes)
+	}
+	if err != nil {
+		t.Fatalf("round trip failed to parse: %v", err)
+	}
+	if g2.M() != g.M() {
+		t.Fatalf("round trip changed edge count: %d -> %d", g.M(), g2.M())
+	}
+	if g2.N() > g.N() {
+		t.Fatalf("round trip grew node count: %d -> %d", g.N(), g2.N())
+	}
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"), false)
+	f.Add([]byte("# comment\n% comment\n10 20\n20 30\n"), true)
+	f.Add([]byte("5 5\n"), false)
+	f.Add([]byte("9223372036854775807 1\n"), false)
+	f.Add([]byte("-3 4\n"), false)
+	f.Add([]byte("0 1 extra fields are fine\n"), false)
+	f.Add([]byte(""), true)
+	f.Fuzz(func(t *testing.T, data []byte, directed bool) {
+		g, err := ReadEdgeListLimit(bytes.NewReader(data), directed, fuzzMaxNodes)
+		if err != nil {
+			return // rejected inputs just must not crash or hang
+		}
+		checkParsedGraph(t, g, directed, false)
+	})
+}
+
+func FuzzReadWeightedEdgeList(f *testing.F) {
+	f.Add([]byte("0 1 1.5\n1 2 2\n"), false)
+	f.Add([]byte("0 1 0\n"), false)
+	f.Add([]byte("0 1 -2\n"), true)
+	f.Add([]byte("0 1 NaN\n"), false)
+	f.Add([]byte("0 1 Inf\n"), false)
+	f.Add([]byte("0 1 1e308\n2 3 5e-324\n"), true)
+	f.Add([]byte("1 2\n"), false)
+	f.Fuzz(func(t *testing.T, data []byte, directed bool) {
+		g, err := ReadWeightedEdgeListLimit(bytes.NewReader(data), directed, fuzzMaxNodes)
+		if err != nil {
+			return
+		}
+		// Empty inputs build an unweighted 0-node graph; only inputs with
+		// at least one edge are weighted.
+		checkParsedGraph(t, g, directed, g.M() > 0)
+	})
+}
+
+func TestReadEdgeListNodeLimit(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&sb, "0 %d\n", 100+i)
+	}
+	if _, err := ReadEdgeListLimit(strings.NewReader(sb.String()), false, 5); err == nil {
+		t.Fatal("expected node-limit error")
+	}
+	// The same input parses fine with a sufficient limit.
+	if _, err := ReadEdgeListLimit(strings.NewReader(sb.String()), false, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Re-used ids do not count against the limit.
+	small := "0 1\n1 2\n2 0\n0 2\n1 0\n"
+	if _, err := ReadEdgeListLimit(strings.NewReader(small), false, 3); err != nil {
+		t.Fatalf("limit 3 should admit 3 distinct nodes: %v", err)
+	}
+}
+
+func TestReadWeightedEdgeListRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{"0 1 Inf\n", "0 1 +Inf\n", "0 1 NaN\n", "0 1 0\n", "0 1 -1\n"} {
+		if _, err := ReadWeightedEdgeList(strings.NewReader(bad), false); err == nil {
+			t.Fatalf("weight input %q must be rejected", bad)
+		}
+	}
+	if _, err := ReadWeightedEdgeList(strings.NewReader("0 1 1e308\n"), false); err != nil {
+		t.Fatalf("large finite weight rejected: %v", err)
+	}
+}

@@ -4,40 +4,70 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
 
+// DefaultMaxNodes bounds the number of distinct node ids the edge-list
+// readers accept before erroring out: a guard against pathological or
+// adversarial inputs allocating unbounded memory in a service that loads
+// user-supplied graphs. Use the *Limit reader variants to raise or lower it.
+const DefaultMaxNodes = 1 << 27 // ~134M nodes
+
 // ReadEdgeList parses a whitespace-separated edge list in the SNAP style:
 // lines of "u v", with '#' or '%' comment lines ignored. Node ids may be
 // arbitrary non-negative integers; they are relabeled densely to 0..n-1 in
-// first-appearance order and the original ids are kept as labels.
+// first-appearance order and the original ids are kept as labels. Inputs
+// with more than DefaultMaxNodes distinct nodes are rejected.
 func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
-	return readEdgeList(r, directed, false)
+	return readEdgeList(r, directed, false, DefaultMaxNodes)
 }
 
-// ReadWeightedEdgeList parses lines of "u v w" with a positive weight w;
-// everything else is as ReadEdgeList.
+// ReadEdgeListLimit is ReadEdgeList with an explicit cap on the number of
+// distinct node ids (maxNodes <= 0 means DefaultMaxNodes); inputs exceeding
+// it return an error instead of allocating without bound.
+func ReadEdgeListLimit(r io.Reader, directed bool, maxNodes int) (*Graph, error) {
+	return readEdgeList(r, directed, false, maxNodes)
+}
+
+// ReadWeightedEdgeList parses lines of "u v w" with a positive finite
+// weight w; everything else is as ReadEdgeList.
 func ReadWeightedEdgeList(r io.Reader, directed bool) (*Graph, error) {
-	return readEdgeList(r, directed, true)
+	return readEdgeList(r, directed, true, DefaultMaxNodes)
 }
 
-func readEdgeList(r io.Reader, directed, weighted bool) (*Graph, error) {
+// ReadWeightedEdgeListLimit is ReadWeightedEdgeList with an explicit cap on
+// the number of distinct node ids; see ReadEdgeListLimit.
+func ReadWeightedEdgeListLimit(r io.Reader, directed bool, maxNodes int) (*Graph, error) {
+	return readEdgeList(r, directed, true, maxNodes)
+}
+
+func readEdgeList(r io.Reader, directed, weighted bool, maxNodes int) (*Graph, error) {
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	if maxNodes > math.MaxInt32 {
+		maxNodes = math.MaxInt32 // node ids are int32
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	id := make(map[int64]int32)
 	var labels []int64
 	var src, dst []int32
 	var wts []float64
-	intern := func(raw int64) int32 {
+	intern := func(raw int64) (int32, bool) {
 		if v, ok := id[raw]; ok {
-			return v
+			return v, true
+		}
+		if len(labels) >= maxNodes {
+			return 0, false
 		}
 		v := int32(len(labels))
 		id[raw] = v
 		labels = append(labels, raw)
-		return v
+		return v, true
 	}
 	lineNo := 0
 	for sc.Scan() {
@@ -66,13 +96,21 @@ func readEdgeList(r io.Reader, directed, weighted bool) (*Graph, error) {
 				return nil, fmt.Errorf("graph: line %d: want 'u v w', got %q", lineNo, line)
 			}
 			w, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil || !(w > 0) {
+			if err != nil || !(w > 0) || math.IsInf(w, 1) {
 				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
 			}
 			wts = append(wts, w)
 		}
-		src = append(src, intern(u))
-		dst = append(dst, intern(v))
+		ui, ok := intern(u)
+		if !ok {
+			return nil, fmt.Errorf("graph: line %d: more than %d distinct nodes (limit exceeded)", lineNo, maxNodes)
+		}
+		vi, ok := intern(v)
+		if !ok {
+			return nil, fmt.Errorf("graph: line %d: more than %d distinct nodes (limit exceeded)", lineNo, maxNodes)
+		}
+		src = append(src, ui)
+		dst = append(dst, vi)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)

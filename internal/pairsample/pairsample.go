@@ -11,6 +11,8 @@
 package pairsample
 
 import (
+	"context"
+
 	"gbc/internal/graph"
 	"gbc/internal/xrand"
 )
@@ -200,9 +202,28 @@ func NewSet(g *graph.Graph, r *xrand.Rand) *Set {
 // Len returns the number of samples drawn (null samples included).
 func (s *Set) Len() int { return len(s.dags) + s.nulls }
 
+// growCheckEvery is how many pair samples are drawn between cancellation
+// checks in GrowToCtx. DAG samples are much heavier than single-path
+// samples, so the interval is smaller than sampling.GrowChunk.
+const growCheckEvery = 256
+
 // GrowTo samples additional pairs until Len() == L.
 func (s *Set) GrowTo(L int) {
-	for s.Len() < L {
+	// The background context never cancels, so the error is always nil.
+	_ = s.GrowToCtx(context.Background(), L)
+}
+
+// GrowToCtx is GrowTo with cancellation: the context is checked every
+// growCheckEvery samples, and on cancellation the samples drawn so far are
+// kept (the set remains a valid, deterministic prefix) and ctx.Err() is
+// returned.
+func (s *Set) GrowToCtx(ctx context.Context, L int) error {
+	for i := 0; s.Len() < L; i++ {
+		if i%growCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		a, b := s.r.IntnPair(s.g.N())
 		dag, ok := SampleDAG(s.g, int32(a), int32(b))
 		if !ok {
@@ -211,6 +232,7 @@ func (s *Set) GrowTo(L int) {
 		}
 		s.dags = append(s.dags, dag)
 	}
+	return nil
 }
 
 // Greedy picks k nodes maximizing the summed covered fraction over the

@@ -11,16 +11,46 @@
 // Each sample index draws from its own deterministic RNG stream, so a Set
 // grown with several workers is byte-identical to one grown sequentially
 // from the same seed.
+//
+// Growth is cancellable: GrowToCtx commits samples in fixed-size chunks and
+// checks its context between chunks (and, with workers, per sample inside a
+// chunk), so even one huge growth request stops promptly when a deadline
+// fires. A cancelled Set is left at a chunk boundary and is
+// indistinguishable from one grown sequentially to the same length — the
+// partial state stays fully deterministic and usable.
 package sampling
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"gbc/internal/bfs"
 	"gbc/internal/coverage"
 	"gbc/internal/graph"
 	"gbc/internal/xrand"
 )
+
+// GrowChunk is the number of samples committed atomically between
+// cancellation checks in GrowToCtx. Small enough that a chunk takes
+// milliseconds even on large graphs, large enough to amortize the check.
+const GrowChunk = 4096
+
+// PanicError reports a panic recovered in a sampling worker goroutine. The
+// process is kept alive; the panic surfaces as an ordinary error from
+// GrowToCtx (and from there out of the algorithm that drove the growth).
+type PanicError struct {
+	// Value is the value the goroutine panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sampling: worker panic: %v", e.Value)
+}
 
 // PairSampler draws one shortest path between two given nodes.
 // Both *bfs.Bidirectional and *bfs.Forward implement it.
@@ -49,38 +79,41 @@ type Set struct {
 
 // NewSet returns an empty sample set around a caller-supplied sampler,
 // seeded from r. Such a set always grows sequentially; use
-// NewBidirectionalSet or NewForwardSet for parallel growth.
+// NewBidirectionalSet, NewForwardSet or NewFactorySet for parallel growth.
 func NewSet(g *graph.Graph, sampler PairSampler, r *xrand.Rand) *Set {
 	s := newSet(g, r)
 	s.sampler = sampler
 	return s
 }
 
+// NewFactorySet returns an empty sample set that builds one sampler per
+// worker with factory, enabling parallel growth with a caller-supplied
+// sampler type.
+func NewFactorySet(g *graph.Graph, factory func() PairSampler, r *xrand.Rand) *Set {
+	s := newSet(g, r)
+	s.newSampler = factory
+	s.sampler = factory()
+	return s
+}
+
 // NewBidirectionalSet is the common construction: a Set backed by balanced
 // bidirectional BFS samplers (one per worker).
 func NewBidirectionalSet(g *graph.Graph, r *xrand.Rand) *Set {
-	s := newSet(g, r)
-	s.newSampler = func() PairSampler { return bfs.NewBidirectional(g) }
-	s.sampler = s.newSampler()
-	return s
+	return NewFactorySet(g, func() PairSampler { return bfs.NewBidirectional(g) }, r)
 }
 
 // NewForwardSet is a Set backed by truncated forward-BFS samplers; the
 // reference sampler for tests and ablations.
 func NewForwardSet(g *graph.Graph, r *xrand.Rand) *Set {
-	s := newSet(g, r)
-	s.newSampler = func() PairSampler { return bfs.NewForward(g) }
-	s.sampler = s.newSampler()
-	return s
+	return NewFactorySet(g, func() PairSampler { return bfs.NewForward(g) }, r)
 }
 
 // NewWeightedSet is a Set backed by truncated Dijkstra samplers for
-// weighted graphs. It panics if g is unweighted.
+// weighted graphs. It panics if g is unweighted — an internal invariant:
+// every exported entry point picks the sampler by g.Weighted() (NewSetFor)
+// or validates the graph before construction.
 func NewWeightedSet(g *graph.Graph, r *xrand.Rand) *Set {
-	s := newSet(g, r)
-	s.newSampler = func() PairSampler { return bfs.NewDijkstra(g) }
-	s.sampler = s.newSampler()
-	return s
+	return NewFactorySet(g, func() PairSampler { return bfs.NewDijkstra(g) }, r)
 }
 
 // NewSetFor picks the natural sampler for g: Dijkstra when weighted,
@@ -94,6 +127,8 @@ func NewSetFor(g *graph.Graph, r *xrand.Rand) *Set {
 
 func newSet(g *graph.Graph, r *xrand.Rand) *Set {
 	if g.N() < 2 {
+		// Internal invariant: core.Options.validate and the gbc package
+		// reject graphs with fewer than two nodes before building a Set.
 		panic("sampling: graph needs at least two nodes")
 	}
 	return &Set{g: g, seed0: r.Uint64(), seed1: r.Uint64(), cov: coverage.New(g.N())}
@@ -120,41 +155,99 @@ func (s *Set) drawOne(i int, sampler PairSampler) []int32 {
 func (s *Set) Len() int { return s.cov.Len() }
 
 // GrowTo samples additional shortest paths until Len() == L.
-// Growing to a smaller or equal L is a no-op.
+// Growing to a smaller or equal L is a no-op. A worker panic is re-raised
+// on the calling goroutine; use GrowToCtx to receive it as an error.
 func (s *Set) GrowTo(L int) {
-	cur := s.cov.Len()
-	if L <= cur {
-		return
-	}
-	if s.Workers > 1 && s.newSampler != nil {
-		s.growParallel(cur, L)
-		return
-	}
-	for i := cur; i < L; i++ {
-		s.add(s.drawOne(i, s.sampler))
+	if err := s.GrowToCtx(context.Background(), L); err != nil {
+		// The background context never cancels, so err can only be a
+		// recovered worker panic — re-raise it, preserving old behavior.
+		panic(err)
 	}
 }
 
-// growParallel draws indices [cur, L) across Workers goroutines and then
-// commits them in index order, matching the sequential result exactly.
-func (s *Set) growParallel(cur, L int) {
-	count := L - cur
+// GrowToCtx is GrowTo with cancellation: samples are drawn and committed in
+// chunks of GrowChunk, and the context is checked between chunks (parallel
+// workers additionally check it per sample). On cancellation the Set keeps
+// every fully committed chunk — a deterministic prefix identical to a
+// sequential run of the same length — and ctx.Err() is returned. A panic in
+// a worker goroutine is recovered and returned as a *PanicError instead of
+// crashing the process; sibling workers stop promptly.
+func (s *Set) GrowToCtx(ctx context.Context, L int) error {
+	cur := s.cov.Len()
+	if L <= cur {
+		return nil
+	}
+	parallel := s.Workers > 1 && s.newSampler != nil
+	for cur < L {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := cur + GrowChunk
+		if end > L {
+			end = L
+		}
+		if parallel {
+			if err := s.growParallel(ctx, cur, end); err != nil {
+				return err
+			}
+		} else {
+			for i := cur; i < end; i++ {
+				s.add(s.drawOne(i, s.sampler))
+			}
+		}
+		cur = end
+	}
+	return nil
+}
+
+// growParallel draws indices [cur, end) across Workers goroutines and then
+// commits them in index order, matching the sequential result exactly. The
+// chunk commits all-or-nothing: on cancellation or a worker panic nothing
+// is committed, so the Set never holds a partially drawn chunk.
+func (s *Set) growParallel(ctx context.Context, cur, end int) error {
+	count := end - cur
 	paths := make([][]int32, count)
+	done := ctx.Done()
+	var stop atomic.Bool
+	panics := make(chan *PanicError, s.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < s.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panics <- &PanicError{Value: v, Stack: debug.Stack()}
+					stop.Store(true) // sibling workers stop draining
+				}
+			}()
 			sampler := s.newSampler()
 			for i := w; i < count; i += s.Workers {
+				if stop.Load() {
+					return
+				}
+				select {
+				case <-done:
+					stop.Store(true)
+					return
+				default:
+				}
 				paths[i] = s.drawOne(cur+i, sampler)
 			}
 		}(w)
 	}
 	wg.Wait()
+	close(panics)
+	if pe := <-panics; pe != nil {
+		return pe
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, p := range paths {
 		s.add(p)
 	}
+	return nil
 }
 
 func (s *Set) add(path []int32) {

@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench figures fmt vet clean
+.PHONY: all build test race fuzz cover bench figures fmt fmtcheck vet clean
 
-all: build vet test
+all: build vet fmtcheck test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,9 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over every package; includes the parallel-growth →
+# arena-commit path (sampling's TestParallelGrowGreedyRegrowCycles and
+# friends drive multi-worker growth into the flat coverage engine).
 race:
 	$(GO) test -race ./...
 
@@ -39,6 +42,11 @@ figures:
 
 fmt:
 	gofmt -w .
+
+# Fail if any file is not gofmt-clean (CI gate; `make fmt` fixes).
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -15,6 +15,7 @@ import (
 
 	"gbc/internal/bfs"
 	"gbc/internal/core"
+	"gbc/internal/coverage"
 	"gbc/internal/dataset"
 	"gbc/internal/exact"
 	"gbc/internal/experiments"
@@ -260,6 +261,117 @@ func BenchmarkAblationWorkers(b *testing.B) {
 }
 
 // --- Substrate micro-benchmarks ---
+
+// benchPaths draws a deterministic multiset of simple paths over n nodes
+// (plus ~5% null samples) for the coverage-engine micro-benchmarks.
+func benchPaths(n, count int, seed uint64) [][]int32 {
+	r := xrand.New(seed)
+	paths := make([][]int32, count)
+	for i := range paths {
+		if r.Float64() < 0.05 {
+			continue // null sample
+		}
+		length := 2 + r.Intn(10)
+		seen := make(map[int32]bool, length)
+		p := make([]int32, 0, length)
+		for len(p) < length {
+			v := int32(r.Intn(n))
+			if !seen[v] {
+				seen[v] = true
+				p = append(p, v)
+			}
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+// BenchmarkCoverageAdd measures building a coverage instance from scratch:
+// Add for every path plus the index work needed before the first query (the
+// probe CoveredBy forces it in either layout).
+func BenchmarkCoverageAdd(b *testing.B) {
+	paths := benchPaths(2000, 10000, 21)
+	probe := []int32{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := coverage.New(2000)
+		for _, p := range paths {
+			c.Add(p)
+		}
+		c.CoveredBy(probe)
+	}
+}
+
+// BenchmarkCoverageGreedyRerun measures Greedy re-executed on a grown
+// instance — AdaAlg's per-iteration hot path. The instance and (in the flat
+// engine) its workspace persist across iterations.
+func BenchmarkCoverageGreedyRerun(b *testing.B) {
+	g := BarabasiAlbert(5000, 3, 22)
+	set := sampling.NewBidirectionalSet(g, xrand.New(23))
+	set.GrowTo(50000)
+	c := set.Coverage()
+	c.Greedy(100) // warm: index committed, workspace sized
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Greedy(100)
+	}
+}
+
+// BenchmarkCoverageGreedyAfterGrowth interleaves growth with greedy
+// re-runs: each iteration appends a fresh batch of paths and re-solves,
+// the exact grow→greedy cadence of the adaptive loop.
+func BenchmarkCoverageGreedyAfterGrowth(b *testing.B) {
+	batches := make([][][]int32, 64)
+	for i := range batches {
+		batches[i] = benchPaths(2000, 500, uint64(100+i))
+	}
+	c := coverage.New(2000)
+	for _, p := range benchPaths(2000, 20000, 24) {
+		c.Add(p)
+	}
+	c.Greedy(50) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range batches[i%len(batches)] {
+			c.Add(p)
+		}
+		c.Greedy(50)
+	}
+}
+
+// BenchmarkCoverageCoveredBy measures CoveredBy on a grown instance —
+// called by AdaAlg on the validation set T every iteration.
+func BenchmarkCoverageCoveredBy(b *testing.B) {
+	g := BarabasiAlbert(5000, 3, 25)
+	set := sampling.NewBidirectionalSet(g, xrand.New(26))
+	set.GrowTo(50000)
+	group, _ := set.Greedy(50)
+	set.CoveredBy(group) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.CoveredBy(group)
+	}
+}
+
+// BenchmarkSamplingGrow measures end-to-end sampling throughput (draw +
+// commit into the coverage engine), sequential and parallel.
+func BenchmarkSamplingGrow(b *testing.B) {
+	g := BarabasiAlbert(5000, 3, 27)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				set := sampling.NewBidirectionalSet(g, xrand.New(uint64(i+1)))
+				set.Workers = workers
+				set.GrowTo(10000)
+			}
+		})
+	}
+}
 
 func BenchmarkBidirectionalSamplePath(b *testing.B) {
 	g := BarabasiAlbert(50000, 4, 9)

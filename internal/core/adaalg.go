@@ -54,6 +54,13 @@ func AdaAlg(g *graph.Graph, opts Options) (*Result, error) {
 // β between the two estimates are combined into ε_sum (Ineq. 11), and the
 // algorithm stops as soon as ε_sum <= ε.
 //
+// The grow → greedy → validate cadence runs on the flat coverage engine:
+// growth appends into S's and T's arenas and commits the inverted index
+// once per growth, the per-iteration Greedy on S restarts from the
+// persisted per-node sample counts in its reusable workspace, and the
+// CoveredBy behind T's B̄ estimate is allocation-free — so the hot loop's
+// cost is sampling and coverage arithmetic, not allocator and GC work.
+//
 // Cancelling ctx, or exceeding its deadline or Options.MaxDuration, does
 // not produce an error: the best group found so far is returned with
 // Converged == false and Result.StopReason saying what happened.

@@ -16,7 +16,8 @@ type sampleBound func(nn, guess float64) float64
 // baselines: halve the guess g_q = n(n-1)/2^q, grow the single sample set S
 // to the bound, run greedy max coverage, and accept as soon as the greedy
 // estimate reaches the guess (so the bound was computed from a value no
-// larger than ~2·opt).
+// larger than ~2·opt). Like AdaAlg, each iteration's Greedy re-runs on the
+// grown flat coverage instance, reusing its epoch-stamped workspace.
 //
 // Cancellation, deadlines and MaxDuration degrade gracefully exactly as in
 // AdaAlgCtx: the best group so far comes back with Result.StopReason set

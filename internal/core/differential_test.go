@@ -1,0 +1,209 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// updateGolden regenerates the differential golden file from the current
+// engine. It was run once against the pre-refactor [][]int32 coverage layout
+// to freeze that engine's outputs; the flat-memory engine must reproduce
+// them byte for byte.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/differential_golden.json from the current engine")
+
+const goldenPath = "testdata/differential_golden.json"
+
+// differentialCase is one cell of the seeds × graphs × algorithms matrix.
+type differentialCase struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	Seed      uint64 `json:"seed"`
+	Workers   int    `json:"workers"`
+
+	// The frozen outputs: the chosen group in selection order, the covered
+	// count on the optimization set (reconstructed via CoveredBy), the
+	// estimates bit-exact, and the stopping state.
+	Group      []int32 `json:"group"`
+	Covered    int     `json:"covered"`
+	Estimate   string  `json:"estimate"` // %x float64: bit-exact, human-greppable
+	Samples    int     `json:"samples"`
+	Iterations int     `json:"iterations"`
+	StopReason string  `json:"stopReason"`
+	Converged  bool    `json:"converged"`
+}
+
+func differentialGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"BA-300":  gen.BarabasiAlbert(300, 3, xrand.New(7)),
+		"WS-300":  gen.WattsStrogatz(300, 4, 0.1, xrand.New(8)),
+		"SBM-240": gen.StochasticBlockModel([]int{80, 80, 80}, sbmProbs(3, 0.15, 0.01), xrand.New(9)),
+	}
+}
+
+func sbmProbs(k int, in, out float64) [][]float64 {
+	p := make([][]float64, k)
+	for i := range p {
+		p[i] = make([]float64, k)
+		for j := range p[i] {
+			if i == j {
+				p[i][j] = in
+			} else {
+				p[i][j] = out
+			}
+		}
+	}
+	return p
+}
+
+// runDifferentialCase executes one matrix cell and fills in the outputs.
+func runDifferentialCase(t *testing.T, g *graph.Graph, tc *differentialCase) {
+	t.Helper()
+	var res *Result
+	var err error
+	opts := Options{K: 8, Seed: tc.Seed, MaxSamples: 60000, Workers: tc.Workers}
+	switch tc.Algorithm {
+	case "AdaAlg":
+		res, err = AdaAlg(g, opts)
+	case "HEDGE":
+		res, err = HEDGE(g, opts)
+	case "CentRa":
+		res, err = CentRa(g, opts)
+	case "Budgeted":
+		costs := make([]float64, g.N())
+		for v := range costs {
+			// Deterministic non-uniform costs so the cost-benefit greedy
+			// takes a different path than plain Greedy.
+			costs[v] = 1 + float64(v%5)*0.5
+		}
+		res, err = BudgetedGBC(g, BudgetedOptions{
+			Costs: costs, Budget: 12, Seed: tc.Seed, MaxSamples: 60000,
+		})
+	default:
+		t.Fatalf("unknown algorithm %q", tc.Algorithm)
+	}
+	if err != nil {
+		t.Fatalf("%s/%s seed %d: %v", tc.Graph, tc.Algorithm, tc.Seed, err)
+	}
+	tc.Group = res.Group
+	tc.Covered = coveredOn(g, res.Group, tc.Seed, tc.Algorithm)
+	tc.Estimate = fmt.Sprintf("%x", res.Estimate)
+	tc.Samples = res.Samples
+	tc.Iterations = res.Iterations
+	tc.StopReason = res.StopReason.String()
+	tc.Converged = res.Converged
+}
+
+// coveredOn recomputes the covered count of the final group on an
+// independent fixed sample set, exercising CoveredBy through the sampling
+// layer (the exact code path AdaAlg drives every iteration on T).
+func coveredOn(g *graph.Graph, group []int32, seed uint64, alg string) int {
+	set := newSamplerSet(g, Options{}, xrand.New(seed*2654435761+uint64(len(alg))))
+	set.GrowTo(5000)
+	return set.CoveredBy(group)
+}
+
+// TestDifferentialAgainstOldLayout pins the refactored flat-memory coverage
+// engine to the exact outputs of the pre-refactor per-path-slice layout:
+// for every seed × graph × algorithm cell the group, covered count,
+// bit-exact estimate, sample count and StopReason must be identical.
+// Workers > 1 cells additionally pin parallel growth to the sequential
+// result. Regenerate with -update ONLY when an intentional behavior change
+// is made (and say so in the PR).
+func TestDifferentialAgainstOldLayout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	graphs := differentialGraphs()
+	var cases []*differentialCase
+	for _, gname := range []string{"BA-300", "WS-300", "SBM-240"} {
+		for _, alg := range []string{"AdaAlg", "HEDGE", "CentRa", "Budgeted"} {
+			for _, seed := range []uint64{1, 2, 3} {
+				cases = append(cases, &differentialCase{
+					Graph: gname, Algorithm: alg, Seed: seed, Workers: 1,
+				})
+			}
+			// One parallel cell per graph × algorithm: must match the
+			// sequential goldens exactly (per-index RNG streams).
+			cases = append(cases, &differentialCase{
+				Graph: gname, Algorithm: alg, Seed: 1, Workers: 4,
+			})
+		}
+	}
+
+	if *updateGolden {
+		for _, tc := range cases {
+			runDifferentialCase(t, graphs[tc.Graph], tc)
+		}
+		buf, err := json.MarshalIndent(cases, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden cases to %s", len(cases), goldenPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want []*differentialCase
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(cases) {
+		t.Fatalf("golden has %d cases, matrix has %d — regenerate with -update", len(want), len(cases))
+	}
+	for i, tc := range cases {
+		w := want[i]
+		if w.Graph != tc.Graph || w.Algorithm != tc.Algorithm || w.Seed != tc.Seed || w.Workers != tc.Workers {
+			t.Fatalf("case %d mismatch: golden %s/%s/%d/w%d vs matrix %s/%s/%d/w%d",
+				i, w.Graph, w.Algorithm, w.Seed, w.Workers, tc.Graph, tc.Algorithm, tc.Seed, tc.Workers)
+		}
+		tc := tc
+		name := fmt.Sprintf("%s/%s/seed%d/workers%d", tc.Graph, tc.Algorithm, tc.Seed, tc.Workers)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runDifferentialCase(t, graphs[tc.Graph], tc)
+			if len(tc.Group) != len(w.Group) {
+				t.Fatalf("group length %d, golden %d", len(tc.Group), len(w.Group))
+			}
+			for j := range tc.Group {
+				if tc.Group[j] != w.Group[j] {
+					t.Fatalf("group %v, golden %v", tc.Group, w.Group)
+				}
+			}
+			if tc.Covered != w.Covered {
+				t.Errorf("covered %d, golden %d", tc.Covered, w.Covered)
+			}
+			if tc.Estimate != w.Estimate {
+				t.Errorf("estimate %s, golden %s (must be bit-exact)", tc.Estimate, w.Estimate)
+			}
+			if tc.Samples != w.Samples {
+				t.Errorf("samples %d, golden %d", tc.Samples, w.Samples)
+			}
+			if tc.Iterations != w.Iterations {
+				t.Errorf("iterations %d, golden %d", tc.Iterations, w.Iterations)
+			}
+			if tc.StopReason != w.StopReason {
+				t.Errorf("stopReason %s, golden %s", tc.StopReason, w.StopReason)
+			}
+			if tc.Converged != w.Converged {
+				t.Errorf("converged %v, golden %v", tc.Converged, w.Converged)
+			}
+		})
+	}
+}

@@ -9,6 +9,8 @@ package coverage
 // unit cost among still-affordable nodes) and, as in Khuller-Moss-Naor,
 // also considers the best single affordable node, returning whichever
 // covers more. Nodes with non-positive cost are invalid and cause a panic.
+// Like Greedy, re-runs on a grown instance reuse the epoch-stamped
+// workspace and allocate only the returned group.
 func (c *Instance) GreedyBudgeted(costs []float64, budget float64) (group []int32, covered int) {
 	if len(costs) != c.n {
 		panic("coverage: costs length mismatch")
@@ -18,22 +20,24 @@ func (c *Instance) GreedyBudgeted(costs []float64, budget float64) (group []int3
 			panic("coverage: non-positive cost")
 		}
 	}
+	c.Commit()
+	ws := &c.ws
+	ws.reset(c.n, c.Len())
+	epoch := ws.epoch
 
 	// Cost-benefit greedy.
-	isCovered := make([]bool, len(c.paths))
-	chosen := make([]bool, c.n)
 	remaining := budget
 	var cbGroup []int32
 	cbCovered := 0
 	for {
 		best, bestRatio, bestGain := int32(-1), 0.0, 0
 		for v := int32(0); int(v) < c.n; v++ {
-			if chosen[v] || costs[v] > remaining {
+			if ws.chosenEpoch[v] == epoch || costs[v] > remaining {
 				continue
 			}
 			var g int
-			for _, id := range c.index[v] {
-				if !isCovered[id] {
+			for _, id := range c.row(v) {
+				if ws.coveredEpoch[id] != epoch {
 					g++
 				}
 			}
@@ -47,12 +51,12 @@ func (c *Instance) GreedyBudgeted(costs []float64, budget float64) (group []int3
 		if best == -1 {
 			break
 		}
-		chosen[best] = true
+		ws.chosenEpoch[best] = epoch
 		remaining -= costs[best]
 		cbGroup = append(cbGroup, best)
 		cbCovered += bestGain
-		for _, id := range c.index[best] {
-			isCovered[id] = true
+		for _, id := range c.row(best) {
+			ws.coveredEpoch[id] = epoch
 		}
 	}
 
@@ -62,9 +66,9 @@ func (c *Instance) GreedyBudgeted(costs []float64, budget float64) (group []int3
 		if costs[v] > budget {
 			continue
 		}
-		if g := len(c.index[v]); g > bestSingleCov {
-			// len(index) counts multiplicity only if a node repeated in a
-			// path; paths are simple so this is the coverage of {v}.
+		if g := len(c.row(v)); g > bestSingleCov {
+			// A row counts multiplicity only if a node repeated in a path;
+			// paths are simple so this is the coverage of {v}.
 			bestSingle, bestSingleCov = v, g
 		}
 	}

@@ -1,6 +1,7 @@
 package coverage
 
 import (
+	"math"
 	"testing"
 
 	"gbc/internal/xrand"
@@ -218,4 +219,134 @@ func TestGreedyReferencePanicsOnBadK(t *testing.T) {
 		}
 	}()
 	New(2).GreedyReference(5)
+}
+
+// TestIncrementalCommitMatchesOneShot grows an instance in many small
+// batches with queries interleaved (forcing repeated incremental index
+// rebuilds) and checks every query against a twin built in one shot.
+func TestIncrementalCommitMatchesOneShot(t *testing.T) {
+	r := xrand.New(77)
+	n := 50
+	var all [][]int32
+	grown := New(n)
+	for batch := 0; batch < 12; batch++ {
+		fresh := randomInstance(r, n, 40, 5)
+		for p := 0; p < fresh.Len(); p++ {
+			path := append([]int32(nil), fresh.path(int32(p))...)
+			if len(path) == 0 {
+				path = nil
+			}
+			all = append(all, path)
+			grown.Add(path)
+		}
+		oneShot := New(n)
+		for _, p := range all {
+			oneShot.Add(p)
+		}
+		k := 1 + batch%5
+		g1, c1 := grown.Greedy(k)
+		g2, c2 := oneShot.Greedy(k)
+		if c1 != c2 {
+			t.Fatalf("batch %d: incremental covered %d, one-shot %d", batch, c1, c2)
+		}
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("batch %d: incremental %v, one-shot %v", batch, g1, g2)
+			}
+		}
+		if cb1, cb2 := grown.CoveredBy(g1), oneShot.CoveredBy(g2); cb1 != cb2 {
+			t.Fatalf("batch %d: CoveredBy %d vs %d", batch, cb1, cb2)
+		}
+	}
+}
+
+// TestIndexRowsSortedAfterCommits checks the CSR invariant the greedy
+// relies on: every node's id row stays ascending across incremental
+// rebuilds, matching the append order of the old per-node slices.
+func TestIndexRowsSortedAfterCommits(t *testing.T) {
+	r := xrand.New(78)
+	c := New(30)
+	for batch := 0; batch < 8; batch++ {
+		for i := 0; i < 25; i++ {
+			length := 1 + r.Intn(4)
+			seen := map[int32]bool{}
+			var p []int32
+			for len(p) < length {
+				v := int32(r.Intn(30))
+				if !seen[v] {
+					seen[v] = true
+					p = append(p, v)
+				}
+			}
+			c.Add(p)
+		}
+		c.Commit()
+		for v := int32(0); int(v) < c.n; v++ {
+			row := c.row(v)
+			for i := 1; i < len(row); i++ {
+				if row[i-1] >= row[i] {
+					t.Fatalf("batch %d: row %d not ascending: %v", batch, v, row)
+				}
+			}
+		}
+	}
+}
+
+// TestQueriesAllocateNothingWarm pins the workspace contract: on a
+// committed, warmed instance CoveredBy allocates nothing and Greedy
+// allocates only the returned group.
+func TestQueriesAllocateNothingWarm(t *testing.T) {
+	r := xrand.New(79)
+	c := randomInstance(r, 60, 2000, 6)
+	group, _ := c.Greedy(10) // warm: commit + workspace sizing
+	if allocs := testing.AllocsPerRun(50, func() {
+		c.CoveredBy(group)
+	}); allocs != 0 {
+		t.Fatalf("CoveredBy allocates %v/op on a warm instance, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		c.Greedy(10)
+	}); allocs > 2 {
+		t.Fatalf("Greedy allocates %v/op on a warm instance, want <= 2 (the group)", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		c.GreedyReference(10)
+	}); allocs > 2 {
+		t.Fatalf("GreedyReference allocates %v/op on a warm instance, want <= 2", allocs)
+	}
+}
+
+// TestEpochWrapClearsMarks forces the epoch counter to its wrap point and
+// checks queries stay correct across the reset.
+func TestEpochWrapClearsMarks(t *testing.T) {
+	c := inst(5, []int32{0, 2}, []int32{2, 3}, []int32{2, 4}, []int32{1})
+	before, coveredBefore := c.Greedy(2)
+	c.ws.epoch = math.MaxInt32 - 1
+	for i := 0; i < 4; i++ { // queries straddle the wrap
+		group, covered := c.Greedy(2)
+		if covered != coveredBefore || group[0] != before[0] || group[1] != before[1] {
+			t.Fatalf("after wrap step %d: %v covering %d, want %v covering %d",
+				i, group, covered, before, coveredBefore)
+		}
+		if cb := c.CoveredBy(group); cb != covered {
+			t.Fatalf("after wrap step %d: CoveredBy %d != covered %d", i, cb, covered)
+		}
+	}
+	if c.ws.epoch >= math.MaxInt32-1 || c.ws.epoch < 1 {
+		t.Fatalf("epoch did not wrap cleanly: %d", c.ws.epoch)
+	}
+}
+
+// TestAddThenQueryAutoCommits checks a query right after Add sees the new
+// paths without an explicit Commit (lazy self-commit).
+func TestAddThenQueryAutoCommits(t *testing.T) {
+	c := New(3)
+	c.Add([]int32{1})
+	if got := c.CoveredBy([]int32{1}); got != 1 {
+		t.Fatalf("CoveredBy before explicit Commit = %d, want 1", got)
+	}
+	c.Add([]int32{1, 2})
+	if got := c.CoveredBy([]int32{1}); got != 2 {
+		t.Fatalf("CoveredBy after second Add = %d, want 2", got)
+	}
 }

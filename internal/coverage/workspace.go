@@ -1,0 +1,70 @@
+package coverage
+
+import "math"
+
+// workspace holds the reusable query state of an Instance. Covered and
+// chosen marks are epoch stamps: bumping the epoch invalidates every mark
+// in O(1), so a query "clears" its scratch without touching memory. The
+// gain array and the CELF heap's backing array persist across runs, making
+// repeated Greedy/CoveredBy calls on a grown instance allocation-free
+// (apart from the returned group).
+type workspace struct {
+	epoch        int32
+	coveredEpoch []int32 // per sample id: covered iff == epoch
+	chosenEpoch  []int32 // per node: chosen iff == epoch
+	gain         []int32 // per node: current marginal gain
+	heap         nodeHeap
+}
+
+// reset sizes the workspace for n nodes and `samples` paths and starts a
+// fresh epoch. Growing coveredEpoch drops the old marks, which is safe: a
+// zeroed mark can never equal the new (positive) epoch.
+func (ws *workspace) reset(n, samples int) {
+	if len(ws.chosenEpoch) < n {
+		ws.chosenEpoch = make([]int32, n)
+		ws.gain = make([]int32, n)
+	}
+	if len(ws.coveredEpoch) < samples {
+		grown := samples + samples/2
+		ws.coveredEpoch = make([]int32, grown)
+	}
+	if ws.epoch == math.MaxInt32 {
+		// Epoch wrap: clear every stale mark once and restart.
+		for i := range ws.coveredEpoch {
+			ws.coveredEpoch[i] = 0
+		}
+		for i := range ws.chosenEpoch {
+			ws.chosenEpoch[i] = 0
+		}
+		ws.epoch = 0
+	}
+	ws.epoch++
+}
+
+type nodeGain struct {
+	node int32
+	gain int32
+}
+
+// nodeHeap is a max-heap on gain with ties toward smaller node ids.
+type nodeHeap []nodeGain
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].node < h[j].node
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push and Pop exist only to satisfy heap.Interface for Init and Fix; the
+// greedy pops the root in place to avoid boxing elements through any.
+func (h *nodeHeap) Push(x any) { *h = append(*h, x.(nodeGain)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -61,6 +61,36 @@ func TestParallelIncrementalGrowth(t *testing.T) {
 	setsIdentical(t, seq, par)
 }
 
+// TestParallelGrowGreedyRegrowCycles drives the adaptive loop's exact
+// cadence — parallel growth (arena feed + chunk-boundary index commit),
+// greedy, CoveredBy, regrow — for several rounds. Under -race this is the
+// regression test for the parallel-draw scratch reuse and the incremental
+// CSR rebuilds; functionally every round must match a sequential twin.
+func TestParallelGrowGreedyRegrowCycles(t *testing.T) {
+	g := gen.BarabasiAlbert(350, 3, xrand.New(103))
+	seq := NewBidirectionalSet(g, xrand.New(11))
+	par := NewBidirectionalSet(g, xrand.New(11))
+	par.Workers = 4
+	sizes := []int{500, 1300, 2100, GrowChunk + 100, GrowChunk*2 + 77}
+	for round, L := range sizes {
+		seq.GrowTo(L)
+		par.GrowTo(L)
+		gs, cs := seq.Greedy(5)
+		gp, cp := par.Greedy(5)
+		if cs != cp {
+			t.Fatalf("round %d: greedy coverage %d vs %d", round, cs, cp)
+		}
+		for i := range gs {
+			if gs[i] != gp[i] {
+				t.Fatalf("round %d: groups %v vs %v", round, gs, gp)
+			}
+		}
+		if seq.CoveredBy(gp) != par.CoveredBy(gs) {
+			t.Fatalf("round %d: CoveredBy mismatch", round)
+		}
+	}
+}
+
 func TestParallelForwardSet(t *testing.T) {
 	g := gen.DirectedPreferential(300, 3, 0.2, xrand.New(103))
 	seq := NewForwardSet(g, xrand.New(11))

@@ -67,6 +67,7 @@ type Set struct {
 	sampler      PairSampler
 	newSampler   func() PairSampler // nil when only a shared sampler exists
 	cov          *coverage.Instance
+	chunk        [][]int32 // parallel-draw scratch, reused across chunks
 
 	// Workers sets the number of goroutines used by GrowTo. Values < 2, or
 	// a Set built around a caller-supplied single sampler, sample
@@ -197,16 +198,26 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 		}
 		cur = end
 	}
+	// Fold the new samples into the coverage engine's inverted index in one
+	// incremental rebuild. Growth ends are always chunk boundaries, so a
+	// cancelled growth (which returns above without committing the index)
+	// leaves the same state the next query's self-commit would build.
+	s.cov.Commit()
 	return nil
 }
 
-// growParallel draws indices [cur, end) across Workers goroutines and then
-// commits them in index order, matching the sequential result exactly. The
-// chunk commits all-or-nothing: on cancellation or a worker panic nothing
-// is committed, so the Set never holds a partially drawn chunk.
+// growParallel draws indices [cur, end) across Workers goroutines into a
+// reused scratch and then feeds them into the coverage arena in index
+// order, matching the sequential result exactly. The chunk commits
+// all-or-nothing: on cancellation or a worker panic nothing is appended, so
+// the Set never holds a partially drawn chunk (stale scratch entries from a
+// previous chunk are never read — every committed chunk was fully drawn).
 func (s *Set) growParallel(ctx context.Context, cur, end int) error {
 	count := end - cur
-	paths := make([][]int32, count)
+	if cap(s.chunk) < count {
+		s.chunk = make([][]int32, count)
+	}
+	paths := s.chunk[:count]
 	done := ctx.Done()
 	var stop atomic.Bool
 	panics := make(chan *PanicError, s.Workers)
@@ -244,8 +255,9 @@ func (s *Set) growParallel(ctx context.Context, cur, end int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for _, p := range paths {
+	for i, p := range paths {
 		s.add(p)
+		paths[i] = nil // the arena copied p; release it for the GC
 	}
 	return nil
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench figures fmt fmtcheck vet clean
+.PHONY: all build test race fuzz cover bench bench-compare figures fmt fmtcheck vet clean
 
 all: build vet fmtcheck test
 
@@ -29,6 +29,18 @@ cover:
 # One pass over every figure/ablation/micro benchmark.
 bench:
 	$(GO) test -run xxx -bench=. -benchmem -benchtime=1x ./...
+
+# Compare two captured benchmark runs (the BENCH_N workflow used by
+# BENCH_2/BENCH_3; see README "Benchmark comparison workflow"):
+#   go test -run xxx -bench <pattern> -benchmem -count=3 . > results/BENCH_N_before.txt
+#   ... apply the change ...
+#   go test -run xxx -bench <pattern> -benchmem -count=3 . > results/BENCH_N_after.txt
+#   make bench-compare BENCH_BEFORE=... BENCH_AFTER=...
+# benchstat: go install golang.org/x/perf/cmd/benchstat@latest
+BENCH_BEFORE ?= results/BENCH_3_before.txt
+BENCH_AFTER ?= results/BENCH_3_after.txt
+bench-compare:
+	benchstat $(BENCH_BEFORE) $(BENCH_AFTER)
 
 # Regenerate the paper's tables and figures into results/.
 figures:

@@ -373,6 +373,28 @@ func BenchmarkSamplingGrow(b *testing.B) {
 	}
 }
 
+// BenchmarkSamplingGrowWarm measures steady-state growth on a long-lived
+// set: the worker pool, per-worker samplers and arenas are warm, so each op
+// is pure drawing plus the bulk arena append — the zero-allocation regime
+// the persistent pipeline targets.
+func BenchmarkSamplingGrowWarm(b *testing.B) {
+	g := BarabasiAlbert(5000, 3, 27)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			set := sampling.NewBidirectionalSet(g, xrand.New(1))
+			set.Workers = workers
+			set.GrowTo(10000)
+			target := set.Len()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target += 10000
+				set.GrowTo(target)
+			}
+		})
+	}
+}
+
 func BenchmarkBidirectionalSamplePath(b *testing.B) {
 	g := BarabasiAlbert(50000, 4, 9)
 	s := bfs.NewBidirectional(g)
@@ -418,6 +440,7 @@ func BenchmarkAdaAlgGrQcScale(b *testing.B) {
 	}
 	g := spec.Generate(0.5, 15)
 	var samples int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.AdaAlg(g, core.Options{K: 50, Seed: uint64(i + 1)})

@@ -8,6 +8,7 @@
 //	gbc -dataset Twitter -scale 0.05 -k 20 -verify
 //	gbc -dataset LiveJournal -k 20 -timeout 5s        # best group within 5s
 //	gbc -input big.txt -k 50 -eps 0.05 -timeout 30s -workers 8
+//	gbc -dataset GrQc -k 20 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Adaptive sampling has no a-priori bound on its total work, so -timeout
 // bounds the wall-clock time of the run: on expiry (or on Ctrl-C) the best
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gbc"
@@ -45,6 +48,8 @@ func main() {
 	flag.BoolVar(&o.trace, "trace", false, "print per-iteration statistics")
 	flag.BoolVar(&o.labels, "labels", false, "print original node labels instead of dense ids")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as a JSON object instead of text")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
 	// Ctrl-C cancels the run gracefully: the algorithms return their
@@ -77,6 +82,45 @@ type cliOptions struct {
 	trace      bool
 	labels     bool
 	jsonOut    bool
+	cpuprofile string
+	memprofile string
+}
+
+// profile starts the requested runtime/pprof captures and returns a stop
+// function that finishes them; profiling the real binary is how perf PRs
+// find the next hot path without a synthetic harness.
+func profile(o cliOptions) (stop func() error, err error) {
+	var cpuFile *os.File
+	if o.cpuprofile != "" {
+		cpuFile, err = os.Create(o.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if o.memprofile != "" {
+			f, err := os.Create(o.memprofile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // jsonResult is the machine-readable output of -json.
@@ -102,9 +146,17 @@ type jsonResult struct {
 	ExactGBC      float64 `json:"exactGBC,omitempty"`
 }
 
-func run(ctx context.Context, o cliOptions) error {
+func run(ctx context.Context, o cliOptions) (err error) {
+	stopProfile, err := profile(o)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	var g *gbc.Graph
-	var err error
 	switch {
 	case o.input != "" && o.dataset != "":
 		return fmt.Errorf("-input and -dataset are mutually exclusive")

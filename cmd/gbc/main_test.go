@@ -113,3 +113,30 @@ func TestRunCancelledContext(t *testing.T) {
 	// Either outcome is acceptable; the run must simply return promptly.
 	_ = err
 }
+
+// TestRunWritesProfiles checks -cpuprofile/-memprofile produce non-empty
+// pprof files alongside a normal run.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	o := cliOptions{dataset: "GrQc", scale: 0.05, k: 3, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1, cpuprofile: cpu, memprofile: mem}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// An unwritable profile path must surface as an error, not a panic.
+	o.cpuprofile = filepath.Join(dir, "no", "such", "dir", "cpu.pprof")
+	if err := run(context.Background(), o); err == nil {
+		t.Fatal("expected error for unwritable -cpuprofile path")
+	}
+}

@@ -1,0 +1,138 @@
+package bfs
+
+import (
+	"testing"
+
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// appendSampler unifies the three samplers' buffer APIs for the tests.
+type appendSampler interface {
+	Sample(s, t int32, r *xrand.Rand) Sample
+	AppendSample(dst []int32, s, t int32, r *xrand.Rand) (Sample, []int32)
+}
+
+func weightedTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	r := xrand.New(77)
+	b := graph.NewBuilder(120, false)
+	for v := 1; v < 120; v++ {
+		b.AddWeightedEdge(int32(v), int32(r.Intn(v)), float64(1+r.Intn(4)))
+		if v > 2 {
+			u, w := r.IntnPair(v)
+			b.AddWeightedEdge(int32(u), int32(w), float64(1+r.Intn(4)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAppendSampleMatchesSample drives each sampler pair-for-pair through
+// both APIs with twin RNG streams: the appended path, metadata and RNG
+// consumption must be identical, and paths must accumulate back-to-back in
+// the shared buffer.
+func TestAppendSampleMatchesSample(t *testing.T) {
+	unweighted := gen.BarabasiAlbert(200, 2, xrand.New(41))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		make func(*graph.Graph) appendSampler
+	}{
+		{"bidirectional", unweighted, func(g *graph.Graph) appendSampler { return NewBidirectional(g) }},
+		{"forward", unweighted, func(g *graph.Graph) appendSampler { return NewForward(g) }},
+		{"dijkstra", weightedTestGraph(t), func(g *graph.Graph) appendSampler { return NewDijkstra(g) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := tc.make(tc.g)
+			appending := tc.make(tc.g)
+			rPlain := xrand.New(5)
+			rAppend := xrand.New(5)
+			pairs := xrand.New(6)
+			var buf []int32
+			prevEnd := 0
+			for i := 0; i < 300; i++ {
+				a, b := pairs.IntnPair(tc.g.N())
+				want := plain.Sample(int32(a), int32(b), rPlain)
+				var got Sample
+				got, buf = appending.AppendSample(buf, int32(a), int32(b), rAppend)
+				if got.Reachable != want.Reachable || got.Dist != want.Dist || got.Sigma != want.Sigma {
+					t.Fatalf("pair %d (%d,%d): metadata (%v,%d,%g) vs (%v,%d,%g)",
+						i, a, b, got.Reachable, got.Dist, got.Sigma,
+						want.Reachable, want.Dist, want.Sigma)
+				}
+				if !want.Reachable {
+					if len(buf) != prevEnd {
+						t.Fatalf("pair %d: unreachable sample grew the buffer", i)
+					}
+					continue
+				}
+				if len(got.Path) != len(want.Path) {
+					t.Fatalf("pair %d: path length %d vs %d", i, len(got.Path), len(want.Path))
+				}
+				for j := range want.Path {
+					if got.Path[j] != want.Path[j] {
+						t.Fatalf("pair %d: paths differ: %v vs %v", i, got.Path, want.Path)
+					}
+				}
+				// The appended window must be exactly the buffer's new tail.
+				if len(buf) != prevEnd+len(want.Path) {
+					t.Fatalf("pair %d: buffer grew by %d, want %d", i, len(buf)-prevEnd, len(want.Path))
+				}
+				for j, v := range want.Path {
+					if buf[prevEnd+j] != v {
+						t.Fatalf("pair %d: buffer tail differs from path at %d", i, j)
+					}
+				}
+				prevEnd = len(buf)
+			}
+			// Both twins must have drained their streams identically.
+			if rPlain.Uint64() != rAppend.Uint64() {
+				t.Fatal("RNG streams diverged between Sample and AppendSample")
+			}
+		})
+	}
+}
+
+// TestAppendSampleWarmAllocationFree pins the zero-allocation property of
+// the buffer API on warmed-up samplers with a reused arena.
+func TestAppendSampleWarmAllocationFree(t *testing.T) {
+	unweighted := gen.BarabasiAlbert(300, 3, xrand.New(43))
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		sampler appendSampler
+	}{
+		{"bidirectional", unweighted, NewBidirectional(unweighted)},
+		{"forward", unweighted, NewForward(unweighted)},
+	}
+	wg := weightedTestGraph(t)
+	cases = append(cases, struct {
+		name    string
+		g       *graph.Graph
+		sampler appendSampler
+	}{"dijkstra", wg, NewDijkstra(wg)})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := xrand.New(9)
+			buf := make([]int32, 0, 4096)
+			// Warm the sampler workspace and the buffer capacity.
+			for i := 0; i < 200; i++ {
+				a, b := r.IntnPair(tc.g.N())
+				_, buf = tc.sampler.AppendSample(buf[:0], int32(a), int32(b), r)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				a, b := r.IntnPair(tc.g.N())
+				_, buf = tc.sampler.AppendSample(buf[:0], int32(a), int32(b), r)
+			})
+			if allocs != 0 {
+				t.Fatalf("warm AppendSample allocates %g per sample, want 0", allocs)
+			}
+		})
+	}
+}

@@ -230,14 +230,25 @@ func (bd *Bidirectional) SigmaDist(s, t int32) (sigma float64, dist int32, ok bo
 }
 
 // Sample draws one shortest s–t path uniformly at random among all σ_st
-// shortest paths. s must differ from t.
+// shortest paths. s must differ from t. The path is freshly allocated; hot
+// loops should use AppendSample with a reused buffer instead.
 func (bd *Bidirectional) Sample(s, t int32, r *xrand.Rand) Sample {
+	smp, _ := bd.AppendSample(nil, s, t, r)
+	return smp
+}
+
+// AppendSample is Sample with the path appended to dst instead of freshly
+// allocated: it returns the extended buffer, and Sample.Path aliases the
+// appended window (valid until the caller truncates or regrows dst). An
+// unreachable pair leaves dst untouched. The RNG consumption is identical
+// to Sample's, so the two are interchangeable stream-for-stream.
+func (bd *Bidirectional) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (Sample, []int32) {
 	if s == t {
 		panic("bfs: Sample with s == t")
 	}
 	d, ok := bd.search(s, t)
 	if !ok {
-		return Sample{Dist: -1}
+		return Sample{Dist: -1}, dst
 	}
 	c := bd.cut(d)
 	total := bd.collectCrossing(d, c)
@@ -254,7 +265,7 @@ func (bd *Bidirectional) Sample(s, t int32, r *xrand.Rand) Sample {
 	}
 	u, v := bd.crossU[idx], bd.crossV[idx]
 
-	path := make([]int32, d+1)
+	dst, path := growPath(dst, int(d)+1)
 	// Walk backward from u to s, choosing predecessors ∝ σ_s.
 	cur := u
 	for lvl := c; lvl > 0; lvl-- {
@@ -293,5 +304,5 @@ func (bd *Bidirectional) Sample(s, t int32, r *xrand.Rand) Sample {
 		cur = pick
 	}
 	path[d] = t
-	return Sample{Path: path, Sigma: total, Dist: d, Reachable: true}
+	return Sample{Path: path, Sigma: total, Dist: d, Reachable: true}, dst
 }

@@ -103,11 +103,56 @@ type Dijkstra struct {
 	sigma   []float64
 	settled []bool
 	touched []int32
+	h       []distEntry // reused binary heap (manual sift; see hpush/hpop)
+	rev     []int32     // reused backward-walk scratch
 
 	// WeightedDist reports the weighted length of the last sampled path.
 	WeightedDist float64
 	// EdgesScanned counts adjacency entries examined since creation.
 	EdgesScanned int64
+}
+
+// hpush and hpop replicate container/heap's up/down sift exactly (same
+// traversal, same strict-less comparison), so the settling order — and with
+// it the floating-point accumulation order of σ — is bit-identical to the
+// previous heap.Push/heap.Pop implementation, while avoiding the interface
+// boxing and per-run heap allocation of container/heap.
+func (dj *Dijkstra) hpush(e distEntry) {
+	h := append(dj.h, e)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	dj.h = h
+}
+
+func (dj *Dijkstra) hpop() distEntry {
+	h := dj.h
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].dist < h[j].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	x := h[n]
+	dj.h = h[:n]
+	return x
 }
 
 // NewDijkstra returns a weighted-path sampler over g.
@@ -134,9 +179,10 @@ func (dj *Dijkstra) run(s, t int32) bool {
 	dj.dist[s] = 0
 	dj.sigma[s] = 1
 	dj.touched = append(dj.touched, s)
-	h := &distHeap{{s, 0}}
-	for h.Len() > 0 {
-		top := heap.Pop(h).(distEntry)
+	dj.h = dj.h[:0]
+	dj.hpush(distEntry{s, 0})
+	for len(dj.h) > 0 {
+		top := dj.hpop()
 		v := top.node
 		if dj.settled[v] || !sameDist(top.dist, dj.dist[v]) {
 			continue
@@ -163,7 +209,7 @@ func (dj *Dijkstra) run(s, t int32) bool {
 				}
 				dj.dist[w] = cand
 				dj.sigma[w] = dj.sigma[v]
-				heap.Push(h, distEntry{w, cand})
+				dj.hpush(distEntry{w, cand})
 			}
 		}
 	}
@@ -182,17 +228,27 @@ func (dj *Dijkstra) SigmaDist(s, t int32) (sigma float64, dist float64, ok bool)
 	return dj.sigma[t], dj.dist[t], true
 }
 
-// Sample draws one weighted shortest s–t path uniformly at random.
+// Sample draws one weighted shortest s–t path uniformly at random. The path
+// is freshly allocated; hot loops should use AppendSample with a reused
+// buffer.
 func (dj *Dijkstra) Sample(s, t int32, r *xrand.Rand) Sample {
+	smp, _ := dj.AppendSample(nil, s, t, r)
+	return smp
+}
+
+// AppendSample is Sample with the path appended to dst instead of freshly
+// allocated; see Bidirectional.AppendSample for the contract.
+func (dj *Dijkstra) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (Sample, []int32) {
 	if s == t {
 		panic("bfs: Sample with s == t")
 	}
 	if !dj.run(s, t) {
-		return Sample{Dist: -1}
+		return Sample{Dist: -1}, dst
 	}
 	dj.WeightedDist = dj.dist[t]
-	// Backward walk choosing predecessors ∝ σ.
-	var rev []int32
+	// Backward walk choosing predecessors ∝ σ. The hop count is unknown up
+	// front, so the walk lands in a reused scratch before the reversed copy.
+	rev := dj.rev[:0]
 	cur := t
 	for cur != s {
 		rev = append(rev, cur)
@@ -213,9 +269,10 @@ func (dj *Dijkstra) Sample(s, t int32, r *xrand.Rand) Sample {
 		cur = pick
 	}
 	rev = append(rev, s)
-	path := make([]int32, len(rev))
+	dj.rev = rev
+	dst, path := growPath(dst, len(rev))
 	for i, v := range rev {
 		path[len(rev)-1-i] = v
 	}
-	return Sample{Path: path, Sigma: dj.sigma[t], Dist: int32(len(path) - 1), Reachable: true}
+	return Sample{Path: path, Sigma: dj.sigma[t], Dist: int32(len(path) - 1), Reachable: true}, dst
 }

@@ -82,16 +82,24 @@ func (f *Forward) SigmaDist(s, t int32) (sigma float64, dist int32, ok bool) {
 	return f.sigma[t], f.dist[t], true
 }
 
-// Sample draws one shortest s–t path uniformly at random.
+// Sample draws one shortest s–t path uniformly at random. The path is
+// freshly allocated; hot loops should use AppendSample with a reused buffer.
 func (f *Forward) Sample(s, t int32, r *xrand.Rand) Sample {
+	smp, _ := f.AppendSample(nil, s, t, r)
+	return smp
+}
+
+// AppendSample is Sample with the path appended to dst instead of freshly
+// allocated; see Bidirectional.AppendSample for the contract.
+func (f *Forward) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (Sample, []int32) {
 	if s == t {
 		panic("bfs: Sample with s == t")
 	}
 	if !f.run(s, t) {
-		return Sample{Dist: -1}
+		return Sample{Dist: -1}, dst
 	}
 	d := f.dist[t]
-	path := make([]int32, d+1)
+	dst, path := growPath(dst, int(d)+1)
 	cur := t
 	for lvl := d; lvl > 0; lvl-- {
 		path[lvl] = cur
@@ -110,5 +118,5 @@ func (f *Forward) Sample(s, t int32, r *xrand.Rand) Sample {
 		cur = pick
 	}
 	path[0] = s
-	return Sample{Path: path, Sigma: f.sigma[t], Dist: d, Reachable: true}
+	return Sample{Path: path, Sigma: f.sigma[t], Dist: d, Reachable: true}, dst
 }

@@ -1,0 +1,16 @@
+package bfs
+
+// growPath extends dst by k entries and returns the extended slice together
+// with the k-entry window the caller fills in. Growth is geometric, so a
+// buffer reused across samples stops allocating once it reaches the longest
+// path's capacity — the property the zero-allocation sampling arenas rely on.
+func growPath(dst []int32, k int) (grown, window []int32) {
+	need := len(dst) + k
+	if cap(dst) < need {
+		bigger := make([]int32, len(dst), need+need/2)
+		copy(bigger, dst)
+		dst = bigger
+	}
+	dst = dst[:need]
+	return dst, dst[need-k:]
+}

@@ -1,0 +1,60 @@
+package coverage
+
+// PathArena is a flat, append-only sequence of sampled paths: path p is
+// Nodes[Offsets[p]:Offsets[p+1]], and a null sample (unreachable pair) is an
+// empty range. It is the per-worker scratch of the sampling pipeline —
+// workers append raw nodes straight out of the samplers and seal each path
+// with EndPath, so a chunk of samples costs no per-path allocations, and
+// the buffers are reused across chunks once they reach steady capacity.
+type PathArena struct {
+	Nodes   []int32
+	Offsets []int32 // len = Len()+1, Offsets[0] = 0, non-decreasing
+}
+
+// Reset empties the arena, keeping both buffers' capacity.
+func (a *PathArena) Reset() {
+	a.Nodes = a.Nodes[:0]
+	if len(a.Offsets) == 0 {
+		a.Offsets = append(a.Offsets, 0)
+	} else {
+		a.Offsets = a.Offsets[:1]
+	}
+}
+
+// Len returns the number of sealed paths.
+func (a *PathArena) Len() int {
+	if len(a.Offsets) == 0 {
+		return 0
+	}
+	return len(a.Offsets) - 1
+}
+
+// EndPath seals the current path: every node appended to Nodes since the
+// previous EndPath (or Reset) becomes one path. Sealing with no new nodes
+// records a null sample.
+func (a *PathArena) EndPath() {
+	a.Offsets = append(a.Offsets, int32(len(a.Nodes)))
+}
+
+// AddStrided bulk-appends count paths spread round-robin across the worker
+// arenas: global sample j of the block is path j/len(arenas) of arena
+// j%len(arenas) (the strided split the parallel sampler produces), so the
+// instance receives the paths in exact index order without materializing a
+// per-path slice. Empty ranges are appended as null samples; the number of
+// them is returned so the caller can maintain its unreachable count. Like
+// Add, AddStrided never touches the inverted index — Commit folds the new
+// paths in at the next growth boundary.
+func (c *Instance) AddStrided(arenas []*PathArena, count int) (nulls int) {
+	w := len(arenas)
+	for j := 0; j < count; j++ {
+		a := arenas[j%w]
+		k := j / w
+		lo, hi := a.Offsets[k], a.Offsets[k+1]
+		if lo == hi {
+			nulls++
+		}
+		c.nodes = append(c.nodes, a.Nodes[lo:hi]...)
+		c.offsets = append(c.offsets, int64(len(c.nodes)))
+	}
+	return nulls
+}

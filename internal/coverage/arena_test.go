@@ -1,0 +1,131 @@
+package coverage
+
+import (
+	"testing"
+
+	"gbc/internal/xrand"
+)
+
+// stripedPaths deals count deterministic paths (some null) round-robin into
+// w arenas, returning the arenas and the paths in global index order.
+func stripedPaths(t *testing.T, n, count, w int, seed uint64) ([]*PathArena, [][]int32) {
+	t.Helper()
+	r := xrand.New(seed)
+	arenas := make([]*PathArena, w)
+	for i := range arenas {
+		arenas[i] = &PathArena{}
+		arenas[i].Reset()
+	}
+	paths := make([][]int32, count)
+	for j := 0; j < count; j++ {
+		a := arenas[j%w]
+		if r.Float64() < 0.2 { // null sample
+			a.EndPath()
+			continue
+		}
+		length := 1 + r.Intn(6)
+		p := make([]int32, 0, length)
+		for len(p) < length {
+			v := int32(r.Intn(n))
+			p = append(p, v)
+			a.Nodes = append(a.Nodes, v)
+		}
+		a.EndPath()
+		paths[j] = p
+	}
+	return arenas, paths
+}
+
+// TestAddStridedMatchesAdd checks the strided bulk append against the
+// one-path-at-a-time reference across worker counts, including counts that
+// do not divide evenly.
+func TestAddStridedMatchesAdd(t *testing.T) {
+	const n = 50
+	for _, w := range []int{1, 2, 3, 4, 7} {
+		for _, count := range []int{0, 1, w, 3*w + 1, 97} {
+			arenas, paths := stripedPaths(t, n, count, w, uint64(31*w+count))
+			bulk := New(n)
+			nulls := bulk.AddStrided(arenas, count)
+			ref := New(n)
+			wantNulls := 0
+			for _, p := range paths {
+				ref.Add(p)
+				if p == nil {
+					wantNulls++
+				}
+			}
+			if nulls != wantNulls {
+				t.Fatalf("w=%d count=%d: nulls %d, want %d", w, count, nulls, wantNulls)
+			}
+			if bulk.Len() != ref.Len() {
+				t.Fatalf("w=%d count=%d: Len %d vs %d", w, count, bulk.Len(), ref.Len())
+			}
+			for v := int32(0); int(v) < n; v++ {
+				if bulk.CoveredBy([]int32{v}) != ref.CoveredBy([]int32{v}) {
+					t.Fatalf("w=%d count=%d: node %d coverage differs", w, count, v)
+				}
+			}
+			// Per-path arena contents must match exactly, not just coverage.
+			for j, p := range paths {
+				got := bulk.path(int32(j))
+				if len(got) != len(p) {
+					t.Fatalf("w=%d count=%d path %d: len %d vs %d", w, count, j, len(got), len(p))
+				}
+				for i := range p {
+					if got[i] != p[i] {
+						t.Fatalf("w=%d count=%d path %d: %v vs %v", w, count, j, got, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddStridedThenGrowAgain interleaves strided bulk appends with plain
+// Adds and greedy queries — the adaptive loop's cadence — to check Commit's
+// incremental rebuild sees both entry points identically.
+func TestAddStridedThenGrowAgain(t *testing.T) {
+	const n = 40
+	bulk := New(n)
+	ref := New(n)
+	for round := 0; round < 4; round++ {
+		arenas, paths := stripedPaths(t, n, 60, 3, uint64(100+round))
+		bulk.AddStrided(arenas, 60)
+		for _, p := range paths {
+			ref.Add(p)
+		}
+		gb, cb := bulk.Greedy(4)
+		gr, cr := ref.Greedy(4)
+		if cb != cr {
+			t.Fatalf("round %d: covered %d vs %d", round, cb, cr)
+		}
+		for i := range gr {
+			if gb[i] != gr[i] {
+				t.Fatalf("round %d: groups %v vs %v", round, gb, gr)
+			}
+		}
+	}
+}
+
+func TestPathArenaReset(t *testing.T) {
+	var a PathArena
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("fresh arena Len = %d", a.Len())
+	}
+	a.Nodes = append(a.Nodes, 1, 2, 3)
+	a.EndPath()
+	a.EndPath() // null
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+	a.Reset()
+	if a.Len() != 0 || len(a.Nodes) != 0 {
+		t.Fatalf("reset left %d paths, %d nodes", a.Len(), len(a.Nodes))
+	}
+	a.Nodes = append(a.Nodes, 9)
+	a.EndPath()
+	if a.Len() != 1 || a.Offsets[1] != 1 {
+		t.Fatalf("arena after reset misrecorded: %+v", a)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gbc/internal/gen"
+	"gbc/internal/graph"
 	"gbc/internal/xrand"
 )
 
@@ -95,10 +96,40 @@ func TestParallelForwardSet(t *testing.T) {
 	g := gen.DirectedPreferential(300, 3, 0.2, xrand.New(103))
 	seq := NewForwardSet(g, xrand.New(11))
 	seq.GrowTo(800)
-	par := NewForwardSet(g, xrand.New(11))
-	par.Workers = 4
-	par.GrowTo(800)
-	setsIdentical(t, seq, par)
+	for _, workers := range []int{1, 4} {
+		par := NewForwardSet(g, xrand.New(11))
+		par.Workers = workers
+		par.GrowTo(800)
+		setsIdentical(t, seq, par)
+	}
+}
+
+// TestParallelWeightedSet pins the Dijkstra sampler's parallel determinism:
+// a weighted set grown through the worker pool at workers ∈ {1, 4} must be
+// indistinguishable from a sequential twin, including the reused per-worker
+// heap and backward-walk scratch.
+func TestParallelWeightedSet(t *testing.T) {
+	r := xrand.New(106)
+	b := graph.NewBuilder(200, false)
+	for v := 1; v < 200; v++ {
+		b.AddWeightedEdge(int32(v), int32(r.Intn(v)), float64(1+r.Intn(3)))
+		if v > 2 {
+			u, w := r.IntnPair(v)
+			b.AddWeightedEdge(int32(u), int32(w), float64(1+r.Intn(3)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewWeightedSet(g, xrand.New(17))
+	seq.GrowTo(GrowChunk + 500) // cross a chunk boundary
+	for _, workers := range []int{1, 4} {
+		par := NewWeightedSet(g, xrand.New(17))
+		par.Workers = workers
+		par.GrowTo(GrowChunk + 500)
+		setsIdentical(t, seq, par)
+	}
 }
 
 func TestCustomSamplerIgnoresWorkers(t *testing.T) {

@@ -1,0 +1,115 @@
+// Persistent worker pool of the sampling pipeline.
+//
+// Each worker owns everything one goroutine needs to draw samples with zero
+// steady-state heap allocations: a sampler (O(n) workspace), one reusable
+// RNG value reseeded per sample index, and a flat path arena the sampled
+// nodes are appended into. Workers are spawned once, live for the Set's
+// lifetime (a finalizer shuts them down when the Set is collected), and are
+// fed chunk jobs over per-worker channels — growth never respawns
+// goroutines, samplers or scratch.
+package sampling
+
+import (
+	"runtime/debug"
+	"sync/atomic"
+
+	"gbc/internal/bfs"
+	"gbc/internal/coverage"
+	"gbc/internal/xrand"
+)
+
+// PathAppender is implemented by samplers that can append the drawn path
+// into a caller-owned buffer instead of allocating a fresh slice per sample
+// (all bfs samplers do). A custom PairSampler without it still works, at
+// one path allocation per sample.
+type PathAppender interface {
+	AppendSample(dst []int32, s, t int32, r *xrand.Rand) (bfs.Sample, []int32)
+}
+
+// drawState is the reusable per-worker (and sequential) sampling state.
+type drawState struct {
+	n            int // node count, for the pair draw
+	seed0, seed1 uint64
+	sampler      PairSampler
+	appender     PathAppender // non-nil when sampler supports buffer reuse
+	rng          xrand.Rand
+	arena        coverage.PathArena
+}
+
+func (d *drawState) init(n int, seed0, seed1 uint64, sampler PairSampler) {
+	d.n = n
+	d.seed0, d.seed1 = seed0, seed1
+	d.sampler = sampler
+	d.appender, _ = sampler.(PathAppender)
+	d.arena.Reset()
+}
+
+// draw samples global index i into the arena: reseed the worker RNG to the
+// index's dedicated stream, draw the pair, append the path (an unreachable
+// pair seals an empty range — a null sample).
+func (d *drawState) draw(i int) {
+	d.rng.Reseed(d.seed0, d.seed1+uint64(i))
+	a, b := d.rng.IntnPair(d.n)
+	if d.appender != nil {
+		_, d.arena.Nodes = d.appender.AppendSample(d.arena.Nodes, int32(a), int32(b), &d.rng)
+	} else {
+		smp := d.sampler.Sample(int32(a), int32(b), &d.rng)
+		if smp.Reachable {
+			d.arena.Nodes = append(d.arena.Nodes, smp.Path...)
+		}
+	}
+	d.arena.EndPath()
+}
+
+// growJob asks one worker for its strided share of a chunk: global indices
+// cur+first, cur+first+stride, … below cur+count.
+type growJob struct {
+	cur, count    int
+	first, stride int
+	done          <-chan struct{} // the growth context's Done channel
+	stop          *atomic.Bool    // shared chunk-abort flag
+}
+
+// poolWorker is one persistent worker: a goroutine looping over jobs plus
+// its draw state. The goroutine exits when jobs is closed (by the Set's
+// finalizer); state is reset at every job start, which is what keeps the
+// pool reusable after a cancelled or panicked chunk.
+type poolWorker struct {
+	st   drawState
+	jobs chan growJob
+	ack  chan *PanicError
+}
+
+func (w *poolWorker) loop() {
+	for job := range w.jobs {
+		w.runJob(job)
+	}
+}
+
+// runJob draws the worker's share of one chunk into its arena. Exactly one
+// ack is sent per job — nil on success or early stop, the recovered
+// *PanicError on a sampler panic (which also aborts the chunk for the
+// sibling workers).
+func (w *poolWorker) runJob(job growJob) {
+	defer func() {
+		if v := recover(); v != nil {
+			job.stop.Store(true)
+			w.ack <- &PanicError{Value: v, Stack: debug.Stack()}
+			return
+		}
+		w.ack <- nil
+	}()
+	w.st.arena.Reset()
+	for i := job.first; i < job.count; i += job.stride {
+		if job.stop.Load() {
+			return
+		}
+		select {
+		case <-job.done:
+			job.stop.Store(true)
+			return
+		default:
+		}
+		w.st.draw(job.cur + i)
+	}
+}

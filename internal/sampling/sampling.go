@@ -23,8 +23,7 @@ package sampling
 import (
 	"context"
 	"fmt"
-	"runtime/debug"
-	"sync"
+	"runtime"
 	"sync/atomic"
 
 	"gbc/internal/bfs"
@@ -67,7 +66,18 @@ type Set struct {
 	sampler      PairSampler
 	newSampler   func() PairSampler // nil when only a shared sampler exists
 	cov          *coverage.Instance
-	chunk        [][]int32 // parallel-draw scratch, reused across chunks
+
+	// seq is the sequential draw state (lazily built around the shared
+	// sampler); seqView is its one-element arena list for AddStrided.
+	seq     *drawState
+	seqView []*coverage.PathArena
+
+	// pool holds the persistent parallel workers (see pool.go); poolArenas
+	// aliases their arenas in worker order. stop is the shared chunk-abort
+	// flag, reused across chunks so dispatching a job allocates nothing.
+	pool       []*poolWorker
+	poolArenas []*coverage.PathArena
+	stop       atomic.Bool
 
 	// Workers sets the number of goroutines used by GrowTo. Values < 2, or
 	// a Set built around a caller-supplied single sampler, sample
@@ -135,23 +145,6 @@ func newSet(g *graph.Graph, r *xrand.Rand) *Set {
 	return &Set{g: g, seed0: r.Uint64(), seed1: r.Uint64(), cov: coverage.New(g.N())}
 }
 
-// rngFor returns the dedicated RNG stream of sample index i.
-func (s *Set) rngFor(i int) *xrand.Rand {
-	return xrand.NewStream(s.seed0, s.seed1+uint64(i))
-}
-
-// drawOne samples index i with the given workspace sampler; nil means the
-// drawn pair was unreachable.
-func (s *Set) drawOne(i int, sampler PairSampler) []int32 {
-	r := s.rngFor(i)
-	a, b := r.IntnPair(s.g.N())
-	smp := sampler.Sample(int32(a), int32(b), r)
-	if !smp.Reachable {
-		return nil
-	}
-	return smp.Path
-}
-
 // Len returns the number of samples drawn so far (null samples included).
 func (s *Set) Len() int { return s.cov.Len() }
 
@@ -178,7 +171,10 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 	if L <= cur {
 		return nil
 	}
-	parallel := s.Workers > 1 && s.newSampler != nil
+	workers := 1
+	if s.Workers > 1 && s.newSampler != nil {
+		workers = s.Workers
+	}
 	for cur < L {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -187,14 +183,12 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 		if end > L {
 			end = L
 		}
-		if parallel {
-			if err := s.growParallel(ctx, cur, end); err != nil {
+		if workers > 1 {
+			if err := s.growParallel(ctx, cur, end, workers); err != nil {
 				return err
 			}
 		} else {
-			for i := cur; i < end; i++ {
-				s.add(s.drawOne(i, s.sampler))
-			}
+			s.growSequential(cur, end)
 		}
 		cur = end
 	}
@@ -203,72 +197,93 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 	// cancelled growth (which returns above without committing the index)
 	// leaves the same state the next query's self-commit would build.
 	s.cov.Commit()
+	// The pool finalizer only runs once the Set is unreachable, so it can
+	// never close the job channels under a live growth; keep the receiver
+	// pinned to the end of the call to make that explicit.
+	runtime.KeepAlive(s)
 	return nil
 }
 
-// growParallel draws indices [cur, end) across Workers goroutines into a
-// reused scratch and then feeds them into the coverage arena in index
-// order, matching the sequential result exactly. The chunk commits
-// all-or-nothing: on cancellation or a worker panic nothing is appended, so
-// the Set never holds a partially drawn chunk (stale scratch entries from a
-// previous chunk are never read — every committed chunk was fully drawn).
-func (s *Set) growParallel(ctx context.Context, cur, end int) error {
+// growSequential draws indices [cur, end) on the calling goroutine into the
+// reused sequential arena, then bulk-appends them into the coverage arena.
+// Warm growth allocates nothing: the RNG is one reseeded value, paths are
+// appended into arenas that keep their capacity, and the samplers' O(n)
+// workspaces persist on the Set.
+func (s *Set) growSequential(cur, end int) {
+	if s.seq == nil {
+		s.seq = &drawState{}
+		s.seq.init(s.g.N(), s.seed0, s.seed1, s.sampler)
+		s.seqView = []*coverage.PathArena{&s.seq.arena}
+	}
+	st := s.seq
+	st.arena.Reset()
+	for i := cur; i < end; i++ {
+		st.draw(i)
+	}
+	s.Unreachable += s.cov.AddStrided(s.seqView, end-cur)
+}
+
+// growParallel draws indices [cur, end) across the persistent worker pool —
+// worker w takes the strided share w, w+workers, … into its own arena — and
+// then bulk-appends the worker arenas into the coverage arena in index
+// order, matching the sequential result exactly (each index's RNG stream
+// depends only on the index). The chunk commits all-or-nothing: on
+// cancellation or a worker panic nothing is appended and every worker's
+// arena is reset at its next job, so the pool stays reusable and the Set
+// never holds a partially drawn chunk.
+func (s *Set) growParallel(ctx context.Context, cur, end, workers int) error {
+	s.ensurePool(workers)
 	count := end - cur
-	if cap(s.chunk) < count {
-		s.chunk = make([][]int32, count)
-	}
-	paths := s.chunk[:count]
+	s.stop.Store(false)
 	done := ctx.Done()
-	var stop atomic.Bool
-	panics := make(chan *PanicError, s.Workers)
-	var wg sync.WaitGroup
-	for w := 0; w < s.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				if v := recover(); v != nil {
-					panics <- &PanicError{Value: v, Stack: debug.Stack()}
-					stop.Store(true) // sibling workers stop draining
-				}
-			}()
-			sampler := s.newSampler()
-			for i := w; i < count; i += s.Workers {
-				if stop.Load() {
-					return
-				}
-				select {
-				case <-done:
-					stop.Store(true)
-					return
-				default:
-				}
-				paths[i] = s.drawOne(cur+i, sampler)
-			}
-		}(w)
+	for w := 0; w < workers; w++ {
+		s.pool[w].jobs <- growJob{
+			cur: cur, count: count, first: w, stride: workers,
+			done: done, stop: &s.stop,
+		}
 	}
-	wg.Wait()
-	close(panics)
-	if pe := <-panics; pe != nil {
+	var pe *PanicError
+	for w := 0; w < workers; w++ {
+		if e := <-s.pool[w].ack; e != nil && pe == nil {
+			pe = e
+		}
+	}
+	if pe != nil {
 		return pe
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for i, p := range paths {
-		s.add(p)
-		paths[i] = nil // the arena copied p; release it for the GC
-	}
+	s.Unreachable += s.cov.AddStrided(s.poolArenas[:workers], count)
 	return nil
 }
 
-func (s *Set) add(path []int32) {
-	if path == nil {
-		s.Unreachable++
-		s.cov.Add(nil)
+// ensurePool grows the persistent pool to at least `workers` goroutines.
+// Workers are only ever added — shrinking Workers just idles the extra ones
+// — and each owns its sampler, RNG and arena for the Set's whole lifetime.
+// The first call arms a finalizer that closes the job channels when the Set
+// becomes unreachable, letting the goroutines exit.
+func (s *Set) ensurePool(workers int) {
+	if len(s.pool) >= workers {
 		return
 	}
-	s.cov.Add(path)
+	if s.pool == nil {
+		runtime.SetFinalizer(s, func(s *Set) {
+			for _, w := range s.pool {
+				close(w.jobs)
+			}
+		})
+	}
+	for len(s.pool) < workers {
+		w := &poolWorker{
+			jobs: make(chan growJob),
+			ack:  make(chan *PanicError, 1),
+		}
+		w.st.init(s.g.N(), s.seed0, s.seed1, s.newSampler())
+		s.pool = append(s.pool, w)
+		s.poolArenas = append(s.poolArenas, &w.st.arena)
+		go w.loop()
+	}
 }
 
 // Coverage exposes the underlying max-coverage instance (for greedy).

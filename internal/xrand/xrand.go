@@ -29,12 +29,21 @@ func New(seed uint64) *Rand {
 // NewStream returns a generator with an explicit stream id. Distinct stream
 // ids yield statistically independent sequences for the same seed.
 func NewStream(seed, stream uint64) *Rand {
-	r := &Rand{inc: stream<<1 | 1}
+	r := &Rand{}
+	r.Reseed(seed, stream)
+	return r
+}
+
+// Reseed re-points r at the deterministic (seed, stream) sequence, exactly
+// as if it had been created by NewStream, without allocating. It lets a hot
+// loop reuse one Rand value across many per-index streams (the sampling
+// pipeline reseeds one per-worker generator for every sample index).
+func (r *Rand) Reseed(seed, stream uint64) {
+	r.inc = stream<<1 | 1
 	r.state = 0
 	r.next32()
 	r.state += seed
 	r.next32()
-	return r
 }
 
 // Split derives a new independent generator from r, advancing r.

@@ -287,3 +287,47 @@ func TestBinomialPanicsOnBadParams(t *testing.T) {
 		}()
 	}
 }
+
+// Reseed must be indistinguishable from constructing a fresh NewStream —
+// the zero-allocation sampling pipeline reuses one Rand value across every
+// per-index stream on the strength of this equivalence.
+func TestReseedMatchesNewStream(t *testing.T) {
+	var reused Rand
+	for _, tc := range []struct{ seed, stream uint64 }{
+		{0, 0}, {1, 0}, {0, 1}, {42, 7}, {^uint64(0), ^uint64(0)}, {123456789, 987654321},
+	} {
+		reused.Reseed(tc.seed, tc.stream)
+		fresh := NewStream(tc.seed, tc.stream)
+		for i := 0; i < 64; i++ {
+			if got, want := reused.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("seed=%d stream=%d draw %d: reused %x vs fresh %x",
+					tc.seed, tc.stream, i, got, want)
+			}
+		}
+	}
+}
+
+func TestReseedDiscardsHistory(t *testing.T) {
+	r := NewStream(5, 9)
+	want := make([]uint64, 16)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	r.Float64() // wander off mid-stream
+	r.Reseed(5, 9)
+	for i := range want {
+		if got := r.Uint64(); got != want[i] {
+			t.Fatalf("draw %d after reseed: %x, want %x", i, got, want[i])
+		}
+	}
+}
+
+func TestReseedAllocationFree(t *testing.T) {
+	r := New(3)
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.Reseed(11, 13)
+		r.Uint64()
+	}); allocs != 0 {
+		t.Fatalf("Reseed allocates %g per run, want 0", allocs)
+	}
+}

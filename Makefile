@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench bench-compare figures fmt fmtcheck vet clean
+.PHONY: all ci build test race fuzz cover bench bench-compare figures fmt fmtcheck vet clean
 
 all: build vet fmtcheck test
+
+# The exact gate .github/workflows/ci.yml runs; `make ci` reproduces a CI
+# failure locally.
+ci: fmtcheck vet build test race
 
 build:
 	$(GO) build ./...

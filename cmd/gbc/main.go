@@ -19,8 +19,11 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -50,6 +53,8 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as a JSON object instead of text")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file after the run")
+	flag.BoolVar(&o.progress, "progress", false, "render a live one-line progress report to stderr")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live expvar metrics over HTTP at this address (e.g. localhost:6060; see /debug/vars)")
 	flag.Parse()
 
 	// Ctrl-C cancels the run gracefully: the algorithms return their
@@ -66,24 +71,30 @@ func main() {
 
 // cliOptions carries the parsed command line.
 type cliOptions struct {
-	input      string
-	directed   bool
-	weightedIn bool
-	dataset    string
-	scale      float64
-	k          int
-	algName    string
-	eps        float64
-	gamma      float64
-	seed       uint64
-	timeout    time.Duration
-	workers    int
-	verify     bool
-	trace      bool
-	labels     bool
-	jsonOut    bool
-	cpuprofile string
-	memprofile string
+	input       string
+	directed    bool
+	weightedIn  bool
+	dataset     string
+	scale       float64
+	k           int
+	algName     string
+	eps         float64
+	gamma       float64
+	seed        uint64
+	timeout     time.Duration
+	workers     int
+	verify      bool
+	trace       bool
+	labels      bool
+	jsonOut     bool
+	cpuprofile  string
+	memprofile  string
+	progress    bool
+	metricsAddr string
+
+	// metricsReady, when set (tests), is called with the base URL of the
+	// metrics server once it is listening.
+	metricsReady func(url string)
 }
 
 // profile starts the requested runtime/pprof captures and returns a stop
@@ -121,6 +132,22 @@ func profile(o cliOptions) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// serveMetrics exposes the process's expvar registry — including the "gbc"
+// variable fed by Options.Metrics — over HTTP at /debug/vars. It returns
+// once the listener is bound, so the reported URL is immediately pollable
+// (addr may use port 0 to let the OS pick).
+func serveMetrics(addr string) (stop func(), url string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, "http://" + ln.Addr().String(), nil
 }
 
 // jsonResult is the machine-readable output of -json.
@@ -192,7 +219,28 @@ func run(ctx context.Context, o cliOptions) (err error) {
 		K: o.k, Epsilon: o.eps, Gamma: o.gamma, Seed: o.seed,
 		CollectTrace: o.trace, MaxDuration: o.timeout, Workers: o.workers,
 	}
+	stopProgress := func() {}
+	if o.progress || o.metricsAddr != "" {
+		m := gbc.PublishedMetrics()
+		opts.Metrics = m
+		if o.metricsAddr != "" {
+			stopMetrics, url, merr := serveMetrics(o.metricsAddr)
+			if merr != nil {
+				return merr
+			}
+			defer stopMetrics()
+			fmt.Fprintf(os.Stderr, "gbc: serving metrics at %s/debug/vars\n", url)
+			if o.metricsReady != nil {
+				o.metricsReady(url)
+			}
+		}
+		if o.progress {
+			stopProgress = gbc.StartProgress(os.Stderr, m, 0)
+		}
+	}
+	defer stopProgress() // idempotent; covers the error returns below
 	res, err := gbc.TopKWithContext(ctx, alg, g, opts)
+	stopProgress() // final progress line lands before the results
 	if err != nil {
 		return err
 	}

@@ -2,10 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"gbc"
 )
 
 func TestRunErrors(t *testing.T) {
@@ -98,6 +102,82 @@ func TestRunTimeoutPartialResult(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("run with 30ms timeout took %v", elapsed)
+	}
+}
+
+// TestRunMetricsEndpoint starts a run with -metrics-addr on an OS-assigned
+// port and polls /debug/vars while the run is still sampling: the "gbc"
+// expvar must decode into gbc.Stats and show the sample counter moving past
+// its pre-run value. The run itself is bounded by -timeout so the test ends
+// whether or not the poller wins the race.
+func TestRunMetricsEndpoint(t *testing.T) {
+	before := gbc.PublishedMetrics().Snapshot().Samples
+	urls := make(chan string, 1)
+	o := cliOptions{dataset: "Facebook", scale: 0.5, k: 10, algName: "AdaAlg",
+		eps: 0.05, gamma: 0.01, seed: 1, timeout: 2 * time.Second, jsonOut: true,
+		metricsAddr:  "127.0.0.1:0",
+		metricsReady: func(u string) { urls <- u },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- run(context.Background(), o) }()
+
+	var url string
+	select {
+	case url = <-urls:
+	case err := <-errc:
+		t.Fatalf("run returned before the metrics server came up: %v", err)
+	}
+
+	// Poll until the live counter moves past its pre-run value.
+	deadline := time.Now().Add(10 * time.Second)
+	grew := false
+	for !grew && time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/debug/vars")
+		if err != nil {
+			break // run finished, server closed — rely on the final check
+		}
+		var vars struct {
+			GBC gbc.Stats `json:"gbc"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&vars)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode /debug/vars: %v", err)
+		}
+		grew = vars.GBC.Samples > before
+		if !grew {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if !grew {
+		t.Fatal("never observed the live sample counter move over HTTP")
+	}
+	if after := gbc.PublishedMetrics().Snapshot().Samples; after <= before {
+		t.Fatalf("published samples %d did not grow past %d", after, before)
+	}
+}
+
+// TestRunProgressReporter drives -progress through a normal run; the
+// reporter writes to stderr, so here we only assert the run stays correct
+// and the reporter shuts down cleanly (no goroutine panic, no hang).
+func TestRunProgressReporter(t *testing.T) {
+	o := cliOptions{dataset: "GrQc", scale: 0.05, k: 3, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1, progress: true, jsonOut: true}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMetricsAddrInUse pins the error path: an unbindable address must
+// fail the run, not panic or hang.
+func TestRunMetricsAddrInUse(t *testing.T) {
+	o := cliOptions{dataset: "GrQc", scale: 0.05, k: 3, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1, metricsAddr: "256.256.256.256:1"}
+	if err := run(context.Background(), o); err == nil {
+		t.Fatal("expected error for unbindable -metrics-addr")
 	}
 }
 

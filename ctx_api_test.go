@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"gbc/internal/bfs"
-	"gbc/internal/core"
 	"gbc/internal/graph"
 	"gbc/internal/sampling"
 	"gbc/internal/xrand"
@@ -64,14 +63,13 @@ func (b *apiBoomSampler) Sample(s, t int32, r *xrand.Rand) bfs.Sample {
 }
 
 func TestTopKContextWorkerPanicSurfacesAsError(t *testing.T) {
-	core.SamplerSetHook = func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
+	hook := func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
 		return sampling.NewFactorySet(g, func() sampling.PairSampler {
 			return &apiBoomSampler{}
 		}, r)
 	}
-	defer func() { core.SamplerSetHook = nil }()
 	g := BarabasiAlbert(200, 2, 3)
-	res, err := TopKContext(context.Background(), g, Options{K: 3, Seed: 4, Workers: 4})
+	res, err := TopKContext(context.Background(), g, Options{K: 3, Seed: 4, Workers: 4, SamplerSet: hook})
 	if err == nil {
 		t.Fatalf("expected a worker-panic error, got result %+v", res)
 	}

@@ -1,6 +1,7 @@
 package gbc_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -56,6 +57,31 @@ func ExampleExactGBC() {
 	// Output:
 	// 6
 	// 4
+}
+
+// Solve is the canonical entry point: the algorithm is an Options field,
+// and an Observer streams progress at deterministic boundaries — attaching
+// one never changes the numbers the run produces.
+func ExampleSolve() {
+	g := gbc.BarabasiAlbert(500, 3, 7)
+	iters := 0
+	res, err := gbc.Solve(context.Background(), g, gbc.Options{
+		K: 10, Epsilon: 0.3, Seed: 2, // Algorithm zero value = AdaAlg
+		Observer: gbc.ObserverFuncs{
+			Iteration: func(ev gbc.IterationEvent) { iters++ },
+			Done: func(ev gbc.DoneEvent) {
+				fmt.Printf("%s stopped: %s after %d samples\n",
+					ev.Algorithm, ev.StopReason, ev.Samples)
+			},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("iterations observed:", iters == res.Iterations)
+	// Output:
+	// AdaAlg stopped: Converged after 2124 samples
+	// iterations observed: true
 }
 
 // Comparing algorithms on the same instance.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"gbc/internal/brandes"
 	"gbc/internal/community"
@@ -33,6 +34,7 @@ import (
 	"gbc/internal/exact"
 	"gbc/internal/gen"
 	"gbc/internal/graph"
+	"gbc/internal/obs"
 	"gbc/internal/sampling"
 	"gbc/internal/xrand"
 )
@@ -96,33 +98,111 @@ const (
 // ParseAlgorithm resolves an algorithm name ("AdaAlg", "HEDGE", ...).
 func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
 
+// TraceEntry records one outer iteration of a run — the elements of
+// Result.Trace when Options.CollectTrace is set.
+type TraceEntry = core.Iteration
+
+// Observer receives progress callbacks from a run: OnGrowth after every
+// committed sample chunk, OnIteration after every outer iteration of the
+// guess-halving loop, OnDone once when the run returns. Callbacks run
+// synchronously on the run's coordinating goroutine at deterministic
+// boundaries, so attaching an observer never changes what is computed — an
+// observed run is bit-identical to an unobserved one, for any worker count.
+// A panicking observer aborts its run with an *ObserverPanicError instead
+// of crashing the process. Set one per run via Options.Observer.
+type Observer = obs.Observer
+
+// ObserverFuncs adapts plain functions to Observer; nil fields are skipped.
+type ObserverFuncs = obs.ObserverFuncs
+
+// GrowthEvent reports one committed growth chunk of a sample set.
+type GrowthEvent = obs.GrowthEvent
+
+// IterationEvent reports one completed outer iteration.
+type IterationEvent = obs.IterationEvent
+
+// DoneEvent reports the end of a run, successful or interrupted.
+type DoneEvent = obs.DoneEvent
+
+// ObserverPanicError is the error a run returns when one of its Observer's
+// callbacks panicked.
+type ObserverPanicError = obs.ObserverPanicError
+
+// Metrics is a set of atomic counters and gauges the hot paths update when
+// attached via Options.Metrics: samples drawn, sampling rate, adaptive-loop
+// position (iteration, guess, ε_sum), coverage-arena bytes, worker-pool
+// utilization, greedy re-runs. The zero value is ready to use; it may be
+// shared by concurrent runs, and a nil *Metrics disables collection at the
+// cost of a nil check. Read it with Snapshot.
+type Metrics = obs.Metrics
+
+// Stats is a point-in-time Snapshot of a Metrics, shaped for JSON.
+type Stats = obs.Stats
+
+// PublishedMetrics returns the process-wide Metrics registered with the
+// standard library's expvar registry under the name "gbc" (created and
+// published on first call). Any HTTP server exposing expvar's handler —
+// cmd/gbc's -metrics-addr flag, or a user server mounting
+// expvar.Handler() — then serves these counters; attach the instance via
+// Options.Metrics to feed it.
+func PublishedMetrics() *Metrics { return obs.Published() }
+
+// StartProgress renders a live single-line progress report of m to w (meant
+// for a terminal's stderr) every interval, until the returned stop function
+// is called; stop writes a final newline-terminated line and is idempotent.
+// Pass interval 0 for a default suited to a TTY.
+func StartProgress(w io.Writer, m *Metrics, interval time.Duration) (stop func()) {
+	return obs.StartProgress(w, m, interval)
+}
+
+// Solve is the canonical entry point: it finds a top-K GBC group in g using
+// the algorithm selected by opts.Algorithm (AdaAlg for the zero value),
+// under ctx. The TopK convenience wrappers all reduce to Solve; new
+// integrations should call it directly.
+//
+// Production notes. Adaptive sampling has no a-priori bound on its total
+// work, so bound every request with a context deadline or
+// Options.MaxDuration: on expiry (or cancellation) the best group found so
+// far is returned with Result.Converged == false and Result.StopReason
+// saying what happened — a partial result, not an error. Everything
+// computed before the stop is deterministic: the partial result equals what
+// an uncancelled run had at the same sample count. A panic in a sampling
+// worker goroutine is recovered and returned as an error instead of
+// crashing the process. Solve is safe for concurrent use — all per-run
+// configuration, including Options.Observer and Options.SamplerSet, lives
+// in opts; runs sharing an Options.Metrics simply aggregate counters.
+func Solve(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	return core.Solve(ctx, g, opts)
+}
+
 // TopK finds a K-node group with near-maximal group betweenness centrality
 // using the paper's adaptive algorithm AdaAlg: with probability at least
-// 1-γ the returned group is a (1-1/e-ε)-approximation.
-func TopK(g *Graph, opts Options) (*Result, error) { return core.AdaAlg(g, opts) }
+// 1-γ the returned group is a (1-1/e-ε)-approximation. It is Solve with a
+// background context and opts.Algorithm forced to AdaAlg.
+func TopK(g *Graph, opts Options) (*Result, error) {
+	opts.Algorithm = AdaAlg
+	return Solve(context.Background(), g, opts)
+}
 
-// TopKContext is TopK under a context. Adaptive sampling has no a-priori
-// bound on its total work, so production callers should bound every request
-// with a context deadline or Options.MaxDuration. Cancellation does not
-// produce an error: the best group found so far is returned with
-// Result.Converged == false and Result.StopReason saying what happened
-// (deadline, cancellation, sample cap). Everything computed before the stop
-// is deterministic — the partial result equals what an uncancelled run had
-// at the same sample count. A panic in a sampling worker goroutine is
-// recovered and returned as an error instead of crashing the process.
+// TopKContext is TopK under a context; see Solve for the cancellation and
+// partial-result semantics.
 func TopKContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
-	return core.AdaAlgCtx(ctx, g, opts)
+	opts.Algorithm = AdaAlg
+	return Solve(ctx, g, opts)
 }
 
-// TopKWith is TopK with an explicit algorithm choice.
+// TopKWith is TopK with an explicit algorithm choice: Solve with a
+// background context and opts.Algorithm forced to alg.
 func TopKWith(alg Algorithm, g *Graph, opts Options) (*Result, error) {
-	return core.Run(alg, g, opts)
+	opts.Algorithm = alg
+	return Solve(context.Background(), g, opts)
 }
 
-// TopKWithContext is TopKWith under a context; every algorithm shares the
-// cancellation semantics documented on TopKContext.
+// TopKWithContext is TopKWith under a context; see Solve for the
+// cancellation and partial-result semantics.
 func TopKWithContext(ctx context.Context, alg Algorithm, g *Graph, opts Options) (*Result, error) {
-	return core.RunCtx(ctx, alg, g, opts)
+	opts.Algorithm = alg
+	return Solve(ctx, g, opts)
 }
 
 // NewBuilder returns a graph builder for n nodes.

@@ -10,19 +10,17 @@ import (
 	"gbc/internal/xrand"
 )
 
-// SamplerSetHook, when non-nil, replaces the sampler-set construction of
-// AdaAlg and the static baselines. It exists so tests can inject faulty
-// samplers (e.g. to exercise worker-panic recovery) through the public API;
-// production code must leave it nil.
-var SamplerSetHook func(g *graph.Graph, r *xrand.Rand) *sampling.Set
-
 // newSamplerSet builds the sampler set an algorithm run draws from,
-// honoring the ablation switches in opts and the test hook.
-func newSamplerSet(g *graph.Graph, opts Options, r *xrand.Rand) *sampling.Set {
+// honoring the ablation switches and the per-run sampler hook in opts
+// (Options.SamplerSet replaced the former package-level hook so concurrent
+// runs with different sampler configurations cannot race), and wires the
+// run's observability sinks into the set. label names the set in growth
+// events ("S" for the optimization set, "T" for AdaAlg's validation set).
+func newSamplerSet(g *graph.Graph, opts Options, r *xrand.Rand, label string) *sampling.Set {
 	var set *sampling.Set
 	switch {
-	case SamplerSetHook != nil:
-		set = SamplerSetHook(g, r)
+	case opts.SamplerSet != nil:
+		set = opts.SamplerSet(g, r)
 	case g.Weighted():
 		set = sampling.NewWeightedSet(g, r)
 	case opts.UseForwardSampler:
@@ -31,6 +29,11 @@ func newSamplerSet(g *graph.Graph, opts Options, r *xrand.Rand) *sampling.Set {
 		set = sampling.NewBidirectionalSet(g, r)
 	}
 	set.Workers = opts.Workers
+	set.Label = label
+	set.Metrics = opts.Metrics
+	if opts.Observer != nil {
+		set.Observer = opts.Observer
+	}
 	return set
 }
 
@@ -76,6 +79,8 @@ func AdaAlgCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, erro
 	ctx, cancel := withMaxDuration(ctx, opts.MaxDuration)
 	defer cancel()
 	start := time.Now()
+	opts.Metrics.RunStarted()
+	defer opts.Metrics.RunDone()
 	r := opts.rng()
 	n := float64(g.N())
 	nn := n * (n - 1)
@@ -92,22 +97,28 @@ func AdaAlgCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, erro
 
 	// Independent streams for S and T: the unbiasedness of B̄ requires that
 	// T is independent of the group chosen from S.
-	setS := newSamplerSet(g, opts, r.Split())
-	setT := newSamplerSet(g, opts, r.Split())
+	setS := newSamplerSet(g, opts, r.Split(), "S")
+	setT := newSamplerSet(g, opts, r.Split(), "T")
 
 	res := &Result{Base: b, Theta: theta}
-	finish := func() *Result {
+	// done finalizes res and fires the observer's OnDone — the single exit
+	// point of every successful (or gracefully interrupted) return.
+	done := func() (*Result, error) {
 		res.SamplesS = setS.Len()
 		res.SamplesT = setT.Len()
 		res.Samples = res.SamplesS + res.SamplesT
 		res.NormalizedEstimate = res.Estimate / nn
 		res.Elapsed = time.Since(start)
-		return res
+		if err := emitDone(opts.Observer, "AdaAlg", res); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	// interrupted absorbs a cancellation/deadline from a growth call into a
 	// graceful partial result, salvaging a best-so-far group from whatever
-	// samples were committed if no iteration completed yet. Worker panics
-	// pass through as errors.
+	// samples were committed if no iteration completed yet. Worker panics —
+	// and observer panics, which arrive as *obs.ObserverPanicError — pass
+	// through as errors.
 	interrupted := func(err error) (*Result, error) {
 		reason, ok := stopReasonFor(err)
 		if !ok {
@@ -124,7 +135,7 @@ func AdaAlgCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, erro
 			}
 		}
 		res.StopReason = reason
-		return finish(), nil
+		return done()
 	}
 
 	cnt := 0
@@ -170,6 +181,14 @@ func AdaAlgCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, erro
 				Group: append([]int32(nil), group...),
 			})
 		}
+		opts.Metrics.SetIteration(q, guess, epsSum)
+		if err := emitIteration(opts.Observer, "AdaAlg", Iteration{
+			Q: q, Guess: guess, L: lq, Biased: biased, Unbiased: unbiased,
+			Cnt: cnt, Beta: beta, Epsilon1: eps1, EpsilonSum: epsSum,
+			Group: group,
+		}); err != nil {
+			return nil, err
+		}
 		if cnt >= 2 {
 			res.Cnt = cnt
 			res.Beta = beta
@@ -182,5 +201,5 @@ func AdaAlgCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, erro
 			}
 		}
 	}
-	return finish(), nil
+	return done()
 }

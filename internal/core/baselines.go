@@ -17,12 +17,13 @@ type sampleBound func(nn, guess float64) float64
 // to the bound, run greedy max coverage, and accept as soon as the greedy
 // estimate reaches the guess (so the bound was computed from a value no
 // larger than ~2·opt). Like AdaAlg, each iteration's Greedy re-runs on the
-// grown flat coverage instance, reusing its epoch-stamped workspace.
+// grown flat coverage instance, reusing its epoch-stamped workspace. alg
+// names the algorithm in observer events.
 //
 // Cancellation, deadlines and MaxDuration degrade gracefully exactly as in
 // AdaAlgCtx: the best group so far comes back with Result.StopReason set
 // instead of an error.
-func runStatic(ctx context.Context, g *graph.Graph, opts Options, bound sampleBound) (*Result, error) {
+func runStatic(ctx context.Context, g *graph.Graph, opts Options, alg string, bound sampleBound) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
@@ -30,19 +31,24 @@ func runStatic(ctx context.Context, g *graph.Graph, opts Options, bound sampleBo
 	ctx, cancel := withMaxDuration(ctx, opts.MaxDuration)
 	defer cancel()
 	start := time.Now()
+	opts.Metrics.RunStarted()
+	defer opts.Metrics.RunDone()
 	r := opts.rng()
 	n := float64(g.N())
 	nn := n * (n - 1)
 
-	set := newSamplerSet(g, opts, r.Split())
+	set := newSamplerSet(g, opts, r.Split(), "S")
 
 	res := &Result{}
-	finish := func() *Result {
+	done := func() (*Result, error) {
 		res.SamplesS = set.Len()
 		res.Samples = res.SamplesS
 		res.NormalizedEstimate = res.Estimate / nn
 		res.Elapsed = time.Since(start)
-		return res
+		if err := emitDone(opts.Observer, alg, res); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	interrupted := func(err error) (*Result, error) {
 		reason, ok := stopReasonFor(err)
@@ -56,7 +62,7 @@ func runStatic(ctx context.Context, g *graph.Graph, opts Options, bound sampleBo
 			res.BiasedEstimate = res.Estimate
 		}
 		res.StopReason = reason
-		return finish(), nil
+		return done()
 	}
 
 	res.StopReason = StopIterationsExhausted
@@ -84,13 +90,20 @@ func runStatic(ctx context.Context, g *graph.Graph, opts Options, bound sampleBo
 				Group: append([]int32(nil), group...),
 			})
 		}
+		opts.Metrics.SetIteration(q, guess, 0)
+		if err := emitIteration(opts.Observer, alg, Iteration{
+			Q: q, Guess: guess, L: lq, Biased: biased, Unbiased: math.NaN(),
+			Group: group,
+		}); err != nil {
+			return nil, err
+		}
 		if biased >= guess {
 			res.Converged = true
 			res.StopReason = StopConverged
 			break
 		}
 	}
-	return finish(), nil
+	return done()
 }
 
 // HEDGE is the sampling algorithm of Mahmoody, Tsourakakis and Upfal
@@ -103,11 +116,17 @@ func HEDGE(g *graph.Graph, opts Options) (*Result, error) {
 // HEDGECtx is HEDGE under a context; see AdaAlgCtx for the cancellation
 // semantics.
 func HEDGECtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	return hedgeCtxNamed(ctx, g, opts, "HEDGE")
+}
+
+// hedgeCtxNamed is HEDGECtx with an explicit observer-event algorithm name,
+// so EXHAUST (HEDGE with tiny ε, γ) reports as itself.
+func hedgeCtxNamed(ctx context.Context, g *graph.Graph, opts Options, alg string) (*Result, error) {
 	opts = opts.withDefaults()
 	eps, gamma := opts.Epsilon, opts.Gamma
 	k := float64(opts.K)
 	n := float64(g.N())
-	return runStatic(ctx, g, opts, func(nn, guess float64) float64 {
+	return runStatic(ctx, g, opts, alg, func(nn, guess float64) float64 {
 		return (k*math.Log(n) + math.Log(2/gamma)) * (2 + eps) / (eps * eps) * nn / guess
 	})
 }
@@ -126,7 +145,7 @@ func CentRaCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, erro
 	opts = opts.withDefaults()
 	eps, gamma := opts.Epsilon, opts.Gamma
 	k := float64(opts.K)
-	return runStatic(ctx, g, opts, func(nn, guess float64) float64 {
+	return runStatic(ctx, g, opts, "CentRa", func(nn, guess float64) float64 {
 		return (k*math.Log(k+1) + math.Log(2/gamma)) * (2 + eps) / (eps * eps) * nn / guess
 	})
 }
@@ -156,5 +175,5 @@ func EXHAUSTCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 	if opts.Gamma == 0 {
 		opts.Gamma = ExhaustGamma
 	}
-	return HEDGECtx(ctx, g, opts)
+	return hedgeCtxNamed(ctx, g, opts, "EXHAUST")
 }

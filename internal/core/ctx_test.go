@@ -237,13 +237,12 @@ func (b *boomSampler) Sample(s, t int32, r *xrand.Rand) bfs.Sample {
 
 func TestWorkerPanicSurfacesAsError(t *testing.T) {
 	g := gen.BarabasiAlbert(200, 2, xrand.New(8))
-	SamplerSetHook = func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
+	hook := func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
 		return sampling.NewFactorySet(g, func() sampling.PairSampler {
 			return &boomSampler{fuse: 50}
 		}, r)
 	}
-	defer func() { SamplerSetHook = nil }()
-	res, err := AdaAlg(g, Options{K: 3, Seed: 9, Workers: 4})
+	res, err := AdaAlg(g, Options{K: 3, Seed: 9, Workers: 4, SamplerSet: hook})
 	if err == nil {
 		t.Fatalf("expected a worker-panic error, got result %+v", res)
 	}

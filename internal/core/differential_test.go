@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"gbc/internal/gen"
 	"gbc/internal/graph"
+	"gbc/internal/obs"
 	"gbc/internal/xrand"
 )
 
@@ -64,11 +66,13 @@ func sbmProbs(k int, in, out float64) [][]float64 {
 }
 
 // runDifferentialCase executes one matrix cell and fills in the outputs.
-func runDifferentialCase(t *testing.T, g *graph.Graph, tc *differentialCase) {
+// A non-nil observer is attached to the run (Budgeted excepted —
+// BudgetedOptions carries no observer); the outputs must not depend on it.
+func runDifferentialCase(t *testing.T, g *graph.Graph, tc *differentialCase, observer obs.Observer) {
 	t.Helper()
 	var res *Result
 	var err error
-	opts := Options{K: 8, Seed: tc.Seed, MaxSamples: 60000, Workers: tc.Workers}
+	opts := Options{K: 8, Seed: tc.Seed, MaxSamples: 60000, Workers: tc.Workers, Observer: observer}
 	switch tc.Algorithm {
 	case "AdaAlg":
 		res, err = AdaAlg(g, opts)
@@ -105,7 +109,7 @@ func runDifferentialCase(t *testing.T, g *graph.Graph, tc *differentialCase) {
 // independent fixed sample set, exercising CoveredBy through the sampling
 // layer (the exact code path AdaAlg drives every iteration on T).
 func coveredOn(g *graph.Graph, group []int32, seed uint64, alg string) int {
-	set := newSamplerSet(g, Options{}, xrand.New(seed*2654435761+uint64(len(alg))))
+	set := newSamplerSet(g, Options{}, xrand.New(seed*2654435761+uint64(len(alg))), "S")
 	set.GrowTo(5000)
 	return set.CoveredBy(group)
 }
@@ -122,25 +126,11 @@ func TestDifferentialAgainstOldLayout(t *testing.T) {
 		t.Skip("differential matrix is not short")
 	}
 	graphs := differentialGraphs()
-	var cases []*differentialCase
-	for _, gname := range []string{"BA-300", "WS-300", "SBM-240"} {
-		for _, alg := range []string{"AdaAlg", "HEDGE", "CentRa", "Budgeted"} {
-			for _, seed := range []uint64{1, 2, 3} {
-				cases = append(cases, &differentialCase{
-					Graph: gname, Algorithm: alg, Seed: seed, Workers: 1,
-				})
-			}
-			// One parallel cell per graph × algorithm: must match the
-			// sequential goldens exactly (per-index RNG streams).
-			cases = append(cases, &differentialCase{
-				Graph: gname, Algorithm: alg, Seed: 1, Workers: 4,
-			})
-		}
-	}
+	cases := differentialMatrix()
 
 	if *updateGolden {
 		for _, tc := range cases {
-			runDifferentialCase(t, graphs[tc.Graph], tc)
+			runDifferentialCase(t, graphs[tc.Graph], tc, nil)
 		}
 		buf, err := json.MarshalIndent(cases, "", "\t")
 		if err != nil {
@@ -156,11 +146,48 @@ func TestDifferentialAgainstOldLayout(t *testing.T) {
 		return
 	}
 
+	_, want := loadGoldenMatrix(t)
+	for i, tc := range cases {
+		tc, w := tc, want[i]
+		name := fmt.Sprintf("%s/%s/seed%d/workers%d", tc.Graph, tc.Algorithm, tc.Seed, tc.Workers)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runDifferentialCase(t, graphs[tc.Graph], tc, nil)
+			checkDifferentialCase(t, tc, w)
+		})
+	}
+}
+
+// differentialMatrix builds the input cells of the seeds × graphs ×
+// algorithms matrix, in golden-file order.
+func differentialMatrix() []*differentialCase {
+	var cases []*differentialCase
+	for _, gname := range []string{"BA-300", "WS-300", "SBM-240"} {
+		for _, alg := range []string{"AdaAlg", "HEDGE", "CentRa", "Budgeted"} {
+			for _, seed := range []uint64{1, 2, 3} {
+				cases = append(cases, &differentialCase{
+					Graph: gname, Algorithm: alg, Seed: seed, Workers: 1,
+				})
+			}
+			// One parallel cell per graph × algorithm: must match the
+			// sequential goldens exactly (per-index RNG streams).
+			cases = append(cases, &differentialCase{
+				Graph: gname, Algorithm: alg, Seed: 1, Workers: 4,
+			})
+		}
+	}
+	return cases
+}
+
+// loadGoldenMatrix reads the golden file and builds the matching fresh case
+// matrix (inputs only), failing the test on any shape mismatch.
+func loadGoldenMatrix(t *testing.T) (cases, want []*differentialCase) {
+	t.Helper()
+	cases = differentialMatrix()
 	buf, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("read golden (regenerate with -update): %v", err)
 	}
-	var want []*differentialCase
 	if err := json.Unmarshal(buf, &want); err != nil {
 		t.Fatal(err)
 	}
@@ -173,37 +200,78 @@ func TestDifferentialAgainstOldLayout(t *testing.T) {
 			t.Fatalf("case %d mismatch: golden %s/%s/%d/w%d vs matrix %s/%s/%d/w%d",
 				i, w.Graph, w.Algorithm, w.Seed, w.Workers, tc.Graph, tc.Algorithm, tc.Seed, tc.Workers)
 		}
-		tc := tc
+	}
+	return cases, want
+}
+
+// countingObserver counts callbacks; its sole purpose is being attached.
+type countingObserver struct{ growths, iters, dones atomic.Int64 }
+
+func (c *countingObserver) OnGrowth(obs.GrowthEvent)       { c.growths.Add(1) }
+func (c *countingObserver) OnIteration(obs.IterationEvent) { c.iters.Add(1) }
+func (c *countingObserver) OnDone(obs.DoneEvent)           { c.dones.Add(1) }
+
+// TestDifferentialWithObserverAttached replays every golden cell with an
+// Observer attached: all 48 cells must still match the goldens bit for bit —
+// observation is free of observable effect. Budgeted cells run unobserved
+// (BudgetedOptions has no observer) and simply re-pin the goldens.
+func TestDifferentialWithObserverAttached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	graphs := differentialGraphs()
+	cases, want := loadGoldenMatrix(t)
+	for i, tc := range cases {
+		tc, w := tc, want[i]
 		name := fmt.Sprintf("%s/%s/seed%d/workers%d", tc.Graph, tc.Algorithm, tc.Seed, tc.Workers)
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			runDifferentialCase(t, graphs[tc.Graph], tc)
-			if len(tc.Group) != len(w.Group) {
-				t.Fatalf("group length %d, golden %d", len(tc.Group), len(w.Group))
+			o := &countingObserver{}
+			runDifferentialCase(t, graphs[tc.Graph], tc, o)
+			checkDifferentialCase(t, tc, w)
+			if tc.Algorithm == "Budgeted" {
+				return
 			}
-			for j := range tc.Group {
-				if tc.Group[j] != w.Group[j] {
-					t.Fatalf("group %v, golden %v", tc.Group, w.Group)
-				}
+			if o.dones.Load() != 1 {
+				t.Fatalf("OnDone fired %d times, want 1", o.dones.Load())
 			}
-			if tc.Covered != w.Covered {
-				t.Errorf("covered %d, golden %d", tc.Covered, w.Covered)
+			if o.iters.Load() != int64(tc.Iterations) {
+				t.Fatalf("OnIteration fired %d times over %d iterations", o.iters.Load(), tc.Iterations)
 			}
-			if tc.Estimate != w.Estimate {
-				t.Errorf("estimate %s, golden %s (must be bit-exact)", tc.Estimate, w.Estimate)
-			}
-			if tc.Samples != w.Samples {
-				t.Errorf("samples %d, golden %d", tc.Samples, w.Samples)
-			}
-			if tc.Iterations != w.Iterations {
-				t.Errorf("iterations %d, golden %d", tc.Iterations, w.Iterations)
-			}
-			if tc.StopReason != w.StopReason {
-				t.Errorf("stopReason %s, golden %s", tc.StopReason, w.StopReason)
-			}
-			if tc.Converged != w.Converged {
-				t.Errorf("converged %v, golden %v", tc.Converged, w.Converged)
+			if o.growths.Load() == 0 {
+				t.Fatal("OnGrowth never fired")
 			}
 		})
+	}
+}
+
+// checkDifferentialCase compares one executed cell against its golden.
+func checkDifferentialCase(t *testing.T, tc, w *differentialCase) {
+	t.Helper()
+	if len(tc.Group) != len(w.Group) {
+		t.Fatalf("group length %d, golden %d", len(tc.Group), len(w.Group))
+	}
+	for j := range tc.Group {
+		if tc.Group[j] != w.Group[j] {
+			t.Fatalf("group %v, golden %v", tc.Group, w.Group)
+		}
+	}
+	if tc.Covered != w.Covered {
+		t.Errorf("covered %d, golden %d", tc.Covered, w.Covered)
+	}
+	if tc.Estimate != w.Estimate {
+		t.Errorf("estimate %s, golden %s (must be bit-exact)", tc.Estimate, w.Estimate)
+	}
+	if tc.Samples != w.Samples {
+		t.Errorf("samples %d, golden %d", tc.Samples, w.Samples)
+	}
+	if tc.Iterations != w.Iterations {
+		t.Errorf("iterations %d, golden %d", tc.Iterations, w.Iterations)
+	}
+	if tc.StopReason != w.StopReason {
+		t.Errorf("stopReason %s, golden %s", tc.StopReason, w.StopReason)
+	}
+	if tc.Converged != w.Converged {
+		t.Errorf("converged %v, golden %v", tc.Converged, w.Converged)
 	}
 }

@@ -1,0 +1,35 @@
+package core
+
+import "gbc/internal/obs"
+
+// emitIteration forwards one completed outer iteration to the run's
+// observer as an obs.IterationEvent (the group is copied — callbacks may
+// keep it). A nil observer is free; a panicking callback comes back as an
+// *obs.ObserverPanicError, which the caller must surface, not absorb.
+func emitIteration(o obs.Observer, alg string, it Iteration) error {
+	if o == nil {
+		return nil
+	}
+	return obs.EmitIteration(o, obs.IterationEvent{
+		Algorithm: alg,
+		Q:         it.Q, Guess: it.Guess, L: it.L,
+		Biased: it.Biased, Unbiased: it.Unbiased,
+		Cnt: it.Cnt, Beta: it.Beta, Epsilon1: it.Epsilon1, EpsilonSum: it.EpsilonSum,
+		Group: append([]int32(nil), it.Group...),
+	})
+}
+
+// emitDone forwards the finished result to the run's observer. Called on
+// every return path — converged, interrupted or iteration-exhausted — after
+// the Result is fully assembled.
+func emitDone(o obs.Observer, alg string, res *Result) error {
+	if o == nil {
+		return nil
+	}
+	return obs.EmitDone(o, obs.DoneEvent{
+		Algorithm: alg,
+		Converged: res.Converged, StopReason: res.StopReason.String(),
+		Iterations: res.Iterations, Samples: res.Samples,
+		Estimate: res.Estimate, Elapsed: res.Elapsed,
+	})
+}

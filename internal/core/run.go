@@ -58,6 +58,16 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("core: unknown algorithm %q (want AdaAlg, HEDGE, CentRa, EXHAUST or PairSampling)", name)
 }
 
+// Solve is the canonical entry point: it runs the algorithm selected by
+// opts.Algorithm (AdaAlg for the zero value) under ctx. Every exported
+// convenience wrapper — the gbc package's TopK family — reduces to this
+// call. All configuration, including the per-run Observer, Metrics and
+// SamplerSet hooks, travels in opts, so concurrent Solve calls with
+// different configurations never share mutable state.
+func Solve(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	return RunCtx(ctx, opts.Algorithm, g, opts)
+}
+
 // Run dispatches to the selected algorithm.
 func Run(alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
 	return RunCtx(context.Background(), alg, g, opts)

@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"gbc/internal/graph"
+	"gbc/internal/obs"
+	"gbc/internal/sampling"
 	"gbc/internal/xrand"
 )
 
@@ -33,6 +35,9 @@ const invE = 1 / math.E
 
 // Options configures a top-K GBC computation.
 type Options struct {
+	// Algorithm selects the algorithm Solve runs. The zero value is
+	// AlgAdaAlg, the paper's adaptive algorithm.
+	Algorithm Algorithm
 	// K is the group size to find. Required, 1 <= K <= n.
 	K int
 	// Epsilon is the error ratio ε, 0 < ε < 1-1/e. Default 0.3.
@@ -68,6 +73,28 @@ type Options struct {
 	// sequential). Results are identical for any worker count: each sample
 	// index has its own deterministic RNG stream.
 	Workers int
+
+	// Observer, when non-nil, receives progress callbacks on the run's
+	// coordinating goroutine: OnGrowth after every committed sample chunk,
+	// OnIteration after every outer iteration, OnDone once at the end.
+	// Callback boundaries are deterministic, so an observed run computes
+	// bit-identical results to an unobserved one for any Workers value. A
+	// panicking Observer aborts the run with an *obs.ObserverPanicError.
+	// Each run reads its own Options.Observer — unlike the former global
+	// hook, concurrent runs with different observers never interact.
+	Observer obs.Observer
+	// Metrics, when non-nil, receives atomic counter and gauge updates
+	// (samples drawn, arena bytes, pool utilization, adaptive-loop state)
+	// from the run's hot paths. Several concurrent runs may share one
+	// Metrics; a nil Metrics costs only nil checks.
+	Metrics *obs.Metrics
+	// SamplerSet, when non-nil, replaces the sampler-set construction of
+	// the run — the ablation/test hook for injecting custom samplers (e.g.
+	// faulty ones to exercise worker-panic recovery). It is consulted
+	// before the weighted/forward/bidirectional choice. Per-Options rather
+	// than a package global, so concurrent runs with different sampler
+	// configurations cannot race.
+	SamplerSet func(*graph.Graph, *xrand.Rand) *sampling.Set
 }
 
 func (o Options) withDefaults() Options {

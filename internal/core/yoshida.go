@@ -40,18 +40,23 @@ func PairSamplingCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result
 	ctx, cancel := withMaxDuration(ctx, opts.MaxDuration)
 	defer cancel()
 	start := time.Now()
+	opts.Metrics.RunStarted()
+	defer opts.Metrics.RunDone()
 	r := opts.rng()
 	n := float64(g.N())
 	nn := n * (n - 1)
 
 	set := pairsample.NewSet(g, r.Split())
 	res := &Result{}
-	finish := func() *Result {
+	done := func() (*Result, error) {
 		res.SamplesS = set.Len()
 		res.Samples = res.SamplesS
 		res.NormalizedEstimate = res.Estimate / nn
 		res.Elapsed = time.Since(start)
-		return res
+		if err := emitDone(opts.Observer, "PairSampling", res); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	salvage := func() {
 		if res.Group == nil && set.Len() > 0 {
@@ -68,7 +73,7 @@ func PairSamplingCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result
 		}
 		salvage()
 		res.StopReason = reason
-		return finish(), nil
+		return done()
 	}
 
 	res.StopReason = StopIterationsExhausted
@@ -98,6 +103,13 @@ func PairSamplingCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result
 				Group: append([]int32(nil), group...),
 			})
 		}
+		opts.Metrics.SetIteration(q, guess, 0)
+		if err := emitIteration(opts.Observer, "PairSampling", Iteration{
+			Q: q, Guess: guess, L: lq, Biased: biased, Unbiased: math.NaN(),
+			Group: group,
+		}); err != nil {
+			return nil, err
+		}
 		if biased >= guess {
 			res.Converged = true
 			res.StopReason = StopConverged
@@ -112,5 +124,5 @@ func PairSamplingCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result
 		}
 		salvage()
 	}
-	return finish(), nil
+	return done()
 }

@@ -145,6 +145,17 @@ func (c *Instance) Commit() {
 	c.indexed = total
 }
 
+// MemoryFootprint returns the bytes retained by the instance's arena,
+// inverted index and commit scratch (capacities, not lengths — the number
+// the allocator actually holds). The observability layer publishes it as
+// the coverage-arena gauge; it costs a handful of loads, so calling it at
+// growth boundaries is free.
+func (c *Instance) MemoryFootprint() int64 {
+	return int64(cap(c.nodes))*4 + int64(cap(c.offsets))*8 +
+		int64(cap(c.idx))*4 + int64(cap(c.idxStart))*8 +
+		int64(cap(c.cnt))*8 + int64(cap(c.startNew))*8
+}
+
 // row returns the ids of the paths containing v (valid until next Commit).
 func (c *Instance) row(v int32) []int32 {
 	return c.idx[c.idxStart[v]:c.idxStart[v+1]]

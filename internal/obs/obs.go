@@ -1,0 +1,181 @@
+// Package obs is the observability layer of the module: atomic counters
+// and gauges updated from the sampling pipeline's hot paths, an Observer
+// callback interface fired at deterministic chunk/iteration boundaries, an
+// expvar bridge for HTTP scraping, and a live TTY progress reporter.
+//
+// The governing constraint is "disabled costs nothing": every Metrics
+// method is a no-op on a nil receiver, so the hot paths thread a possibly
+// nil *Metrics through unconditionally and pay only a nil check per chunk —
+// PR 3's warm-growth allocation budgets (≤4 sequential / ≤8 parallel allocs
+// per chunk) hold unchanged. The second constraint is determinism: metrics
+// are plain atomic stores invisible to the algorithms, and Observer
+// callbacks run on the coordinating goroutine only at chunk-commit and
+// outer-iteration boundaries, so an observed run is bit-identical to an
+// unobserved one — the differential goldens pin this.
+package obs
+
+import (
+	"expvar"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a set of process- or run-scoped counters and gauges updated
+// atomically from the sampling workers and the algorithms' outer loops.
+// The zero value is ready to use; a nil *Metrics is the disabled state and
+// every method no-ops on it. All methods are safe for concurrent use.
+type Metrics struct {
+	samples    atomic.Int64  // committed path samples across all sets
+	nulls      atomic.Int64  // committed null samples (unreachable pairs)
+	chunks     atomic.Int64  // committed growth chunks
+	greedyRuns atomic.Int64  // greedy max-coverage (re-)runs
+	iteration  atomic.Int64  // current outer iteration q of the active run
+	guessBits  atomic.Uint64 // float64 bits of the current guess g_q
+	epsSumBits atomic.Uint64 // float64 bits of the current ε_sum
+	arenaBytes atomic.Int64  // bytes held by the coverage engines' arenas+index
+	workers    atomic.Int64  // live sampling pool goroutines
+	busy       atomic.Int64  // pool goroutines currently drawing a job
+	activeRuns atomic.Int64  // algorithm runs in flight
+	startNanos atomic.Int64  // wall clock of the first committed chunk
+}
+
+// AddSamples records one committed growth chunk of n samples, nulls of
+// which were unreachable pairs.
+func (m *Metrics) AddSamples(n, nulls int) {
+	if m == nil {
+		return
+	}
+	m.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+	m.samples.Add(int64(n))
+	m.nulls.Add(int64(nulls))
+	m.chunks.Add(1)
+}
+
+// SetIteration publishes the adaptive loop's position: outer iteration q,
+// the current guess g_q of the optimum and the stopping quantity ε_sum
+// (0 until the stopping rule is armed).
+func (m *Metrics) SetIteration(q int, guess, epsSum float64) {
+	if m == nil {
+		return
+	}
+	m.iteration.Store(int64(q))
+	m.guessBits.Store(math.Float64bits(guess))
+	m.epsSumBits.Store(math.Float64bits(epsSum))
+}
+
+// IncGreedy counts one greedy max-coverage (re-)run.
+func (m *Metrics) IncGreedy() {
+	if m == nil {
+		return
+	}
+	m.greedyRuns.Add(1)
+}
+
+// AddArenaBytes adjusts the coverage-arena footprint gauge by delta bytes
+// (callers report growth deltas so several sample sets aggregate).
+func (m *Metrics) AddArenaBytes(delta int64) {
+	if m == nil {
+		return
+	}
+	m.arenaBytes.Add(delta)
+}
+
+// AddPoolWorkers adjusts the live-pool-goroutine gauge.
+func (m *Metrics) AddPoolWorkers(n int) {
+	if m == nil {
+		return
+	}
+	m.workers.Add(int64(n))
+}
+
+// WorkerBusy adjusts the busy-worker gauge (+1 when a pool goroutine picks
+// up a grow job, -1 when it finishes).
+func (m *Metrics) WorkerBusy(delta int) {
+	if m == nil {
+		return
+	}
+	m.busy.Add(int64(delta))
+}
+
+// RunStarted and RunDone bracket one algorithm run for the active-runs
+// gauge.
+func (m *Metrics) RunStarted() {
+	if m == nil {
+		return
+	}
+	m.activeRuns.Add(1)
+}
+
+// RunDone is the closing bracket of RunStarted.
+func (m *Metrics) RunDone() {
+	if m == nil {
+		return
+	}
+	m.activeRuns.Add(-1)
+}
+
+// Stats is a point-in-time copy of a Metrics, shaped for JSON (the expvar
+// endpoint serves exactly this object under the "gbc" key).
+type Stats struct {
+	Samples       int64   `json:"samples"`
+	NullSamples   int64   `json:"nullSamples"`
+	Chunks        int64   `json:"chunks"`
+	GreedyRuns    int64   `json:"greedyRuns"`
+	Iteration     int64   `json:"iteration"`
+	Guess         float64 `json:"guess"`
+	EpsilonSum    float64 `json:"epsilonSum"`
+	ArenaBytes    int64   `json:"arenaBytes"`
+	PoolWorkers   int64   `json:"poolWorkers"`
+	BusyWorkers   int64   `json:"busyWorkers"`
+	ActiveRuns    int64   `json:"activeRuns"`
+	SamplesPerSec float64 `json:"samplesPerSec"`
+}
+
+// Snapshot returns a consistent-enough copy for reporting (each field is
+// read atomically; the set is not a transaction). SamplesPerSec is the
+// average rate since the first committed chunk. A nil Metrics snapshots to
+// the zero Stats.
+func (m *Metrics) Snapshot() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Samples:     m.samples.Load(),
+		NullSamples: m.nulls.Load(),
+		Chunks:      m.chunks.Load(),
+		GreedyRuns:  m.greedyRuns.Load(),
+		Iteration:   m.iteration.Load(),
+		Guess:       math.Float64frombits(m.guessBits.Load()),
+		EpsilonSum:  math.Float64frombits(m.epsSumBits.Load()),
+		ArenaBytes:  m.arenaBytes.Load(),
+		PoolWorkers: m.workers.Load(),
+		BusyWorkers: m.busy.Load(),
+		ActiveRuns:  m.activeRuns.Load(),
+	}
+	if start := m.startNanos.Load(); start != 0 {
+		if secs := time.Since(time.Unix(0, start)).Seconds(); secs > 0 {
+			s.SamplesPerSec = float64(s.Samples) / secs
+		}
+	}
+	return s
+}
+
+var (
+	publishOnce sync.Once
+	published   *Metrics
+)
+
+// Published returns the process-wide Metrics registered with expvar under
+// the name "gbc", creating and publishing it on the first call. Counters on
+// it accumulate across runs for the process's lifetime — the natural shape
+// for a scraped endpoint. Per-run metrics that must start at zero should
+// use a fresh &Metrics{} instead.
+func Published() *Metrics {
+	publishOnce.Do(func() {
+		published = &Metrics{}
+		expvar.Publish("gbc", expvar.Func(func() any { return published.Snapshot() }))
+	})
+	return published
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// GrowthEvent reports one committed growth chunk of a sample set. Events
+// fire on the goroutine driving the growth, after the chunk's samples are
+// in the set, so Len always counts fully committed samples. The sequence of
+// growth events is deterministic: it depends only on the chunk schedule and
+// the (worker-count-independent) sample contents, never on worker timing.
+type GrowthEvent struct {
+	// Set labels which sample set grew: "S" (optimization) or "T"
+	// (validation) for the algorithms in internal/core.
+	Set string
+	// Len is the set's sample count after this chunk; Target is the length
+	// this growth call is heading for, so Len/Target is chunk-level
+	// progress.
+	Len, Target int
+	// Added is the size of the just-committed chunk.
+	Added int
+	// Unreachable is the set's cumulative null-sample count.
+	Unreachable int
+}
+
+// IterationEvent reports one completed outer iteration of an algorithm's
+// guess-halving loop — the same quantities Result.Trace records.
+type IterationEvent struct {
+	// Algorithm is the emitting algorithm's name ("AdaAlg", "HEDGE", ...).
+	Algorithm string
+	// Q is the 1-based iteration number; Guess is the current guess g_q of
+	// the optimum; L is the per-set sample count after this iteration.
+	Q     int
+	Guess float64
+	L     int
+	// Biased and Unbiased are B̂(C_q) and B̄(C_q); Unbiased is NaN for the
+	// single-set baselines.
+	Biased, Unbiased float64
+	// Cnt, Beta, Epsilon1 and EpsilonSum are AdaAlg's stopping-rule state
+	// (zero for the baselines and while cnt < 2).
+	Cnt                        int
+	Beta, Epsilon1, EpsilonSum float64
+	// Group is the group selected in this iteration (a copy; callbacks may
+	// keep it).
+	Group []int32
+}
+
+// DoneEvent reports the end of a run, successful or interrupted.
+type DoneEvent struct {
+	Algorithm string
+	// Converged is true when the algorithm's own stopping rule fired;
+	// StopReason is the Result.StopReason name ("Converged", "Deadline",
+	// "Cancelled", ...).
+	Converged  bool
+	StopReason string
+	Iterations int
+	// Samples counts all sampled paths (S+T for AdaAlg); Estimate is the
+	// final centrality estimate of the returned group.
+	Samples  int
+	Estimate float64
+	Elapsed  time.Duration
+}
+
+// GrowthObserver receives per-chunk growth callbacks. It is the narrow
+// interface the sampling layer needs; Observer embeds it.
+type GrowthObserver interface {
+	OnGrowth(GrowthEvent)
+}
+
+// Observer receives progress callbacks from a run. Callbacks are invoked
+// synchronously on the run's coordinating goroutine at deterministic
+// boundaries — after a growth chunk commits, after an outer iteration
+// completes, and once when the run finishes — so attaching an observer
+// never changes what the algorithm computes. A slow callback slows the run;
+// a panicking callback aborts it with an *ObserverPanicError (the process
+// survives). Callbacks must not call back into the running computation.
+type Observer interface {
+	GrowthObserver
+	OnIteration(IterationEvent)
+	OnDone(DoneEvent)
+}
+
+// ObserverFuncs adapts plain functions to the Observer interface; nil
+// fields are skipped.
+type ObserverFuncs struct {
+	Growth    func(GrowthEvent)
+	Iteration func(IterationEvent)
+	Done      func(DoneEvent)
+}
+
+// OnGrowth implements Observer.
+func (o ObserverFuncs) OnGrowth(ev GrowthEvent) {
+	if o.Growth != nil {
+		o.Growth(ev)
+	}
+}
+
+// OnIteration implements Observer.
+func (o ObserverFuncs) OnIteration(ev IterationEvent) {
+	if o.Iteration != nil {
+		o.Iteration(ev)
+	}
+}
+
+// OnDone implements Observer.
+func (o ObserverFuncs) OnDone(ev DoneEvent) {
+	if o.Done != nil {
+		o.Done(ev)
+	}
+}
+
+// ObserverPanicError reports a panic recovered from an Observer callback.
+// The run that invoked the callback is aborted and returns this as an
+// ordinary error; the observed computation itself was not at fault.
+type ObserverPanicError struct {
+	// Callback names the panicking method ("OnGrowth", "OnIteration",
+	// "OnDone").
+	Callback string
+	// Value is the value the callback panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *ObserverPanicError) Error() string {
+	return fmt.Sprintf("obs: observer %s panic: %v", e.Callback, e.Value)
+}
+
+// EmitGrowth invokes o.OnGrowth(ev), converting a panic into an
+// *ObserverPanicError. A nil observer is a no-op.
+func EmitGrowth(o GrowthObserver, ev GrowthEvent) (err error) {
+	if o == nil {
+		return nil
+	}
+	defer recoverCallback("OnGrowth", &err)
+	o.OnGrowth(ev)
+	return nil
+}
+
+// EmitIteration invokes o.OnIteration(ev), converting a panic into an
+// *ObserverPanicError. A nil observer is a no-op.
+func EmitIteration(o Observer, ev IterationEvent) (err error) {
+	if o == nil {
+		return nil
+	}
+	defer recoverCallback("OnIteration", &err)
+	o.OnIteration(ev)
+	return nil
+}
+
+// EmitDone invokes o.OnDone(ev), converting a panic into an
+// *ObserverPanicError. A nil observer is a no-op.
+func EmitDone(o Observer, ev DoneEvent) (err error) {
+	if o == nil {
+		return nil
+	}
+	defer recoverCallback("OnDone", &err)
+	o.OnDone(ev)
+	return nil
+}
+
+// recoverCallback is the shared deferred recover of the Emit helpers.
+func recoverCallback(name string, err *error) {
+	if v := recover(); v != nil {
+		*err = &ObserverPanicError{Callback: name, Value: v, Stack: debug.Stack()}
+	}
+}

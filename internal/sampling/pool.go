@@ -15,6 +15,7 @@ import (
 
 	"gbc/internal/bfs"
 	"gbc/internal/coverage"
+	"gbc/internal/obs"
 	"gbc/internal/xrand"
 )
 
@@ -68,6 +69,7 @@ type growJob struct {
 	first, stride int
 	done          <-chan struct{} // the growth context's Done channel
 	stop          *atomic.Bool    // shared chunk-abort flag
+	metrics       *obs.Metrics    // busy-worker gauge sink (nil = disabled)
 }
 
 // poolWorker is one persistent worker: a goroutine looping over jobs plus
@@ -91,7 +93,9 @@ func (w *poolWorker) loop() {
 // *PanicError on a sampler panic (which also aborts the chunk for the
 // sibling workers).
 func (w *poolWorker) runJob(job growJob) {
+	job.metrics.WorkerBusy(1)
 	defer func() {
+		job.metrics.WorkerBusy(-1)
 		if v := recover(); v != nil {
 			job.stop.Store(true)
 			w.ack <- &PanicError{Value: v, Stack: debug.Stack()}

@@ -8,6 +8,7 @@ import (
 
 	"gbc/internal/bfs"
 	"gbc/internal/gen"
+	"gbc/internal/obs"
 	"gbc/internal/xrand"
 )
 
@@ -134,5 +135,41 @@ func TestWarmParallelGrowthAllocs(t *testing.T) {
 	})
 	if allocs > 8 {
 		t.Fatalf("warm parallel growth: %g allocs per chunk, want <= 8", allocs)
+	}
+}
+
+// TestWarmGrowthAllocsWithMetrics re-runs both alloc guards with a Metrics
+// attached: the counters are plain atomics updated in place, so
+// instrumentation must fit inside the same budgets — the ISSUE's
+// "enabled metrics cost atomics only" half of the zero-overhead contract.
+func TestWarmGrowthAllocsWithMetrics(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+		budget  float64
+	}{
+		{"sequential", 0, 4},
+		{"parallel", 4, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := gen.BarabasiAlbert(600, 3, xrand.New(25))
+			s := NewBidirectionalSet(g, xrand.New(26))
+			s.Workers = tc.workers
+			s.Metrics = &obs.Metrics{}
+			s.Label = "S"
+			s.GrowTo(4 * GrowChunk)
+			target := s.Len()
+			allocs := testing.AllocsPerRun(8, func() {
+				target += GrowChunk
+				s.GrowTo(target)
+			})
+			if allocs > tc.budget {
+				t.Fatalf("warm %s growth with metrics: %g allocs per chunk, want <= %g",
+					tc.name, allocs, tc.budget)
+			}
+			if n := s.Metrics.Snapshot().Samples; n != int64(s.Len()) {
+				t.Fatalf("metrics counted %d samples, set holds %d", n, s.Len())
+			}
+		})
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"gbc/internal/bfs"
 	"gbc/internal/coverage"
 	"gbc/internal/graph"
+	"gbc/internal/obs"
 	"gbc/internal/xrand"
 )
 
@@ -86,6 +87,24 @@ type Set struct {
 
 	// Unreachable counts null samples (pairs with no path).
 	Unreachable int
+
+	// Label names this set in growth events and metrics ("S", "T", ...).
+	Label string
+	// Metrics, when non-nil, receives atomic counter updates (committed
+	// samples, arena footprint, pool gauges). Nil — the default — costs
+	// only nil checks on the growth path, preserving the warm-growth
+	// allocation budgets.
+	Metrics *obs.Metrics
+	// Observer, when non-nil, is invoked on the goroutine calling GrowTo*
+	// after every committed chunk. Callbacks fire at deterministic chunk
+	// boundaries regardless of Workers, so observed growth is bit-identical
+	// to unobserved growth. A panicking Observer aborts the growth with an
+	// *obs.ObserverPanicError; the committed prefix is kept.
+	Observer obs.GrowthObserver
+
+	// lastFootprint is the coverage footprint last reported to Metrics, so
+	// the arena gauge aggregates deltas across several sets.
+	lastFootprint int64
 }
 
 // NewSet returns an empty sample set around a caller-supplied sampler,
@@ -183,12 +202,25 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 		if end > L {
 			end = L
 		}
+		nullsBefore := s.Unreachable
 		if workers > 1 {
 			if err := s.growParallel(ctx, cur, end, workers); err != nil {
 				return err
 			}
 		} else {
 			s.growSequential(cur, end)
+		}
+		s.Metrics.AddSamples(end-cur, s.Unreachable-nullsBefore)
+		if s.Observer != nil {
+			// The chunk is committed either way: an observer panic aborts
+			// the growth like a cancellation, keeping the deterministic
+			// prefix, and surfaces as an *obs.ObserverPanicError.
+			if err := obs.EmitGrowth(s.Observer, obs.GrowthEvent{
+				Set: s.Label, Len: end, Target: L,
+				Added: end - cur, Unreachable: s.Unreachable,
+			}); err != nil {
+				return err
+			}
 		}
 		cur = end
 	}
@@ -197,6 +229,7 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 	// cancelled growth (which returns above without committing the index)
 	// leaves the same state the next query's self-commit would build.
 	s.cov.Commit()
+	s.updateArenaGauge()
 	// The pool finalizer only runs once the Set is unreachable, so it can
 	// never close the job channels under a live growth; keep the receiver
 	// pinned to the end of the call to make that explicit.
@@ -223,6 +256,18 @@ func (s *Set) growSequential(cur, end int) {
 	s.Unreachable += s.cov.AddStrided(s.seqView, end-cur)
 }
 
+// updateArenaGauge reports the coverage engine's footprint change since the
+// last report to the metrics arena gauge (deltas, so several sets — AdaAlg
+// runs two — aggregate into one process gauge).
+func (s *Set) updateArenaGauge() {
+	if s.Metrics == nil {
+		return
+	}
+	fp := s.cov.MemoryFootprint()
+	s.Metrics.AddArenaBytes(fp - s.lastFootprint)
+	s.lastFootprint = fp
+}
+
 // growParallel draws indices [cur, end) across the persistent worker pool —
 // worker w takes the strided share w, w+workers, … into its own arena — and
 // then bulk-appends the worker arenas into the coverage arena in index
@@ -239,7 +284,7 @@ func (s *Set) growParallel(ctx context.Context, cur, end, workers int) error {
 	for w := 0; w < workers; w++ {
 		s.pool[w].jobs <- growJob{
 			cur: cur, count: count, first: w, stride: workers,
-			done: done, stop: &s.stop,
+			done: done, stop: &s.stop, metrics: s.Metrics,
 		}
 	}
 	var pe *PanicError
@@ -272,6 +317,7 @@ func (s *Set) ensurePool(workers int) {
 			for _, w := range s.pool {
 				close(w.jobs)
 			}
+			s.Metrics.AddPoolWorkers(-len(s.pool))
 		})
 	}
 	for len(s.pool) < workers {
@@ -282,6 +328,7 @@ func (s *Set) ensurePool(workers int) {
 		w.st.init(s.g.N(), s.seed0, s.seed1, s.newSampler())
 		s.pool = append(s.pool, w)
 		s.poolArenas = append(s.poolArenas, &w.st.arena)
+		s.Metrics.AddPoolWorkers(1)
 		go w.loop()
 	}
 }
@@ -291,7 +338,10 @@ func (s *Set) Coverage() *coverage.Instance { return s.cov }
 
 // Greedy picks the K-node group covering the most samples and returns it
 // with its covered count.
-func (s *Set) Greedy(k int) ([]int32, int) { return s.cov.Greedy(k) }
+func (s *Set) Greedy(k int) ([]int32, int) {
+	s.Metrics.IncGreedy()
+	return s.cov.Greedy(k)
+}
 
 // CoveredBy returns how many samples contain a node of group.
 func (s *Set) CoveredBy(group []int32) int { return s.cov.CoveredBy(group) }

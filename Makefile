@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all ci build test race fuzz cover bench bench-compare figures fmt fmtcheck vet clean
+.PHONY: all ci build test race serve-smoke fuzz cover bench bench-compare figures fmt fmtcheck vet clean
 
 all: build vet fmtcheck test
 
 # The exact gate .github/workflows/ci.yml runs; `make ci` reproduces a CI
 # failure locally.
-ci: fmtcheck vet build test race
+ci: fmtcheck vet build test race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ test:
 # friends drive multi-worker growth into the flat coverage engine).
 race:
 	$(GO) test -race ./...
+
+# End-to-end smoke test of the gbcd daemon: build, serve on a random port,
+# upload a generated graph, query top-K, assert the JSON shape and warm
+# registry reuse, drain on SIGTERM.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Short smoke run of the edge-list parser fuzzers (native Go fuzzing).
 fuzz:

@@ -150,27 +150,20 @@ func serveMetrics(addr string) (stop func(), url string, err error) {
 	return func() { srv.Close() }, "http://" + ln.Addr().String(), nil
 }
 
-// jsonResult is the machine-readable output of -json.
+// jsonResult is the machine-readable output of -json: the run's input
+// parameters plus the solver result in the stable wire encoding shared
+// with the gbcd server's /v1/topk responses (gbc.WireResult). The result
+// is nested rather than embedded so its frozen field set stays one
+// recognizable object across both surfaces.
 type jsonResult struct {
-	Algorithm     string  `json:"algorithm"`
-	Nodes         int     `json:"nodes"`
-	Edges         int     `json:"edges"`
-	Directed      bool    `json:"directed"`
-	K             int     `json:"k"`
-	Epsilon       float64 `json:"epsilon"`
-	Gamma         float64 `json:"gamma"`
-	Seed          uint64  `json:"seed"`
-	Group         []int64 `json:"group"`
-	Estimate      float64 `json:"estimate"`
-	Normalized    float64 `json:"normalizedEstimate"`
-	Samples       int     `json:"samples"`
-	SamplesS      int     `json:"samplesOptimize"`
-	SamplesT      int     `json:"samplesValidate"`
-	Iterations    int     `json:"iterations"`
-	Converged     bool    `json:"converged"`
-	StopReason    string  `json:"stopReason"`
-	ElapsedMillis float64 `json:"elapsedMillis"`
-	ExactGBC      float64 `json:"exactGBC,omitempty"`
+	Nodes    int            `json:"nodes"`
+	Edges    int            `json:"edges"`
+	Directed bool           `json:"directed"`
+	Epsilon  float64        `json:"epsilon"`
+	Gamma    float64        `json:"gamma"`
+	Seed     uint64         `json:"seed"`
+	Result   gbc.WireResult `json:"result"`
+	ExactGBC float64        `json:"exactGBC,omitempty"`
 }
 
 func run(ctx context.Context, o cliOptions) (err error) {
@@ -248,21 +241,14 @@ func run(ctx context.Context, o cliOptions) (err error) {
 		return fmt.Errorf("stopped (%v) before any group was found — raise -timeout", res.StopReason)
 	}
 	if o.jsonOut {
-		out := jsonResult{
-			Algorithm: alg.String(), Nodes: g.N(), Edges: g.M(), Directed: g.Directed(),
-			K: o.k, Epsilon: o.eps, Gamma: o.gamma, Seed: o.seed,
-			Estimate: res.Estimate, Normalized: res.NormalizedEstimate,
-			Samples: res.Samples, SamplesS: res.SamplesS, SamplesT: res.SamplesT,
-			Iterations: res.Iterations, Converged: res.Converged,
-			StopReason:    res.StopReason.String(),
-			ElapsedMillis: float64(res.Elapsed.Microseconds()) / 1000,
+		var label func(int32) int64
+		if o.labels {
+			label = g.Label
 		}
-		for _, v := range res.Group {
-			if o.labels {
-				out.Group = append(out.Group, g.Label(v))
-			} else {
-				out.Group = append(out.Group, int64(v))
-			}
+		out := jsonResult{
+			Nodes: g.N(), Edges: g.M(), Directed: g.Directed(),
+			Epsilon: o.eps, Gamma: o.gamma, Seed: o.seed,
+			Result: gbc.NewWireResult(alg, o.k, res, label),
 		}
 		if o.verify {
 			out.ExactGBC = gbc.ExactGBC(g, res.Group)

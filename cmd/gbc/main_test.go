@@ -58,11 +58,45 @@ func TestRunFromFileWithLabels(t *testing.T) {
 	}
 }
 
+// TestRunJSONOutput pins the -json shape: run context under top-level keys,
+// the solver result nested under "result" in the stable wire encoding
+// (gbc.WireResult) shared with the gbcd server.
 func TestRunJSONOutput(t *testing.T) {
 	o := cliOptions{dataset: "GrQc", scale: 0.05, k: 3, algName: "AdaAlg",
 		eps: 0.3, gamma: 0.01, seed: 1, verify: true, jsonOut: true}
-	if err := run(context.Background(), o); err != nil {
+
+	orig := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
 		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(context.Background(), o)
+	w.Close()
+	os.Stdout = orig
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	var out jsonResult
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		t.Fatalf("decode -json output: %v", err)
+	}
+	if out.Nodes < 2 || out.Edges == 0 {
+		t.Fatalf("graph context missing: nodes=%d edges=%d", out.Nodes, out.Edges)
+	}
+	res := out.Result
+	if res.Algorithm != gbc.AdaAlg || res.K != 3 {
+		t.Fatalf("result header wrong: alg=%v k=%d", res.Algorithm, res.K)
+	}
+	if len(res.Group) != 3 || res.Estimate <= 0 || res.Samples == 0 {
+		t.Fatalf("result payload wrong: %+v", res)
+	}
+	if res.Converged != (res.StopReason == gbc.StopConverged) || res.Partial == res.Converged {
+		t.Fatalf("inconsistent stop state: %+v", res)
+	}
+	if out.ExactGBC <= 0 {
+		t.Fatalf("-verify did not record exactGBC: %+v", out)
 	}
 }
 

@@ -1,0 +1,104 @@
+// Command gbcd serves top-K group betweenness centrality over HTTP/JSON.
+//
+// It keeps named graphs resident in an LRU registry (each with its warm
+// sampling state, so repeated queries regrow samples allocation-free),
+// bounds solver concurrency with a FIFO-queued worker pool, and coalesces
+// identical concurrent queries into a single run.
+//
+//	gbcd -addr :8080
+//	curl -s localhost:8080/v1/graphs -d '{"name":"ba","generator":"ba","n":2000,"degree":4}'
+//	curl -s localhost:8080/v1/topk   -d '{"graph":"ba","k":10,"epsilon":0.1}'
+//
+// SIGINT/SIGTERM drains gracefully: admissions stop (503), in-flight runs
+// get the -drain-grace period to finish or return best-so-far partial
+// results, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gbc/internal/obs"
+	"gbc/internal/server"
+)
+
+func main() {
+	cfg := parseFlags(os.Args[1:], flag.ExitOnError)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "gbcd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr       string
+	drainGrace time.Duration
+	server     server.Config
+}
+
+func parseFlags(args []string, onError flag.ErrorHandling) config {
+	fs := flag.NewFlagSet("gbcd", onError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	fs.IntVar(&cfg.server.Workers, "workers", 0, "concurrent solver runs (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.server.QueueDepth, "queue", 0, "pending-run queue depth (0 = 64)")
+	fs.IntVar(&cfg.server.MaxGraphs, "max-graphs", 0, "resident graph limit (0 = 16)")
+	fs.DurationVar(&cfg.server.DefaultTimeout, "default-timeout", 0, "per-run deadline when the request names none (0 = 30s)")
+	fs.DurationVar(&cfg.server.MaxTimeout, "max-timeout", 0, "cap on requested per-run deadlines (0 = 5m)")
+	fs.DurationVar(&cfg.drainGrace, "drain-grace", 10*time.Second, "how long in-flight runs may finish after SIGTERM before being cut to partial results")
+	fs.Parse(args)
+	return cfg
+}
+
+// run starts the daemon and blocks until ctx cancels and the drain
+// completes. ready, when non-nil, is called with the base URL once the
+// listener is accepting (the smoke test and unit tests hook it).
+func run(ctx context.Context, cfg config, ready func(url string)) error {
+	cfg.server.Metrics = obs.Published()
+	srv := server.New(cfg.server)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("gbcd: listening on %s\n", url)
+	if ready != nil {
+		ready(url)
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Printf("gbcd: draining (grace %v)\n", cfg.drainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
+	defer cancel()
+	// Drain order matters: the scheduler first, so queued and in-flight
+	// runs finish (or go partial at grace expiry) while their HTTP
+	// connections are still alive to carry the responses; only then close
+	// the listener and idle connections.
+	srv.Shutdown(grace)
+	if err := httpSrv.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	fmt.Println("gbcd: drained, exiting")
+	return nil
+}

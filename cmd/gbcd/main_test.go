@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle drives the daemon end to end in-process: start on an
+// OS-assigned port, upload a generated graph, query top-K twice (the
+// second must succeed against the same warm registry entry), then cancel
+// the context and require a clean graceful drain.
+func TestDaemonLifecycle(t *testing.T) {
+	cfg := parseFlags([]string{"-addr", "127.0.0.1:0", "-drain-grace", "2s"}, flag.ContinueOnError)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	urls := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, func(u string) { urls <- u }) }()
+
+	var url string
+	select {
+	case url = <-urls:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	post := func(path string, body map[string]any) (int, []byte) {
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(url+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, out
+	}
+
+	if status, body := post("/v1/graphs", map[string]any{
+		"name": "ba", "generator": "ba", "n": 500, "degree": 3,
+	}); status != http.StatusCreated {
+		t.Fatalf("add graph: %d %s", status, body)
+	}
+	for i := 0; i < 2; i++ {
+		status, body := post("/v1/topk", map[string]any{"graph": "ba", "k": 5})
+		if status != http.StatusOK {
+			t.Fatalf("topk %d: %d %s", i, status, body)
+		}
+		var r struct {
+			Result struct {
+				Group []int64 `json:"group"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil || len(r.Result.Group) != 5 {
+			t.Fatalf("topk %d: bad body (%v): %s", i, err, body)
+		}
+	}
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(url + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := vars["gbc"]; !ok {
+		t.Fatal("/debug/vars does not publish the gbc metrics")
+	}
+
+	cancel() // SIGTERM equivalent
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+func TestDaemonBadAddr(t *testing.T) {
+	cfg := parseFlags([]string{"-addr", "256.256.256.256:1"}, flag.ContinueOnError)
+	if err := run(context.Background(), cfg, nil); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

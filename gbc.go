@@ -36,6 +36,7 @@ import (
 	"gbc/internal/graph"
 	"gbc/internal/obs"
 	"gbc/internal/sampling"
+	"gbc/internal/wire"
 	"gbc/internal/xrand"
 )
 
@@ -47,8 +48,16 @@ type Graph = graph.Graph
 type Builder = graph.Builder
 
 // Options configures a top-K GBC computation; the zero value of every field
-// except K gets a sensible default (ε = 0.3, γ = 0.01, seed 1).
+// except K gets a sensible default (ε = 0.3, γ = 0.01, seed 1). Call
+// Options.Validate to vet a configuration without running it — Solve
+// performs the same checks and returns the same *OptionError values.
 type Options = core.Options
+
+// OptionError reports one invalid Options field: which field, the offending
+// value and why it is rejected. Solve (and Options.Validate) return it via
+// errors.As-compatible wrapping, so API layers can map validation failures
+// to structured responses.
+type OptionError = core.OptionError
 
 // Result reports the found group, its centrality estimates, the number of
 // sampled shortest paths and the algorithm's stopping state.
@@ -93,10 +102,17 @@ const (
 	// PairSampling is the pair-sampling baseline of Yoshida (KDD 2014);
 	// its sample bound carries a 1/μ_opt² factor — prefer AdaAlg.
 	PairSampling = core.AlgPairSampling
+	// Budgeted is the budgeted generalization (Fink & Spoerhase): groups are
+	// bounded by Options.Budget over Options.Costs instead of cardinality K.
+	Budgeted = core.AlgBudgeted
 )
 
 // ParseAlgorithm resolves an algorithm name ("AdaAlg", "HEDGE", ...).
 func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
+
+// ParseStopReason resolves a stop reason name ("Converged", "Deadline", ...)
+// — the inverse of StopReason.String, used when decoding wire results.
+func ParseStopReason(name string) (StopReason, error) { return core.ParseStopReason(name) }
 
 // TraceEntry records one outer iteration of a run — the elements of
 // Result.Trace when Options.CollectTrace is set.
@@ -177,32 +193,51 @@ func Solve(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 
 // TopK finds a K-node group with near-maximal group betweenness centrality
 // using the paper's adaptive algorithm AdaAlg: with probability at least
-// 1-γ the returned group is a (1-1/e-ε)-approximation. It is Solve with a
-// background context and opts.Algorithm forced to AdaAlg.
+// 1-γ the returned group is a (1-1/e-ε)-approximation. It is a legacy
+// alias of Solve — exactly Solve with a background context and
+// opts.Algorithm forced to AdaAlg; new integrations should call Solve.
 func TopK(g *Graph, opts Options) (*Result, error) {
 	opts.Algorithm = AdaAlg
 	return Solve(context.Background(), g, opts)
 }
 
-// TopKContext is TopK under a context; see Solve for the cancellation and
+// TopKContext is TopK under a context — a legacy alias of Solve with
+// opts.Algorithm forced to AdaAlg; see Solve for the cancellation and
 // partial-result semantics.
 func TopKContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 	opts.Algorithm = AdaAlg
 	return Solve(ctx, g, opts)
 }
 
-// TopKWith is TopK with an explicit algorithm choice: Solve with a
-// background context and opts.Algorithm forced to alg.
+// TopKWith is TopK with an explicit algorithm choice — a legacy alias of
+// Solve with a background context and opts.Algorithm forced to alg.
 func TopKWith(alg Algorithm, g *Graph, opts Options) (*Result, error) {
 	opts.Algorithm = alg
 	return Solve(context.Background(), g, opts)
 }
 
-// TopKWithContext is TopKWith under a context; see Solve for the
-// cancellation and partial-result semantics.
+// TopKWithContext is TopKWith under a context — a legacy alias of Solve
+// with opts.Algorithm forced to alg; see Solve for the cancellation and
+// partial-result semantics.
 func TopKWithContext(ctx context.Context, alg Algorithm, g *Graph, opts Options) (*Result, error) {
 	opts.Algorithm = alg
 	return Solve(ctx, g, opts)
+}
+
+// WireResult is the stable JSON encoding of a Result — the one wire shape
+// shared by `cmd/gbc -json` output and the gbcd server's /v1/topk
+// responses. Its field names are an API commitment (additions allowed,
+// renames and removals not), and it round-trips: unmarshal(marshal(w))
+// reproduces w, with Algorithm and StopReason travelling as their String
+// names.
+type WireResult = wire.Result
+
+// NewWireResult converts a solver result into its wire form. alg and k echo
+// the run's request; label, when non-nil, maps dense node ids to original
+// labels (pass (*Graph).Label after loading an edge list), nil keeps dense
+// ids.
+func NewWireResult(alg Algorithm, k int, res *Result, label func(int32) int64) WireResult {
+	return wire.FromResult(alg, k, res, label)
 }
 
 // NewBuilder returns a graph builder for n nodes.
@@ -397,17 +432,31 @@ func GreedyExactTopK(g *Graph, k int) (group []int32, value float64) {
 }
 
 // BudgetedOptions configures BudgetedTopK; see core.BudgetedOptions.
+//
+// Deprecated: set Options.Costs, Options.Budget and Options.Algorithm =
+// Budgeted, and call Solve.
 type BudgetedOptions = core.BudgetedOptions
 
 // BudgetedTopK solves the budgeted generalization of top-K GBC (Fink &
 // Spoerhase): node v costs opts.Costs[v] and the group's total cost must
 // not exceed opts.Budget.
+//
+// Deprecated: call Solve with Options{Algorithm: Budgeted, Costs: ...,
+// Budget: ...}; this wrapper only repacks its options and forwards there.
 func BudgetedTopK(g *Graph, opts BudgetedOptions) (*Result, error) {
-	return core.BudgetedGBC(g, opts)
+	return BudgetedTopKContext(context.Background(), g, opts)
 }
 
 // BudgetedTopKContext is BudgetedTopK under a context; see TopKContext for
 // the cancellation semantics.
+//
+// Deprecated: call Solve with Options{Algorithm: Budgeted, Costs: ...,
+// Budget: ...}; this wrapper only repacks its options and forwards there.
 func BudgetedTopKContext(ctx context.Context, g *Graph, opts BudgetedOptions) (*Result, error) {
-	return core.BudgetedGBCCtx(ctx, g, opts)
+	return Solve(ctx, g, Options{
+		Algorithm: Budgeted, Costs: opts.Costs, Budget: opts.Budget,
+		Epsilon: opts.Epsilon, Gamma: opts.Gamma, Seed: opts.Seed,
+		MaxSamples: opts.MaxSamples, MaxDuration: opts.MaxDuration,
+		Workers: opts.Workers, Metrics: opts.Metrics,
+	})
 }

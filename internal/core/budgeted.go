@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gbc/internal/graph"
+	"gbc/internal/obs"
 	"gbc/internal/sampling"
 	"gbc/internal/xrand"
 )
@@ -26,6 +27,10 @@ type BudgetedOptions struct {
 	// MaxDuration bounds the wall-clock time of the run (0 = no bound), as
 	// in Options.MaxDuration.
 	MaxDuration time.Duration
+	// Workers sets the sampling goroutine count, as in Options.Workers.
+	Workers int
+	// Metrics, when non-nil, receives counter updates as in Options.Metrics.
+	Metrics *obs.Metrics
 }
 
 // BudgetedGBC solves the budgeted generalization of the top-K GBC problem
@@ -81,6 +86,8 @@ func BudgetedGBCCtx(ctx context.Context, g *graph.Graph, opts BudgetedOptions) (
 	defer cancel()
 
 	start := time.Now()
+	opts.Metrics.RunStarted()
+	defer opts.Metrics.RunDone()
 	n := float64(g.N())
 	nn := n * (n - 1)
 	kHat := math.Min(n, math.Floor(opts.Budget/minCost))
@@ -88,6 +95,9 @@ func BudgetedGBCCtx(ctx context.Context, g *graph.Graph, opts BudgetedOptions) (
 
 	r := xrand.New(opts.Seed)
 	set := sampling.NewSetFor(g, r)
+	set.Workers = opts.Workers
+	set.Label = "S"
+	set.Metrics = opts.Metrics
 	res := &Result{}
 	finish := func() *Result {
 		res.SamplesS = set.Len()

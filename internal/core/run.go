@@ -22,6 +22,11 @@ const (
 	// AlgPairSampling is the pair-sampling baseline of Yoshida (KDD 2014);
 	// see PairSampling for its caveats.
 	AlgPairSampling
+	// AlgBudgeted is the budgeted generalization (Fink & Spoerhase): node v
+	// costs Options.Costs[v] and the group's total cost must stay within
+	// Options.Budget; Options.K is ignored. See BudgetedGBC for the weaker
+	// end-to-end guarantee.
+	AlgBudgeted
 )
 
 // String returns the algorithm name as used in the paper.
@@ -37,8 +42,26 @@ func (a Algorithm) String() string {
 		return "EXHAUST"
 	case AlgPairSampling:
 		return "PairSampling"
+	case AlgBudgeted:
+		return "Budgeted"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// MarshalText encodes the algorithm as its String name — the stable wire
+// encoding ("AdaAlg", "HEDGE", …) shared by the CLI and the server.
+func (a Algorithm) MarshalText() ([]byte, error) {
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText parses an algorithm name; see ParseAlgorithm.
+func (a *Algorithm) UnmarshalText(text []byte) error {
+	parsed, err := ParseAlgorithm(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
 }
 
 // ParseAlgorithm resolves a case-sensitive algorithm name.
@@ -54,17 +77,26 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 		return AlgEXHAUST, nil
 	case "PairSampling", "pairsampling", "yoshida":
 		return AlgPairSampling, nil
+	case "Budgeted", "budgeted":
+		return AlgBudgeted, nil
 	}
-	return 0, fmt.Errorf("core: unknown algorithm %q (want AdaAlg, HEDGE, CentRa, EXHAUST or PairSampling)", name)
+	return 0, fmt.Errorf("core: unknown algorithm %q (want AdaAlg, HEDGE, CentRa, EXHAUST, PairSampling or Budgeted)", name)
 }
 
 // Solve is the canonical entry point: it runs the algorithm selected by
 // opts.Algorithm (AdaAlg for the zero value) under ctx. Every exported
-// convenience wrapper — the gbc package's TopK family — reduces to this
-// call. All configuration, including the per-run Observer, Metrics and
-// SamplerSet hooks, travels in opts, so concurrent Solve calls with
-// different configurations never share mutable state.
+// convenience wrapper — the gbc package's TopK family and the deprecated
+// Budgeted pair — reduces to this call. All configuration, including the
+// per-run Observer, Metrics and SamplerSet hooks, travels in opts, so
+// concurrent Solve calls with different configurations never share mutable
+// state. Options are validated up front (Options.Validate plus the
+// graph-dependent checks), so every surface — library, CLI, server —
+// rejects a bad K/ε/γ/workers with the same typed *OptionError before any
+// solver-specific code runs.
 func Solve(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
 	return RunCtx(ctx, opts.Algorithm, g, opts)
 }
 
@@ -89,6 +121,13 @@ func RunCtx(ctx context.Context, alg Algorithm, g *graph.Graph, opts Options) (*
 		return EXHAUSTCtx(ctx, g, opts)
 	case AlgPairSampling:
 		return PairSamplingCtx(ctx, g, opts)
+	case AlgBudgeted:
+		return BudgetedGBCCtx(ctx, g, BudgetedOptions{
+			Costs: opts.Costs, Budget: opts.Budget,
+			Epsilon: opts.Epsilon, Gamma: opts.Gamma, Seed: opts.Seed,
+			MaxSamples: opts.MaxSamples, MaxDuration: opts.MaxDuration,
+			Workers: opts.Workers, Metrics: opts.Metrics,
+		})
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %v", alg)
 }

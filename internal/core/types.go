@@ -95,6 +95,14 @@ type Options struct {
 	// than a package global, so concurrent runs with different sampler
 	// configurations cannot race.
 	SamplerSet func(*graph.Graph, *xrand.Rand) *sampling.Set
+
+	// Costs and Budget configure the budgeted generalization of top-K GBC
+	// (Fink & Spoerhase) selected by Algorithm == AlgBudgeted: Costs[v] is
+	// the positive cost of selecting node v (length n) and Budget is the
+	// total cost allowed; K is ignored. Both are ignored by every other
+	// algorithm.
+	Costs  []float64
+	Budget float64
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +121,77 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// OptionError reports one invalid Options field. Every entry point —
+// library, CLI and server — rejects a bad configuration with the same typed
+// error, so a caller can match on the field programmatically (errors.As)
+// while the message stays identical across surfaces.
+type OptionError struct {
+	// Field is the Options field name, e.g. "K" or "Epsilon".
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says what constraint the value violated.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("gbc: invalid option %s = %v (%s)", e.Field, e.Value, e.Reason)
+}
+
+func optErr(field string, value any, reason string) *OptionError {
+	return &OptionError{Field: field, Value: value, Reason: reason}
+}
+
+// Validate checks every graph-independent constraint on o and returns a
+// typed *OptionError for the first violation, or nil. Zero values that have
+// defaults (Epsilon, Gamma, Seed, MinBase) validate as those defaults, so a
+// partially filled Options that Solve would accept also passes Validate.
+// Solve calls it first; the CLI and the server call it before queueing work
+// so a bad request fails fast with the same message everywhere. Constraints
+// that need the graph — K ≤ n, len(Costs) == n — are checked by Solve once
+// the graph is known.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.Algorithm < AlgAdaAlg || o.Algorithm > AlgBudgeted {
+		return optErr("Algorithm", int(o.Algorithm), "unknown algorithm")
+	}
+	if o.Algorithm != AlgBudgeted && o.K < 1 {
+		return optErr("K", o.K, "group size must be at least 1")
+	}
+	if !(o.Epsilon > 0 && o.Epsilon < 1-invE) {
+		return optErr("Epsilon", o.Epsilon, "error ratio must be in (0, 1-1/e)")
+	}
+	if !(o.Gamma > 0 && o.Gamma < 1) {
+		return optErr("Gamma", o.Gamma, "failure probability must be in (0, 1)")
+	}
+	if o.FixedBase != 0 && !(o.FixedBase > 1) {
+		return optErr("FixedBase", o.FixedBase, "base override must exceed 1")
+	}
+	if o.Workers < 0 {
+		return optErr("Workers", o.Workers, "worker count cannot be negative")
+	}
+	if o.MaxSamples < 0 {
+		return optErr("MaxSamples", o.MaxSamples, "sample cap cannot be negative")
+	}
+	if o.MaxDuration < 0 {
+		return optErr("MaxDuration", o.MaxDuration, "duration bound cannot be negative")
+	}
+	if o.Algorithm == AlgBudgeted {
+		if !(o.Budget > 0) {
+			return optErr("Budget", o.Budget, "budget must be positive")
+		}
+		if len(o.Costs) == 0 {
+			return optErr("Costs", nil, "budgeted runs need per-node costs")
+		}
+		for v, c := range o.Costs {
+			if !(c > 0) {
+				return optErr("Costs", c, fmt.Sprintf("node %d needs a positive cost", v))
+			}
+		}
+	}
+	return nil
+}
+
 func (o Options) validate(g *graph.Graph) error {
 	if g == nil {
 		return fmt.Errorf("core: nil graph")
@@ -120,23 +199,14 @@ func (o Options) validate(g *graph.Graph) error {
 	if g.N() < 2 {
 		return fmt.Errorf("core: graph needs at least 2 nodes, has %d", g.N())
 	}
-	if o.K < 1 || o.K > g.N() {
-		return fmt.Errorf("core: K = %d out of range [1, %d]", o.K, g.N())
+	if err := o.Validate(); err != nil {
+		return err
 	}
-	if o.Epsilon <= 0 || o.Epsilon >= 1-invE {
-		return fmt.Errorf("core: epsilon = %g out of range (0, 1-1/e)", o.Epsilon)
+	if o.Algorithm != AlgBudgeted && o.K > g.N() {
+		return optErr("K", o.K, fmt.Sprintf("group size out of range [1, %d]", g.N()))
 	}
-	if o.Gamma <= 0 || o.Gamma >= 1 {
-		return fmt.Errorf("core: gamma = %g out of range (0, 1)", o.Gamma)
-	}
-	if o.FixedBase != 0 && o.FixedBase <= 1 {
-		return fmt.Errorf("core: fixed base %g must exceed 1", o.FixedBase)
-	}
-	if o.MaxSamples < 0 {
-		return fmt.Errorf("core: negative MaxSamples")
-	}
-	if o.MaxDuration < 0 {
-		return fmt.Errorf("core: negative MaxDuration")
+	if o.Algorithm == AlgBudgeted && len(o.Costs) != g.N() {
+		return optErr("Costs", len(o.Costs), fmt.Sprintf("need one cost per node (n = %d)", g.N()))
 	}
 	return nil
 }
@@ -227,6 +297,33 @@ func (s StopReason) String() string {
 		return "IterationsExhausted"
 	}
 	return fmt.Sprintf("StopReason(%d)", int(s))
+}
+
+// MarshalText encodes the reason as its String name, so JSON payloads carry
+// "Converged"/"Deadline"/… instead of bare integers — the stable wire
+// encoding shared by the CLI's -json output and the server.
+func (s StopReason) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses the String name back; see ParseStopReason.
+func (s *StopReason) UnmarshalText(text []byte) error {
+	r, err := ParseStopReason(string(text))
+	if err != nil {
+		return err
+	}
+	*s = r
+	return nil
+}
+
+// ParseStopReason resolves a StopReason name as produced by String.
+func ParseStopReason(name string) (StopReason, error) {
+	for r := StopNone; r <= StopIterationsExhausted; r++ {
+		if r.String() == name {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown stop reason %q", name)
 }
 
 // Result is the outcome of a top-K GBC computation.

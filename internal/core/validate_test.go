@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"gbc/internal/graph"
+)
+
+func lineGraph(n int) *graph.Graph {
+	edges := make([][2]int32, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	g, err := graph.FromEdges(n, false, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestOptionsValidateFields: every rejected configuration names the
+// offending field through a typed *OptionError, and every default-filled
+// zero value passes.
+func TestOptionsValidateFields(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		field string // "" = must validate cleanly
+	}{
+		{"zero value defaults", Options{K: 5}, ""},
+		{"explicit good", Options{K: 3, Epsilon: 0.2, Gamma: 0.05, Workers: 4}, ""},
+		{"k missing", Options{}, "K"},
+		{"k negative", Options{K: -1}, "K"},
+		{"epsilon too big", Options{K: 3, Epsilon: 0.9}, "Epsilon"},
+		{"epsilon negative", Options{K: 3, Epsilon: -0.1}, "Epsilon"},
+		{"gamma too big", Options{K: 3, Gamma: 1}, "Gamma"},
+		{"gamma negative", Options{K: 3, Gamma: -0.5}, "Gamma"},
+		{"bad algorithm", Options{K: 3, Algorithm: Algorithm(99)}, "Algorithm"},
+		{"fixed base too small", Options{K: 3, FixedBase: 1}, "FixedBase"},
+		{"negative workers", Options{K: 3, Workers: -2}, "Workers"},
+		{"negative max samples", Options{K: 3, MaxSamples: -1}, "MaxSamples"},
+		{"negative max duration", Options{K: 3, MaxDuration: -time.Second}, "MaxDuration"},
+		{"budgeted needs budget", Options{Algorithm: AlgBudgeted, Costs: []float64{1, 1}}, "Budget"},
+		{"budgeted needs costs", Options{Algorithm: AlgBudgeted, Budget: 2}, "Costs"},
+		{"budgeted non-positive cost", Options{Algorithm: AlgBudgeted, Budget: 2, Costs: []float64{1, 0}}, "Costs"},
+		{"budgeted ignores K", Options{Algorithm: AlgBudgeted, Budget: 2, Costs: []float64{1, 1}}, ""},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if tc.field == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: want *OptionError, got %v", tc.name, err)
+			continue
+		}
+		if oe.Field != tc.field {
+			t.Errorf("%s: field %q, want %q (%v)", tc.name, oe.Field, tc.field, err)
+		}
+	}
+}
+
+// TestSolveValidates: Solve rejects exactly what Validate rejects, plus the
+// graph-dependent checks (K bounded by n, costs sized to n).
+func TestSolveValidates(t *testing.T) {
+	g := lineGraph(6)
+	if _, err := Solve(context.Background(), g, Options{K: 0}); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	var oe *OptionError
+	_, err := Solve(context.Background(), g, Options{K: 7})
+	if !errors.As(err, &oe) || oe.Field != "K" {
+		t.Fatalf("K>n must fail with an OptionError on K, got %v", err)
+	}
+	_, err = Solve(context.Background(), g, Options{
+		Algorithm: AlgBudgeted, Budget: 2, Costs: []float64{1, 1},
+	})
+	if !errors.As(err, &oe) || oe.Field != "Costs" {
+		t.Fatalf("wrong-length costs must fail with an OptionError on Costs, got %v", err)
+	}
+}
+
+// TestBudgetedViaSolve: Options.Budget + AlgBudgeted through Solve computes
+// exactly what the legacy BudgetedGBC entry point computes.
+func TestBudgetedViaSolve(t *testing.T) {
+	g := lineGraph(60)
+	costs := make([]float64, 60)
+	for i := range costs {
+		costs[i] = 1 + float64(i%3)
+	}
+	legacy, err := BudgetedGBC(g, BudgetedOptions{Costs: costs, Budget: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := Solve(context.Background(), g, Options{
+		Algorithm: AlgBudgeted, Costs: costs, Budget: 6, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := *legacy, *folded
+	a.Elapsed, b.Elapsed = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("folded budgeted run diverged:\n  legacy: %+v\n  solve:  %+v", a, b)
+	}
+}
+
+// TestEnumTextRoundTrip: Algorithm and StopReason travel as their String
+// names through encoding.TextMarshaler, and unknown names are rejected.
+func TestEnumTextRoundTrip(t *testing.T) {
+	for alg := AlgAdaAlg; alg <= AlgBudgeted; alg++ {
+		data, err := json.Marshal(alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Algorithm
+		if err := json.Unmarshal(data, &back); err != nil || back != alg {
+			t.Fatalf("algorithm %v round-trip failed: %s -> %v (%v)", alg, data, back, err)
+		}
+	}
+	for sr := StopNone; sr <= StopIterationsExhausted; sr++ {
+		data, err := json.Marshal(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back StopReason
+		if err := json.Unmarshal(data, &back); err != nil || back != sr {
+			t.Fatalf("stop reason %v round-trip failed: %s -> %v (%v)", sr, data, back, err)
+		}
+	}
+	var alg Algorithm
+	if err := json.Unmarshal([]byte(`"Magic"`), &alg); err == nil {
+		t.Fatal("unknown algorithm name must fail")
+	}
+	var sr StopReason
+	if err := json.Unmarshal([]byte(`"Whatever"`), &sr); err == nil {
+		t.Fatal("unknown stop reason name must fail")
+	}
+	if _, err := ParseStopReason("Deadline"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptionErrorMessage pins the error text format API layers print.
+func TestOptionErrorMessage(t *testing.T) {
+	err := Options{K: 3, Epsilon: 2}.Validate()
+	want := "gbc: invalid option Epsilon = 2"
+	if err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Fatalf("message %q does not start with %q", err, want)
+	}
+}

@@ -145,6 +145,23 @@ func (c *Instance) Commit() {
 	c.indexed = total
 }
 
+// Reset empties the instance — arena, inverted index and Len all return to
+// zero — while keeping every allocation: arena and index capacity, the
+// commit scratch and the query workspace survive, so regrowing a reset
+// instance runs on the warm allocation-free path exactly like growth after
+// a Commit. The serving layer resets a registry entry's sample sets between
+// runs; since each sample index is a pure function of the set's seeds, a
+// reset-and-regrown set is bit-identical to a freshly built one.
+func (c *Instance) Reset() {
+	c.nodes = c.nodes[:0]
+	c.offsets = c.offsets[:1]
+	c.idx = c.idx[:0]
+	for v := range c.idxStart {
+		c.idxStart[v] = 0
+	}
+	c.indexed = 0
+}
+
 // MemoryFootprint returns the bytes retained by the instance's arena,
 // inverted index and commit scratch (capacities, not lengths — the number
 // the allocator actually holds). The observability layer publishes it as

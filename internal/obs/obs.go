@@ -39,6 +39,15 @@ type Metrics struct {
 	busy       atomic.Int64  // pool goroutines currently drawing a job
 	activeRuns atomic.Int64  // algorithm runs in flight
 	startNanos atomic.Int64  // wall clock of the first committed chunk
+
+	// Serving-layer counters (internal/server): scheduler queue depth,
+	// single-flight coalescing, and the graph registry's warm sample-set
+	// cache and LRU evictions.
+	queueDepth    atomic.Int64 // requests waiting for a scheduler slot
+	coalesced     atomic.Int64 // requests served by another request's run
+	registryHits  atomic.Int64 // warm sampling.Sets served from a registry entry
+	registryMiss  atomic.Int64 // sampler sets built fresh for a registry entry
+	registryEvict atomic.Int64 // graphs evicted from the registry LRU
 }
 
 // AddSamples records one committed growth chunk of n samples, nulls of
@@ -116,6 +125,52 @@ func (m *Metrics) RunDone() {
 	m.activeRuns.Add(-1)
 }
 
+// QueueDepth adjusts the scheduler's queued-request gauge (+1 on enqueue,
+// -1 when a worker picks the request up).
+func (m *Metrics) QueueDepth(delta int) {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Add(int64(delta))
+}
+
+// IncCoalesced counts one request that joined another identical in-flight
+// request instead of starting its own solver run — with N concurrent
+// identical requests the counter advances by N-1.
+func (m *Metrics) IncCoalesced() {
+	if m == nil {
+		return
+	}
+	m.coalesced.Add(1)
+}
+
+// RegistryHit counts one warm sampling set served from a graph-registry
+// entry: the run skipped cold-starting its sampler pool and arenas.
+func (m *Metrics) RegistryHit() {
+	if m == nil {
+		return
+	}
+	m.registryHits.Add(1)
+}
+
+// RegistryMiss counts one sampler set built fresh for a registry entry (the
+// first run of a (graph, seed) pair, or a non-cacheable configuration).
+func (m *Metrics) RegistryMiss() {
+	if m == nil {
+		return
+	}
+	m.registryMiss.Add(1)
+}
+
+// RegistryEviction counts one graph evicted from the registry's LRU bound,
+// dropping its warm sample sets with it.
+func (m *Metrics) RegistryEviction() {
+	if m == nil {
+		return
+	}
+	m.registryEvict.Add(1)
+}
+
 // Stats is a point-in-time copy of a Metrics, shaped for JSON (the expvar
 // endpoint serves exactly this object under the "gbc" key).
 type Stats struct {
@@ -131,6 +186,12 @@ type Stats struct {
 	BusyWorkers   int64   `json:"busyWorkers"`
 	ActiveRuns    int64   `json:"activeRuns"`
 	SamplesPerSec float64 `json:"samplesPerSec"`
+
+	QueueDepth        int64 `json:"queueDepth"`
+	RunsCoalesced     int64 `json:"runsCoalesced"`
+	RegistryHits      int64 `json:"registryHits"`
+	RegistryMisses    int64 `json:"registryMisses"`
+	RegistryEvictions int64 `json:"registryEvictions"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -153,6 +214,12 @@ func (m *Metrics) Snapshot() Stats {
 		PoolWorkers: m.workers.Load(),
 		BusyWorkers: m.busy.Load(),
 		ActiveRuns:  m.activeRuns.Load(),
+
+		QueueDepth:        m.queueDepth.Load(),
+		RunsCoalesced:     m.coalesced.Load(),
+		RegistryHits:      m.registryHits.Load(),
+		RegistryMisses:    m.registryMiss.Load(),
+		RegistryEvictions: m.registryEvict.Load(),
 	}
 	if start := m.startNanos.Load(); start != 0 {
 		if secs := time.Since(time.Unix(0, start)).Seconds(); secs > 0 {

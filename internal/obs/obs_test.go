@@ -23,8 +23,48 @@ func TestNilMetricsIsSafe(t *testing.T) {
 	m.WorkerBusy(1)
 	m.RunStarted()
 	m.RunDone()
+	m.QueueDepth(1)
+	m.IncCoalesced()
+	m.RegistryHit()
+	m.RegistryMiss()
+	m.RegistryEviction()
 	if s := m.Snapshot(); s != (Stats{}) {
 		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+}
+
+// TestServingCounters checks the gbcd serving counters land in the
+// matching Stats fields.
+func TestServingCounters(t *testing.T) {
+	m := &Metrics{}
+	m.QueueDepth(3)
+	m.QueueDepth(-1)
+	m.IncCoalesced()
+	m.IncCoalesced()
+	m.RegistryHit()
+	m.RegistryHit()
+	m.RegistryHit()
+	m.RegistryMiss()
+	m.RegistryEviction()
+
+	s := m.Snapshot()
+	if s.QueueDepth != 2 || s.RunsCoalesced != 2 {
+		t.Fatalf("queue/coalesced = %d/%d", s.QueueDepth, s.RunsCoalesced)
+	}
+	if s.RegistryHits != 3 || s.RegistryMisses != 1 || s.RegistryEvictions != 1 {
+		t.Fatalf("registry hits/misses/evictions = %d/%d/%d",
+			s.RegistryHits, s.RegistryMisses, s.RegistryEvictions)
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"queueDepth", "runsCoalesced", "registryHits",
+		"registryMisses", "registryEvictions"} {
+		if !strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("stats JSON missing %q: %s", key, data)
+		}
 	}
 }
 

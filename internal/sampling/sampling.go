@@ -333,6 +333,19 @@ func (s *Set) ensurePool(workers int) {
 	}
 }
 
+// Reset empties the set — Len and Unreachable return to zero — while
+// keeping the graph, per-index seeds, samplers, persistent worker pool and
+// all arena capacity, so the next GrowTo* regrows on the warm
+// allocation-free path. Every sample index draws from its own RNG stream
+// derived only from the set's seeds, so a reset set regrown to L is
+// bit-identical to a fresh set grown to L: the serving layer's graph
+// registry uses this to reuse one warm Set across requests while keeping
+// responses deterministic.
+func (s *Set) Reset() {
+	s.cov.Reset()
+	s.Unreachable = 0
+}
+
 // Coverage exposes the underlying max-coverage instance (for greedy).
 func (s *Set) Coverage() *coverage.Instance { return s.cov }
 

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sync"
+
+	"gbc/internal/core"
+	"gbc/internal/obs"
+)
+
+// flightKey identifies requests that must coalesce: everything that
+// changes the computed answer. Deadlines are deliberately excluded — the
+// leader's deadline governs the shared run, so a follower may receive a
+// partial result earlier than its own deadline required; identical load
+// spikes are exactly when that trade is worth it.
+type flightKey struct {
+	graph     string
+	algorithm core.Algorithm
+	k         int
+	epsilon   float64
+	gamma     float64
+	seed      uint64
+	workers   int
+	forward   bool
+	trace     bool
+}
+
+// flightResult is what waiters share: the response body bytes (so every
+// waiter sends bit-identical JSON), the HTTP status, or an error.
+type flightResult struct {
+	body   []byte
+	status int
+	err    error
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup coalesces concurrent identical requests into one solver run
+// whose result fans out to every waiter — a hand-rolled single-flight (the
+// module deliberately sticks to the standard library). Unlike a cache,
+// nothing outlives the call: the first request after completion starts a
+// fresh run.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[flightKey]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[flightKey]*flightCall)}
+}
+
+// do runs fn once per key at a time. The caller that finds no in-flight
+// call becomes the leader and executes fn; every concurrent caller with
+// the same key waits for the leader's result instead (counted on the
+// runs-coalesced metric, so N identical requests advance it by N-1).
+func (f *flightGroup) do(key flightKey, m *obs.Metrics, fn func() flightResult) flightResult {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		m.IncCoalesced()
+		<-c.done
+		return c.res
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.res = fn()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.res
+}

@@ -1,0 +1,220 @@
+// Package server is the serving subsystem behind the gbcd daemon: a graph
+// registry that keeps named graphs (and their warm sampling state)
+// resident, a bounded run scheduler that maps request deadlines onto the
+// solvers' context machinery, and a single-flight layer that coalesces
+// identical concurrent requests into one run. The HTTP/JSON surface in
+// server.go exposes all three behind a stable wire API (internal/wire).
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gbc/internal/core"
+	"gbc/internal/graph"
+	"gbc/internal/obs"
+	"gbc/internal/sampling"
+	"gbc/internal/xrand"
+)
+
+// Registry holds named resident graphs, LRU-bounded. Each entry owns the
+// warm sampling.Sets of past runs so a repeated query regrows its samples
+// on the zero-allocation path (persistent worker pool, retained arenas)
+// instead of cold-starting. Evicting a graph drops its warm sets with it.
+type Registry struct {
+	mu      sync.Mutex
+	cap     int
+	metrics *obs.Metrics
+	entries map[string]*Entry
+	order   *list.List // front = most recently used
+}
+
+// Entry is one resident graph. Runs against the same entry serialize on
+// its mutex: they share the warm sample sets, which are single-owner
+// state (sampling.Set is not safe for concurrent use). Cross-graph runs
+// proceed in parallel, bounded only by the scheduler.
+type Entry struct {
+	Name string
+	// Desc says where the graph came from ("dataset GrQc scale 0.1", …).
+	Desc string
+	// Created is when the graph was registered.
+	Created time.Time
+
+	graph *graph.Graph
+	elem  *list.Element
+
+	mu   sync.Mutex
+	warm map[warmKey]*warmSets
+}
+
+// warmKey identifies which cached sets a run may reuse. Sample content is
+// a pure function of (seed, sampler kind, call order): every algorithm
+// derives its sets by the same Split sequence from xrand.New(seed), and
+// the graph fixes weighted-vs-unweighted, so seed plus the forward-sampler
+// ablation flag is the whole key. Runs with an explicit Options.Rand are
+// not cacheable and bypass the warm path.
+type warmKey struct {
+	seed    uint64
+	forward bool
+}
+
+// warmSets holds the cached sets of one warmKey in hook-call order (slot 0
+// is every algorithm's S set, slot 1 AdaAlg's T set).
+type warmSets struct {
+	sets []*sampling.Set
+}
+
+// NewRegistry returns an empty registry bounded to at most max resident
+// graphs (min 1); m may be nil to disable metrics.
+func NewRegistry(max int, m *obs.Metrics) *Registry {
+	if max < 1 {
+		max = 1
+	}
+	return &Registry{
+		cap:     max,
+		metrics: m,
+		entries: make(map[string]*Entry),
+		order:   list.New(),
+	}
+}
+
+// Add registers g under name, evicting the least recently used graph when
+// the registry is full. It fails if the name is already taken — graphs are
+// immutable once registered, so a replacement must be a new name (or an
+// explicit Remove first).
+func (r *Registry) Add(name, desc string, g *graph.Graph) (*Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return nil, fmt.Errorf("server: graph %q already registered", name)
+	}
+	for len(r.entries) >= r.cap {
+		oldest := r.order.Back()
+		victim := oldest.Value.(*Entry)
+		r.order.Remove(oldest)
+		delete(r.entries, victim.Name)
+		r.metrics.RegistryEviction()
+	}
+	e := &Entry{
+		Name: name, Desc: desc, Created: time.Now(),
+		graph: g, warm: make(map[warmKey]*warmSets),
+	}
+	e.elem = r.order.PushFront(e)
+	r.entries[name] = e
+	return e, nil
+}
+
+// Get returns the named entry and marks it most recently used.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if ok {
+		r.order.MoveToFront(e.elem)
+	}
+	return e, ok
+}
+
+// Remove drops the named graph and its warm state. It reports whether the
+// name was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return false
+	}
+	r.order.Remove(e.elem)
+	delete(r.entries, name)
+	return true
+}
+
+// Len returns the number of resident graphs.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// List returns a name-sorted snapshot of the resident entries.
+func (r *Registry) List() []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Graph returns the entry's immutable graph.
+func (e *Entry) Graph() *graph.Graph { return e.graph }
+
+// Solve runs opts against the entry's graph, reusing the entry's warm
+// sample sets when the configuration is cacheable. A warm set is Reset
+// before reuse: its samples are regrown from index 0 on the retained
+// arenas and worker pool, so the response is bit-identical to a cold run
+// while skipping all steady-state allocation. metrics counts a RegistryHit
+// per reused set and a RegistryMiss per fresh construction.
+//
+// Runs against one entry serialize on the entry mutex (warm sets are
+// single-owner); the scheduler bounds how many entries solve at once.
+func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metrics) (*core.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cacheable(opts) {
+		key := warmKey{seed: opts.Seed, forward: opts.UseForwardSampler}
+		if key.seed == 0 {
+			key.seed = 1 // Options.withDefaults seeds 0 as 1
+		}
+		ws := e.warm[key]
+		if ws == nil {
+			ws = &warmSets{}
+			e.warm[key] = ws
+		}
+		calls := 0
+		opts.SamplerSet = func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
+			slot := calls
+			calls++
+			if slot < len(ws.sets) {
+				metrics.RegistryHit()
+				s := ws.sets[slot]
+				s.Reset()
+				return s
+			}
+			metrics.RegistryMiss()
+			s := buildSet(g, r, key.forward)
+			ws.sets = append(ws.sets, s)
+			return s
+		}
+	}
+	return core.Solve(ctx, e.graph, opts)
+}
+
+// cacheable reports whether a run's sample sets may come from the warm
+// cache: the seed must fully determine them (no caller RNG or sampler
+// hook), and the algorithm must build its sets through the standard hook —
+// PairSampling and Budgeted construct their own and simply run uncached.
+func cacheable(opts core.Options) bool {
+	return opts.Rand == nil && opts.SamplerSet == nil &&
+		opts.Algorithm != core.AlgPairSampling && opts.Algorithm != core.AlgBudgeted
+}
+
+// buildSet mirrors the solver's default sampler choice (weighted →
+// Dijkstra, else forward or balanced bidirectional BFS); the hook that
+// calls it replaces that default, so it must reproduce it exactly.
+func buildSet(g *graph.Graph, r *xrand.Rand, forward bool) *sampling.Set {
+	switch {
+	case g.Weighted():
+		return sampling.NewWeightedSet(g, r)
+	case forward:
+		return sampling.NewForwardSet(g, r)
+	default:
+		return sampling.NewBidirectionalSet(g, r)
+	}
+}

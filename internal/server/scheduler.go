@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull rejects a submission when every worker is busy and the FIFO
+// queue is at capacity; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("server: run queue full")
+
+// ErrDraining rejects a submission after Shutdown began; the HTTP layer
+// maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("server: scheduler draining")
+
+// Scheduler bounds solver concurrency: a fixed pool of worker goroutines
+// consumes a bounded FIFO queue of runs. Submitting beyond queue capacity
+// fails fast with ErrQueueFull instead of building an unbounded backlog —
+// adaptive sampling has no a-priori work bound, so admission control is the
+// only real protection against pile-ups.
+//
+// Every run executes under a context derived from both the request's
+// deadline and the scheduler's base context; Shutdown first stops
+// admissions, then (when the grace period expires) cancels the base
+// context, at which point in-flight runs return their best-so-far partial
+// results through the solvers' StopReason machinery rather than being
+// killed.
+type Scheduler struct {
+	queue   chan *task
+	metrics metricsSink
+
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.RWMutex
+	draining bool
+
+	workers sync.WaitGroup
+}
+
+// metricsSink is the slice of obs.Metrics the scheduler updates; an
+// interface so tests can observe transitions without the real type.
+type metricsSink interface {
+	QueueDepth(delta int)
+}
+
+type task struct {
+	ctx  context.Context
+	fn   func(ctx context.Context)
+	done chan struct{}
+}
+
+// NewScheduler starts a scheduler with `workers` concurrent runs and a
+// pending queue of `depth` (both min 1). m may be nil.
+func NewScheduler(workers, depth int, m metricsSink) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if m == nil {
+		m = noopMetrics{}
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		queue:      make(chan *task, depth),
+		metrics:    m,
+		base:       base,
+		cancelBase: cancel,
+	}
+	s.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+type noopMetrics struct{}
+
+func (noopMetrics) QueueDepth(int) {}
+
+func (s *Scheduler) worker() {
+	defer s.workers.Done()
+	for t := range s.queue {
+		s.metrics.QueueDepth(-1)
+		// Merge the request context with the scheduler's base: the run
+		// stops at whichever cancels first, so a drain grace expiry turns
+		// every queued and in-flight run into a prompt partial result.
+		ctx, cancel := context.WithCancel(t.ctx)
+		stop := context.AfterFunc(s.base, cancel)
+		t.fn(ctx)
+		stop()
+		cancel()
+		close(t.done)
+	}
+}
+
+// Do enqueues fn and blocks until a worker has run it to completion. ctx
+// carries the request's deadline; fn receives a context that additionally
+// respects the scheduler's drain state. Do fails fast with ErrQueueFull
+// when the queue is at capacity and ErrDraining after Shutdown began.
+func (s *Scheduler) Do(ctx context.Context, fn func(ctx context.Context)) error {
+	t := &task{ctx: ctx, fn: fn, done: make(chan struct{})}
+	// The read lock spans the draining check and the enqueue so Shutdown's
+	// write lock cannot close the queue between them (send on a closed
+	// channel panics). The send itself never blocks: a full queue is an
+	// immediate ErrQueueFull.
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return ErrDraining
+	}
+	select {
+	case s.queue <- t:
+		s.metrics.QueueDepth(+1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		return ErrQueueFull
+	}
+	<-t.done
+	return nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Shutdown drains the scheduler: new submissions fail with ErrDraining
+// immediately, while queued and in-flight runs continue. When ctx is
+// cancelled (the drain grace period), the scheduler cancels every
+// remaining run's context so the solvers return best-so-far partial
+// results; Shutdown returns once all workers have exited. It is
+// idempotent.
+func (s *Scheduler) Shutdown(ctx context.Context) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.workers.Wait()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.queue) // safe: draining bars all future senders
+
+	// Propagate the grace deadline to in-flight runs.
+	stop := context.AfterFunc(ctx, s.cancelBase)
+	s.workers.Wait()
+	stop()
+	s.cancelBase()
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gbc/internal/obs"
+)
+
+// countSink observes queue transitions without a real obs.Metrics.
+type countSink struct{ depth atomic.Int64 }
+
+func (c *countSink) QueueDepth(delta int) { c.depth.Add(int64(delta)) }
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedulerQueueFull pins the admission-control contract with one
+// worker and one queue slot: a running task plus a queued task exhaust
+// capacity, so a third submission fails fast with ErrQueueFull.
+func TestSchedulerQueueFull(t *testing.T) {
+	sink := &countSink{}
+	s := NewScheduler(1, 1, sink)
+	defer s.Shutdown(context.Background())
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.Do(context.Background(), func(context.Context) {
+			close(started)
+			<-release
+		})
+	}()
+	<-started // worker occupied, queue empty
+
+	go func() {
+		defer wg.Done()
+		s.Do(context.Background(), func(context.Context) {})
+	}()
+	waitFor(t, "second task to queue", func() bool { return sink.depth.Load() == 1 })
+
+	if err := s.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+
+	close(release)
+	wg.Wait()
+	if d := sink.depth.Load(); d != 0 {
+		t.Fatalf("queue depth gauge did not return to 0: %d", d)
+	}
+}
+
+// TestSchedulerDeadlinePropagation: the context a task runs under carries
+// the submitter's deadline.
+func TestSchedulerDeadlinePropagation(t *testing.T) {
+	s := NewScheduler(1, 1, nil)
+	defer s.Shutdown(context.Background())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var sawDeadline atomic.Bool
+	err := s.Do(ctx, func(runCtx context.Context) {
+		<-runCtx.Done()
+		sawDeadline.Store(errors.Is(runCtx.Err(), context.Canceled) ||
+			errors.Is(runCtx.Err(), context.DeadlineExceeded))
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !sawDeadline.Load() {
+		t.Fatal("task never saw the submitter's deadline")
+	}
+}
+
+// TestSchedulerShutdown: draining rejects new work with ErrDraining,
+// cancels in-flight runs when the grace period expires, and returns only
+// after every worker exited. A second Shutdown is a no-op.
+func TestSchedulerShutdown(t *testing.T) {
+	s := NewScheduler(2, 2, nil)
+
+	started := make(chan struct{})
+	var sawCancel atomic.Bool
+	go s.Do(context.Background(), func(runCtx context.Context) {
+		close(started)
+		<-runCtx.Done() // only the drain grace can end this run
+		sawCancel.Store(true)
+	})
+	<-started
+
+	grace, cancelGrace := context.WithCancel(context.Background())
+	cancelGrace() // zero grace: cut straight to cancellation
+	done := make(chan struct{})
+	go func() {
+		s.Shutdown(grace)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung")
+	}
+	if !sawCancel.Load() {
+		t.Fatal("in-flight run was not cancelled by the drain grace")
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() false after Shutdown")
+	}
+	if err := s.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want ErrDraining after Shutdown, got %v", err)
+	}
+	s.Shutdown(context.Background()) // idempotent
+}
+
+// TestFlightGroupCoalesces pins exact coalescing with controlled timing:
+// one leader blocks inside fn while N-1 joiners arrive, so all share one
+// execution and the coalesced counter advances by exactly N-1.
+func TestFlightGroupCoalesces(t *testing.T) {
+	f := newFlightGroup()
+	m := &obs.Metrics{}
+	key := flightKey{graph: "g", k: 3, seed: 1}
+
+	var runs atomic.Int64
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	leaderRes := flightResult{body: []byte(`{"x":1}`), status: 200}
+
+	const joiners = 7
+	var wg sync.WaitGroup
+	results := make([]flightResult, joiners)
+	go func() {
+		f.do(key, nil, func() flightResult {
+			runs.Add(1)
+			close(inFn)
+			<-release
+			return leaderRes
+		})
+	}()
+	<-inFn
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = f.do(key, m, func() flightResult {
+				runs.Add(1)
+				return flightResult{status: 500}
+			})
+		}(i)
+	}
+	// Each joiner bumps the coalesced counter before parking on the
+	// leader's done channel, so the counter reaching N-1 proves every
+	// joiner found the in-flight call; only then release the leader.
+	waitFor(t, "joiners to park", func() bool {
+		return m.Snapshot().RunsCoalesced == joiners
+	})
+	close(release)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for i, r := range results {
+		if r.status != 200 || string(r.body) != `{"x":1}` {
+			t.Fatalf("joiner %d got %+v, want the leader's result", i, r)
+		}
+	}
+
+	// After completion the key is gone: the next call is a fresh run.
+	r := f.do(key, nil, func() flightResult {
+		runs.Add(1)
+		return flightResult{status: 201}
+	})
+	if r.status != 201 || runs.Load() != 2 {
+		t.Fatalf("post-completion call did not run fresh: %+v runs=%d", r, runs.Load())
+	}
+}

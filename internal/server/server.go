@@ -1,0 +1,444 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"regexp"
+	"runtime"
+	"strings"
+	"time"
+
+	"gbc/internal/core"
+	"gbc/internal/dataset"
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/obs"
+	"gbc/internal/wire"
+	"gbc/internal/xrand"
+)
+
+// Config sizes a Server; every zero field gets a production-minded default.
+type Config struct {
+	// MaxGraphs bounds the registry LRU (default 16).
+	MaxGraphs int
+	// Workers is the number of concurrent solver runs (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-request FIFO (default 64); beyond it
+	// /v1/topk fails fast with 429.
+	QueueDepth int
+	// DefaultTimeout bounds a /v1/topk run that names no timeout (default
+	// 30s); MaxTimeout caps what a request may ask for (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxUploadBytes bounds an edge-list upload body (default 64 MiB).
+	MaxUploadBytes int64
+	// Metrics receives the serving counters (queue depth, coalesced runs,
+	// registry hits/evictions) and is threaded into every solver run. Nil
+	// gets a private instance; pass obs.Published() to feed /debug/vars.
+	Metrics *obs.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGraphs == 0 {
+		c.MaxGraphs = 16
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = &obs.Metrics{}
+	}
+	return c
+}
+
+// Server is the gbcd serving subsystem: registry + scheduler + single
+// flight behind an HTTP/JSON API. Create with New, mount Handler, drain
+// with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	reg     *Registry
+	sched   *Scheduler
+	flight  *flightGroup
+	mux     *http.ServeMux
+}
+
+// New builds a Server and starts its scheduler workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		reg:     NewRegistry(cfg.MaxGraphs, cfg.Metrics),
+		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, cfg.Metrics),
+		flight:  newFlightGroup(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the graph registry (preloading, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the server's metrics instance.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Shutdown drains the server: new /v1/topk requests get 503 immediately,
+// queued and in-flight runs keep going until ctx (the grace period)
+// cancels, at which point they return partial results; Shutdown returns
+// when all runs have finished. /healthz reports "draining" throughout, so
+// load balancers stop routing here first.
+func (s *Server) Shutdown(ctx context.Context) {
+	s.sched.Shutdown(ctx)
+}
+
+// errorResponse is the wire shape of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Field names the offending request/option field when known.
+	Field string `json:"field,omitempty"`
+}
+
+// graphRequest is the body of POST /v1/graphs. Exactly one source —
+// Dataset, Generator or EdgeList — must be set.
+type graphRequest struct {
+	// Name registers the graph for later /v1/topk queries.
+	Name string `json:"name"`
+
+	// Dataset names a built-in Table I stand-in; Scale picks its size in
+	// (0, 1] (0 = the dataset's default scale).
+	Dataset string  `json:"dataset,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+
+	// Generator is one of "ba" (N, Degree), "ws" (N, Degree, P) or "er"
+	// (N, M, Directed).
+	Generator string  `json:"generator,omitempty"`
+	N         int     `json:"n,omitempty"`
+	Degree    int     `json:"degree,omitempty"`
+	P         float64 `json:"p,omitempty"`
+	M         int     `json:"m,omitempty"`
+
+	// EdgeList is an inline edge list ("u v" lines, or "u v w" with
+	// Weighted); Directed applies to uploads and "er".
+	EdgeList string `json:"edgeList,omitempty"`
+	Directed bool   `json:"directed,omitempty"`
+	Weighted bool   `json:"weighted,omitempty"`
+
+	// Seed makes generated graphs deterministic (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// graphInfo describes one registered graph in responses.
+type graphInfo struct {
+	Name     string    `json:"name"`
+	Desc     string    `json:"desc"`
+	Nodes    int       `json:"nodes"`
+	Edges    int       `json:"edges"`
+	Directed bool      `json:"directed"`
+	Weighted bool      `json:"weighted"`
+	Created  time.Time `json:"created"`
+}
+
+func infoFor(e *Entry) graphInfo {
+	g := e.Graph()
+	return graphInfo{
+		Name: e.Name, Desc: e.Desc, Nodes: g.N(), Edges: g.M(),
+		Directed: g.Directed(), Weighted: g.Weighted(), Created: e.Created,
+	}
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	var req graphRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error(), "")
+		return
+	}
+	if !nameRE.MatchString(req.Name) {
+		writeError(w, http.StatusBadRequest,
+			"graph name must match [A-Za-z0-9._-]{1,64}", "name")
+		return
+	}
+	g, desc, field, err := buildGraph(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), field)
+		return
+	}
+	e, err := s.reg.Add(req.Name, desc, g)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error(), "name")
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoFor(e))
+}
+
+// buildGraph materializes the requested graph; field names the offending
+// request field on error.
+func buildGraph(req graphRequest) (g *graph.Graph, desc, field string, err error) {
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sources := 0
+	for _, set := range []bool{req.Dataset != "", req.Generator != "", req.EdgeList != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, "", "", errors.New("specify exactly one of dataset, generator or edgeList")
+	}
+	switch {
+	case req.Dataset != "":
+		spec, err := dataset.Lookup(req.Dataset)
+		if err != nil {
+			return nil, "", "dataset", err
+		}
+		scale := req.Scale
+		if scale == 0 {
+			scale = spec.DefaultScale
+		}
+		if scale <= 0 || scale > 1 {
+			return nil, "", "scale", fmt.Errorf("scale %g out of (0, 1]", scale)
+		}
+		desc = fmt.Sprintf("dataset %s scale %g seed %d", spec.Name, scale, seed)
+		return spec.Generate(scale, seed), desc, "", nil
+	case req.Generator != "":
+		r := xrand.New(seed)
+		switch req.Generator {
+		case "ba":
+			if req.N < 2 || req.Degree < 1 || req.Degree >= req.N {
+				return nil, "", "generator", fmt.Errorf("ba needs 1 <= degree < n, got n=%d degree=%d", req.N, req.Degree)
+			}
+			desc = fmt.Sprintf("generator ba n=%d degree=%d seed=%d", req.N, req.Degree, seed)
+			return gen.BarabasiAlbert(req.N, req.Degree, r), desc, "", nil
+		case "ws":
+			if req.Degree < 1 || 2*req.Degree >= req.N || req.P < 0 || req.P > 1 {
+				return nil, "", "generator", fmt.Errorf("ws needs 1 <= degree, 2*degree < n and p in [0,1], got n=%d degree=%d p=%g", req.N, req.Degree, req.P)
+			}
+			desc = fmt.Sprintf("generator ws n=%d degree=%d p=%g seed=%d", req.N, req.Degree, req.P, seed)
+			return gen.WattsStrogatz(req.N, req.Degree, req.P, r), desc, "", nil
+		case "er":
+			if req.N < 2 || req.M < 0 {
+				return nil, "", "generator", fmt.Errorf("er needs n >= 2 and m >= 0, got n=%d m=%d", req.N, req.M)
+			}
+			desc = fmt.Sprintf("generator er n=%d m=%d directed=%v seed=%d", req.N, req.M, req.Directed, seed)
+			return gen.ErdosRenyiGNM(req.N, req.M, req.Directed, r), desc, "", nil
+		}
+		return nil, "", "generator", fmt.Errorf("unknown generator %q (want ba, ws or er)", req.Generator)
+	default:
+		reader := strings.NewReader(req.EdgeList)
+		if req.Weighted {
+			g, err = graph.ReadWeightedEdgeList(reader, req.Directed)
+		} else {
+			g, err = graph.ReadEdgeList(reader, req.Directed)
+		}
+		if err != nil {
+			return nil, "", "edgeList", err
+		}
+		desc = fmt.Sprintf("upload directed=%v weighted=%v", req.Directed, req.Weighted)
+		return g, desc, "", nil
+	}
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	infos := make([]graphInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, infoFor(e))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Graphs []graphInfo `json:"graphs"`
+	}{infos})
+}
+
+// topkRequest is the body of POST /v1/topk.
+type topkRequest struct {
+	// Graph names a registered graph.
+	Graph string `json:"graph"`
+	// Algorithm defaults to AdaAlg; Epsilon, Gamma and Seed default as in
+	// gbc.Options.
+	Algorithm string  `json:"algorithm,omitempty"`
+	K         int     `json:"k"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	Gamma     float64 `json:"gamma,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	// Forward swaps the balanced bidirectional sampler for the forward-only
+	// ablation.
+	Forward bool `json:"forward,omitempty"`
+	// TimeoutMillis bounds the run (queue wait included); on expiry the
+	// best-so-far group is returned with partial:true. 0 means the
+	// server's default; values above the server max are clamped.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// Trace includes the per-iteration trace in the response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// topkResponse is the 200 body of POST /v1/topk: the stable wire result
+// plus the serving context it ran under.
+type topkResponse struct {
+	Graph string `json:"graph"`
+	// TimeoutMillis is the effective deadline the run was held to.
+	TimeoutMillis int64       `json:"timeoutMillis"`
+	Result        wire.Result `json:"result"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error(), "")
+		return
+	}
+	alg := core.AlgAdaAlg
+	if req.Algorithm != "" {
+		var err error
+		if alg, err = core.ParseAlgorithm(req.Algorithm); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), "algorithm")
+			return
+		}
+	}
+	opts := core.Options{
+		Algorithm: alg, K: req.K, Epsilon: req.Epsilon, Gamma: req.Gamma,
+		Seed: req.Seed, Workers: req.Workers, CollectTrace: req.Trace,
+		UseForwardSampler: req.Forward, Metrics: s.metrics,
+	}
+	if err := opts.Validate(); err != nil {
+		var oe *core.OptionError
+		if errors.As(err, &oe) {
+			writeError(w, http.StatusBadRequest, err.Error(), oe.Field)
+		} else {
+			writeError(w, http.StatusBadRequest, err.Error(), "")
+		}
+		return
+	}
+	entry, ok := s.reg.Get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", req.Graph), "graph")
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	key := flightKey{
+		graph: req.Graph, algorithm: alg, k: req.K,
+		epsilon: req.Epsilon, gamma: req.Gamma, seed: req.Seed,
+		workers: req.Workers, forward: req.Forward, trace: req.Trace,
+	}
+	res := s.flight.do(key, s.metrics, func() flightResult {
+		return s.runTopK(entry, opts, timeout, req.Graph)
+	})
+	if res.err != nil {
+		switch {
+		case errors.Is(res.err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, res.err.Error(), "")
+		case errors.Is(res.err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, res.err.Error(), "")
+		default:
+			writeError(w, http.StatusInternalServerError, res.err.Error(), "")
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// runTopK executes one (possibly shared) solver run through the scheduler
+// and renders its response body once, so coalesced waiters all send the
+// same bytes. The run's context is detached from any single client: a
+// waiter disconnecting must not cancel a run others share. Deadlines cover
+// queue wait plus solve time — admission control should surface as 429s
+// and partial results, not unbounded latency.
+func (s *Server) runTopK(entry *Entry, opts core.Options, timeout time.Duration, graphName string) flightResult {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var res *core.Result
+	var solveErr error
+	if err := s.sched.Do(ctx, func(runCtx context.Context) {
+		res, solveErr = entry.Solve(runCtx, opts, s.metrics)
+	}); err != nil {
+		return flightResult{err: err}
+	}
+	if solveErr != nil {
+		return flightResult{err: solveErr}
+	}
+	if res.Group == nil {
+		body, _ := json.Marshal(errorResponse{
+			Error: fmt.Sprintf("deadline expired before any group was found (%v) — raise timeoutMillis", res.StopReason),
+		})
+		return flightResult{body: body, status: http.StatusGatewayTimeout}
+	}
+	body, err := json.Marshal(topkResponse{
+		Graph:         graphName,
+		TimeoutMillis: timeout.Milliseconds(),
+		Result:        wire.FromResult(opts.Algorithm, opts.K, res, nil),
+	})
+	if err != nil {
+		return flightResult{err: err}
+	}
+	return flightResult{body: body, status: http.StatusOK}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.sched.Draining() {
+		// Draining still answers health checks — load balancers need the
+		// signal — but flags itself unready.
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status     string `json:"status"`
+		Graphs     int    `json:"graphs"`
+		QueueDepth int64  `json:"queueDepth"`
+	}{status, s.reg.Len(), s.metrics.Snapshot().QueueDepth})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg, field string) {
+	writeJSON(w, status, errorResponse{Error: msg, Field: field})
+}

@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all ci build test race serve-smoke fuzz cover bench bench-compare figures fmt fmtcheck vet clean
+.PHONY: all ci build test race chaos serve-smoke fuzz cover bench bench-compare figures fmt fmtcheck vet staticcheck govulncheck clean
 
 all: build vet fmtcheck test
 
 # The exact gate .github/workflows/ci.yml runs; `make ci` reproduces a CI
-# failure locally.
-ci: fmtcheck vet build test race serve-smoke
+# failure locally. staticcheck/govulncheck no-op with a notice when the
+# tools aren't installed (CI installs them).
+ci: fmtcheck vet staticcheck govulncheck build test race chaos serve-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,26 @@ test:
 # friends drive multi-worker growth into the flat coverage engine).
 race:
 	$(GO) test -race ./...
+
+# Chaos pass: the fault-injection build (-tags faultinject) with every
+# injection point armed, hammering a live server under -race. The default
+# build compiles the injection points away entirely.
+chaos:
+	$(GO) test -race -tags faultinject -run 'TestChaos|TestFaultInject|TestArm|TestFire|TestDisarm|TestSchedulerShutdownStress' \
+		-timeout 300s ./internal/server ./internal/faultinject
+
+# Static analysis and vulnerability scan; skipped with a notice when the
+# tools are missing (install: go install honnef.co/go/tools/cmd/staticcheck@latest
+# and go install golang.org/x/vuln/cmd/govulncheck@latest).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "staticcheck: not installed, skipping"; fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "govulncheck: not installed, skipping"; fi
 
 # End-to-end smoke test of the gbcd daemon: build, serve on a random port,
 # upload a generated graph, query top-K, assert the JSON shape and warm

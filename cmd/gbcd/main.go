@@ -26,12 +26,24 @@ import (
 	"syscall"
 	"time"
 
+	"gbc/internal/faultinject"
 	"gbc/internal/obs"
 	"gbc/internal/server"
 )
 
 func main() {
 	cfg := parseFlags(os.Args[1:], flag.ExitOnError)
+	// GBC_FAULTS arms the fault-injection harness — a no-op unless the
+	// binary was built with -tags faultinject (chaos testing only).
+	if spec := os.Getenv("GBC_FAULTS"); spec != "" {
+		if err := faultinject.ArmFromEnv(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "gbcd:", err)
+			os.Exit(1)
+		}
+		if faultinject.Enabled {
+			fmt.Println("gbcd: fault injection armed:", spec)
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, cfg, nil); err != nil {
@@ -56,6 +68,10 @@ func parseFlags(args []string, onError flag.ErrorHandling) config {
 	fs.DurationVar(&cfg.server.DefaultTimeout, "default-timeout", 0, "per-run deadline when the request names none (0 = 30s)")
 	fs.DurationVar(&cfg.server.MaxTimeout, "max-timeout", 0, "cap on requested per-run deadlines (0 = 5m)")
 	fs.DurationVar(&cfg.drainGrace, "drain-grace", 10*time.Second, "how long in-flight runs may finish after SIGTERM before being cut to partial results")
+	fs.Float64Var(&cfg.server.MaxCost, "max-cost", 0, "admission-control bound on total estimated run cost queued+running, in (n+m)·eps^-2·log(n/gamma) units (0 = unlimited)")
+	fs.Float64Var(&cfg.server.FastLaneThreshold, "fastlane-threshold", 0, "route runs at or below this estimated cost through the small-job fast lane (0 = default 1e7, negative = disable)")
+	fs.Float64Var(&cfg.server.TenantRPS, "tenant-rps", 0, "per-tenant /v1/topk requests per second, keyed on the X-Tenant header (0 = unlimited)")
+	fs.Int64Var(&cfg.server.MaxBodyBytes, "max-body", 0, "request body size limit for non-upload endpoints (0 = 1 MiB)")
 	fs.Parse(args)
 	return cfg
 }

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"testing"
 	"time"
+
+	"gbc/internal/server/client"
 )
 
 // TestDaemonLifecycle drives the daemon end to end in-process: start on an
@@ -49,8 +51,14 @@ func TestDaemonLifecycle(t *testing.T) {
 	}); status != http.StatusCreated {
 		t.Fatalf("add graph: %d %s", status, body)
 	}
+	// Queries go through the retrying client — the recommended consumer
+	// path, which honors Retry-After if the daemon sheds.
+	rc := client.Client{MaxRetries: 3, BaseDelay: 20 * time.Millisecond}
 	for i := 0; i < 2; i++ {
-		status, body := post("/v1/topk", map[string]any{"graph": "ba", "k": 5})
+		status, body, err := rc.PostJSON(ctx, url+"/v1/topk", map[string]any{"graph": "ba", "k": 5})
+		if err != nil {
+			t.Fatalf("topk %d: %v", i, err)
+		}
 		if status != http.StatusOK {
 			t.Fatalf("topk %d: %d %s", i, status, body)
 		}
@@ -64,16 +72,18 @@ func TestDaemonLifecycle(t *testing.T) {
 		}
 	}
 
-	resp, err := http.Get(url + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: %d", resp.StatusCode)
-	}
-	resp, err = http.Get(url + "/debug/vars")
+	resp, err := http.Get(url + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,6 +104,29 @@ func TestDaemonLifecycle(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not drain")
+	}
+}
+
+// TestParseOverloadFlags pins the new overload-control flags onto their
+// server.Config fields.
+func TestParseOverloadFlags(t *testing.T) {
+	cfg := parseFlags([]string{
+		"-max-cost", "5e9",
+		"-fastlane-threshold", "1e6",
+		"-tenant-rps", "2.5",
+		"-max-body", "4096",
+	}, flag.ContinueOnError)
+	if cfg.server.MaxCost != 5e9 {
+		t.Errorf("MaxCost = %g", cfg.server.MaxCost)
+	}
+	if cfg.server.FastLaneThreshold != 1e6 {
+		t.Errorf("FastLaneThreshold = %g", cfg.server.FastLaneThreshold)
+	}
+	if cfg.server.TenantRPS != 2.5 {
+		t.Errorf("TenantRPS = %g", cfg.server.TenantRPS)
+	}
+	if cfg.server.MaxBodyBytes != 4096 {
+		t.Errorf("MaxBodyBytes = %d", cfg.server.MaxBodyBytes)
 	}
 }
 

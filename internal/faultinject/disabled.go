@@ -1,0 +1,25 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled is false in the default build: every `if faultinject.Enabled`
+// guard is a constant-false branch the compiler removes entirely.
+const Enabled = false
+
+// Fire reports the armed fault's error at an injection point. Disabled
+// build: never fires.
+func Fire(point string) error { return nil }
+
+// Arm registers a fault at a named point and returns its disarm func.
+// Disabled build: no-op.
+func Arm(point string, every int, f func() error) (disarm func()) {
+	return func() {}
+}
+
+// Reset disarms every fault. Disabled build: no-op.
+func Reset() {}
+
+// ArmFromEnv arms faults from a GBC_FAULTS-style spec string. Disabled
+// build: no-op (an ignored spec, not an error — the daemon logs whether
+// injection is compiled in).
+func ArmFromEnv(spec string) error { return nil }

@@ -1,0 +1,132 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled is true under the faultinject build tag: injection points consult
+// the armed-fault registry. Faults still fire only once armed.
+const Enabled = true
+
+// fault is one armed behavior: f runs on every `every`-th pass through its
+// point (every <= 1 means every pass).
+type fault struct {
+	every int64
+	calls atomic.Int64
+	f     func() error
+}
+
+var (
+	mu     sync.RWMutex
+	armed  = map[string]*fault{}
+	anyArm atomic.Bool // fast-path gate: no lock taken while nothing is armed
+)
+
+// Fire runs the fault armed at point, if any, and returns its error. A
+// point with no armed fault returns nil. The fault function itself decides
+// the failure mode: return an error (the call site maps it to its local
+// failure — panic, rejection, solve error), sleep (straggler simulation),
+// or panic directly.
+func Fire(point string) error {
+	if !anyArm.Load() {
+		return nil
+	}
+	mu.RLock()
+	fl := armed[point]
+	mu.RUnlock()
+	if fl == nil {
+		return nil
+	}
+	if n := fl.calls.Add(1); fl.every > 1 && n%fl.every != 0 {
+		return nil
+	}
+	return fl.f()
+}
+
+// Arm registers f at the named point, firing on every `every`-th pass
+// (every <= 1: every pass). It replaces any fault already armed there and
+// returns a disarm func that removes exactly this registration.
+func Arm(point string, every int, f func() error) (disarm func()) {
+	fl := &fault{every: int64(every), f: f}
+	mu.Lock()
+	armed[point] = fl
+	mu.Unlock()
+	anyArm.Store(true)
+	return func() {
+		mu.Lock()
+		if armed[point] == fl {
+			delete(armed, point)
+		}
+		empty := len(armed) == 0
+		mu.Unlock()
+		if empty {
+			anyArm.Store(false)
+		}
+	}
+}
+
+// Reset disarms every fault (test teardown).
+func Reset() {
+	mu.Lock()
+	armed = map[string]*fault{}
+	mu.Unlock()
+	anyArm.Store(false)
+}
+
+// ArmFromEnv arms faults from a spec of comma-separated entries
+//
+//	point:every:action
+//
+// where action is one of "panic", "error", "error=message" or
+// "sleep=duration" (Go duration syntax). Example:
+//
+//	GBC_FAULTS="sampling/chunk-panic:200:panic,scheduler/queue-full:10:error"
+//
+// An empty spec arms nothing. A malformed entry is an error (the daemon
+// refuses to start half-armed).
+func ArmFromEnv(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.SplitN(entry, ":", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("faultinject: malformed entry %q (want point:every:action)", entry)
+		}
+		point := parts[0]
+		every, err := strconv.Atoi(parts[1])
+		if err != nil || every < 1 {
+			return fmt.Errorf("faultinject: bad period in %q", entry)
+		}
+		action, arg, _ := strings.Cut(parts[2], "=")
+		var f func() error
+		switch action {
+		case "panic":
+			f = func() error { panic(fmt.Sprintf("faultinject: injected panic at %s", point)) }
+		case "error":
+			msg := arg
+			if msg == "" {
+				msg = "faultinject: injected error at " + point
+			}
+			f = func() error { return errors.New(msg) }
+		case "sleep":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fmt.Errorf("faultinject: bad sleep duration in %q: %v", entry, err)
+			}
+			f = func() error { time.Sleep(d); return nil }
+		default:
+			return fmt.Errorf("faultinject: unknown action %q in %q", action, entry)
+		}
+		Arm(point, every, f)
+	}
+	return nil
+}

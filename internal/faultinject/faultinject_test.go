@@ -1,0 +1,101 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFireUnarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Fire(SamplingChunkPanic); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestArmFireDisarm(t *testing.T) {
+	Reset()
+	want := errors.New("boom")
+	disarm := Arm(SchedulerQueueFull, 1, func() error { return want })
+	if err := Fire(SchedulerQueueFull); !errors.Is(err, want) {
+		t.Fatalf("armed point returned %v, want boom", err)
+	}
+	// Other points stay quiet.
+	if err := Fire(SamplingReseed); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+	disarm()
+	if err := Fire(SchedulerQueueFull); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestArmEvery(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(SamplingChunkSlow, 3, func() error { return errors.New("x") })
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if Fire(SamplingChunkSlow) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("every=3 fired %d/9 times, want 3", fired)
+	}
+}
+
+func TestDisarmOnlyOwnRegistration(t *testing.T) {
+	Reset()
+	defer Reset()
+	disarmOld := Arm(SamplingReseed, 1, func() error { return errors.New("old") })
+	Arm(SamplingReseed, 1, func() error { return errors.New("new") })
+	disarmOld() // must not remove the replacement
+	if err := Fire(SamplingReseed); err == nil || err.Error() != "new" {
+		t.Fatalf("stale disarm removed the replacement fault: %v", err)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	Reset()
+	defer Reset()
+	start := time.Now()
+	spec := "scheduler/queue-full:1:error=full,sampling/chunk-slow:1:sleep=10ms"
+	if err := ArmFromEnv(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire(SchedulerQueueFull); err == nil || err.Error() != "full" {
+		t.Fatalf("env-armed error fault: %v", err)
+	}
+	if err := Fire(SamplingChunkSlow); err != nil {
+		t.Fatalf("sleep fault returned %v", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("sleep fault did not sleep")
+	}
+
+	for _, bad := range []string{
+		"nocolons", "p:x:panic", "p:0:panic", "p:1:unknown", "p:1:sleep=wat",
+	} {
+		Reset()
+		if err := ArmFromEnv(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestArmFromEnvPanicAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := ArmFromEnv("sampling/chunk-panic:1:panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic action did not panic")
+		}
+	}()
+	Fire(SamplingChunkPanic)
+}

@@ -48,6 +48,17 @@ type Metrics struct {
 	registryHits  atomic.Int64 // warm sampling.Sets served from a registry entry
 	registryMiss  atomic.Int64 // sampler sets built fresh for a registry entry
 	registryEvict atomic.Int64 // graphs evicted from the registry LRU
+
+	// Overload-accounting counters (PR 6). Every structurally valid
+	// /v1/topk request is admitted into the pipeline and then terminates in
+	// exactly one of completed, shed or failed — the chaos test asserts
+	// admitted == completed + shed + failed. Degraded counts the subset of
+	// shed requests answered from the ε-dominance cache.
+	reqAdmitted  atomic.Int64 // valid requests entering the serving pipeline
+	reqCompleted atomic.Int64 // requests answered by a solver run (full or partial)
+	reqShed      atomic.Int64 // requests rejected by admission control, quota or drain
+	reqFailed    atomic.Int64 // requests that died on a solver or encoding error
+	reqDegraded  atomic.Int64 // shed requests served a cached ε-dominating result
 }
 
 // AddSamples records one committed growth chunk of n samples, nulls of
@@ -171,6 +182,54 @@ func (m *Metrics) RegistryEviction() {
 	m.registryEvict.Add(1)
 }
 
+// RequestAdmitted counts one structurally valid /v1/topk request entering
+// the serving pipeline. It must be balanced by exactly one of
+// RequestCompleted, RequestShed or RequestFailed.
+func (m *Metrics) RequestAdmitted() {
+	if m == nil {
+		return
+	}
+	m.reqAdmitted.Add(1)
+}
+
+// RequestCompleted counts one admitted request answered by a solver run —
+// converged or partial, both are completions.
+func (m *Metrics) RequestCompleted() {
+	if m == nil {
+		return
+	}
+	m.reqCompleted.Add(1)
+}
+
+// RequestShed counts one admitted request rejected by cost-based admission
+// control, a full queue, a tenant quota or the drain state. A shed request
+// answered from the degradation cache is still shed (see RequestDegraded).
+func (m *Metrics) RequestShed() {
+	if m == nil {
+		return
+	}
+	m.reqShed.Add(1)
+}
+
+// RequestFailed counts one admitted request that ended in a solver or
+// response-encoding error.
+func (m *Metrics) RequestFailed() {
+	if m == nil {
+		return
+	}
+	m.reqFailed.Add(1)
+}
+
+// RequestDegraded counts one shed request served a cached ε-dominating
+// result instead of an error — a subset of RequestShed, never in addition
+// to the admitted = completed + shed + failed balance.
+func (m *Metrics) RequestDegraded() {
+	if m == nil {
+		return
+	}
+	m.reqDegraded.Add(1)
+}
+
 // Stats is a point-in-time copy of a Metrics, shaped for JSON (the expvar
 // endpoint serves exactly this object under the "gbc" key).
 type Stats struct {
@@ -192,6 +251,12 @@ type Stats struct {
 	RegistryHits      int64 `json:"registryHits"`
 	RegistryMisses    int64 `json:"registryMisses"`
 	RegistryEvictions int64 `json:"registryEvictions"`
+
+	RequestsAdmitted  int64 `json:"requestsAdmitted"`
+	RequestsCompleted int64 `json:"requestsCompleted"`
+	RequestsShed      int64 `json:"requestsShed"`
+	RequestsFailed    int64 `json:"requestsFailed"`
+	RequestsDegraded  int64 `json:"requestsDegraded"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -220,6 +285,12 @@ func (m *Metrics) Snapshot() Stats {
 		RegistryHits:      m.registryHits.Load(),
 		RegistryMisses:    m.registryMiss.Load(),
 		RegistryEvictions: m.registryEvict.Load(),
+
+		RequestsAdmitted:  m.reqAdmitted.Load(),
+		RequestsCompleted: m.reqCompleted.Load(),
+		RequestsShed:      m.reqShed.Load(),
+		RequestsFailed:    m.reqFailed.Load(),
+		RequestsDegraded:  m.reqDegraded.Load(),
 	}
 	if start := m.startNanos.Load(); start != 0 {
 		if secs := time.Since(time.Unix(0, start)).Seconds(); secs > 0 {

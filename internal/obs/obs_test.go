@@ -28,6 +28,11 @@ func TestNilMetricsIsSafe(t *testing.T) {
 	m.RegistryHit()
 	m.RegistryMiss()
 	m.RegistryEviction()
+	m.RequestAdmitted()
+	m.RequestCompleted()
+	m.RequestShed()
+	m.RequestFailed()
+	m.RequestDegraded()
 	if s := m.Snapshot(); s != (Stats{}) {
 		t.Fatalf("nil snapshot = %+v, want zero", s)
 	}
@@ -46,6 +51,16 @@ func TestServingCounters(t *testing.T) {
 	m.RegistryHit()
 	m.RegistryMiss()
 	m.RegistryEviction()
+	// Overload accounting: 4 admitted = 2 completed + 1 shed (degraded) + 1
+	// failed, the invariant the chaos test asserts end to end.
+	for i := 0; i < 4; i++ {
+		m.RequestAdmitted()
+	}
+	m.RequestCompleted()
+	m.RequestCompleted()
+	m.RequestShed()
+	m.RequestDegraded()
+	m.RequestFailed()
 
 	s := m.Snapshot()
 	if s.QueueDepth != 2 || s.RunsCoalesced != 2 {
@@ -55,13 +70,21 @@ func TestServingCounters(t *testing.T) {
 		t.Fatalf("registry hits/misses/evictions = %d/%d/%d",
 			s.RegistryHits, s.RegistryMisses, s.RegistryEvictions)
 	}
+	if s.RequestsAdmitted != 4 || s.RequestsCompleted != 2 || s.RequestsShed != 1 ||
+		s.RequestsFailed != 1 || s.RequestsDegraded != 1 {
+		t.Fatalf("request counters = %+v", s)
+	}
+	if s.RequestsAdmitted != s.RequestsCompleted+s.RequestsShed+s.RequestsFailed {
+		t.Fatalf("admitted != completed + shed + failed: %+v", s)
+	}
 
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"queueDepth", "runsCoalesced", "registryHits",
-		"registryMisses", "registryEvictions"} {
+		"registryMisses", "registryEvictions", "requestsAdmitted",
+		"requestsCompleted", "requestsShed", "requestsFailed", "requestsDegraded"} {
 		if !strings.Contains(string(data), `"`+key+`"`) {
 			t.Errorf("stats JSON missing %q: %s", key, data)
 		}

@@ -15,6 +15,7 @@ import (
 
 	"gbc/internal/bfs"
 	"gbc/internal/coverage"
+	"gbc/internal/faultinject"
 	"gbc/internal/obs"
 	"gbc/internal/xrand"
 )
@@ -49,6 +50,15 @@ func (d *drawState) init(n int, seed0, seed1 uint64, sampler PairSampler) {
 // index's dedicated stream, draw the pair, append the path (an unreachable
 // pair seals an empty range — a null sample).
 func (d *drawState) draw(i int) {
+	if faultinject.Enabled {
+		// Chaos: a reseed failure mid-chunk panics the worker, which the
+		// pool recovers into a *PanicError. Constant-false branch (deleted
+		// by the compiler) in the default build — the per-sample hot path
+		// stays untouched.
+		if err := faultinject.Fire(faultinject.SamplingReseed); err != nil {
+			panic(err)
+		}
+	}
 	d.rng.Reseed(d.seed0, d.seed1+uint64(i))
 	a, b := d.rng.IntnPair(d.n)
 	if d.appender != nil {
@@ -103,6 +113,16 @@ func (w *poolWorker) runJob(job growJob) {
 		}
 		w.ack <- nil
 	}()
+	if faultinject.Enabled {
+		// Chaos injection points, compiled out of the default build: a
+		// straggler worker (the fault sleeps) and a mid-chunk panic
+		// (recovered above into a *PanicError, aborting the chunk for the
+		// sibling workers).
+		faultinject.Fire(faultinject.SamplingChunkSlow)
+		if err := faultinject.Fire(faultinject.SamplingChunkPanic); err != nil {
+			panic(err)
+		}
+	}
 	w.st.arena.Reset()
 	for i := job.first; i < job.count; i += job.stride {
 		if job.stop.Load() {

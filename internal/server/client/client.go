@@ -1,0 +1,170 @@
+// Package client is a small retrying HTTP client for gbcd consumers: POST
+// with JSON in/out, jittered exponential backoff on transient failures,
+// and Retry-After honored when the server names its own backoff — the
+// client half of the serving layer's admission-control contract (429 +
+// Retry-After from queue drain rate). The smoke and chaos tests drive gbcd
+// through it instead of raw http.Post.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client issues requests with retries. The zero value is usable: default
+// transport, 3 retries, 50ms base delay, 2s cap.
+type Client struct {
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries is the number of re-attempts after the first try
+	// (default 3; negative = none).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 50ms); MaxDelay
+	// caps it (default 2s). A server Retry-After above the computed
+	// backoff wins, still capped by MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Header is added to every request (e.g. X-Tenant).
+	Header http.Header
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// retryable reports whether a status is worth retrying: throttling and
+// transient upstream states, not client errors.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// PostJSON posts in as JSON to url, retrying transport errors and
+// retryable statuses with jittered exponential backoff, and returns the
+// final status and body. A non-2xx final response is returned, not an
+// error — the caller owns status interpretation; err is non-nil only when
+// every attempt failed at the transport layer or ctx ended.
+func (c *Client) PostJSON(ctx context.Context, url string, in any) (status int, body []byte, err error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return 0, nil, err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 3
+	} else if retries < 0 {
+		retries = 0
+	}
+	for attempt := 0; ; attempt++ {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if rerr != nil {
+			return 0, nil, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, vs := range c.Header {
+			req.Header[k] = vs
+		}
+		resp, derr := httpc.Do(req)
+		var retryAfter time.Duration
+		if derr != nil {
+			err = derr
+		} else {
+			body, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+			if err == nil && !retryable(status) {
+				return status, body, nil
+			}
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		}
+		if attempt >= retries {
+			if derr != nil {
+				return 0, nil, fmt.Errorf("client: %d attempts failed, last: %w", attempt+1, derr)
+			}
+			return status, body, err
+		}
+		delay := c.backoff(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		if max := c.maxDelay(); delay > max {
+			delay = max
+		}
+		select {
+		case <-ctx.Done():
+			return status, body, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// Decode is a convenience around PostJSON for callers that want the body
+// unmarshaled on success (2xx); out may be nil.
+func (c *Client) Decode(ctx context.Context, url string, in, out any) (int, error) {
+	status, body, err := c.PostJSON(ctx, url, in)
+	if err != nil {
+		return status, err
+	}
+	if status >= 200 && status < 300 && out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return status, fmt.Errorf("client: decoding %d response: %w", status, err)
+		}
+	}
+	return status, nil
+}
+
+// backoff returns the jittered exponential delay for an attempt:
+// base·2^attempt scaled by a uniform factor in [0.5, 1.5), so synchronized
+// clients (exactly what a shed burst creates) spread out on retry.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if max := c.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	factor := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * factor)
+}
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 2 * time.Second
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the form gbcd emits); absent or malformed values mean "no hint".
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

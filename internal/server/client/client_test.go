@@ -1,0 +1,148 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPostJSONSuccess(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type %q", ct)
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var c Client
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	status, err := c.Decode(context.Background(), ts.URL, map[string]int{"x": 1}, &out)
+	if err != nil || status != http.StatusOK || !out.OK {
+		t.Fatalf("status=%d err=%v out=%+v", status, err, out)
+	}
+}
+
+func TestRetriesOn429ThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c := Client{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	status, _, err := c.PostJSON(context.Background(), ts.URL, nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 rejections + success)", n)
+	}
+}
+
+func TestNoRetryOn400(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := Client{BaseDelay: time.Millisecond}
+	status, _, err := c.PostJSON(context.Background(), ts.URL, nil)
+	if err != nil || status != http.StatusBadRequest {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("client errors must not retry: %d calls", n)
+	}
+}
+
+func TestExhaustsRetriesReturnsLastStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := Client{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	status, _, err := c.PostJSON(context.Background(), ts.URL, nil)
+	if err != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("status=%d err=%v, want the final 503 without error", status, err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("%d calls, want 1 + 2 retries", n)
+	}
+}
+
+func TestHonorsRetryAfterOverBackoff(t *testing.T) {
+	var calls atomic.Int64
+	var firstRetryAt atomic.Int64
+	start := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		firstRetryAt.Store(int64(time.Since(start)))
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	// Backoff alone would retry after ~1ms; Retry-After: 1 must push the
+	// retry out to ~1s (MaxDelay 2s leaves it uncapped).
+	c := Client{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Second}
+	status, _, err := c.PostJSON(context.Background(), ts.URL, nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if got := time.Duration(firstRetryAt.Load()); got < 900*time.Millisecond {
+		t.Fatalf("retry after %v, want >= ~1s per Retry-After", got)
+	}
+}
+
+func TestContextCancelsBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := Client{BaseDelay: time.Millisecond, MaxDelay: time.Minute}
+	start := time.Now()
+	_, _, err := c.PostJSON(ctx, ts.URL, nil)
+	if err == nil {
+		t.Fatal("want ctx error when cancelled mid-backoff")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, backoff not ctx-aware", elapsed)
+	}
+}
+
+func TestTransportErrorRetriesThenFails(t *testing.T) {
+	// A closed server: every attempt is a transport error.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	c := Client{MaxRetries: 1, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	_, _, err := c.PostJSON(context.Background(), url, nil)
+	if err == nil {
+		t.Fatal("want transport error after retries exhausted")
+	}
+}

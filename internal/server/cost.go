@@ -1,0 +1,109 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"gbc/internal/core"
+)
+
+// EstimateCost prices one solver run in abstract work units before it is
+// admitted. Adaptive-sampling theory makes the expected sample count a
+// predictable function of the request: KADABRA-style bounds put it at
+// Θ(ε⁻²·log(n/δ)) samples, and each sample is a bidirectional BFS whose
+// cost scales with the graph, so the request price is
+//
+//	(n + m) · ε⁻² · log(n/δ) · algFactor
+//
+// with δ the failure probability (Options.Gamma) and algFactor a per-
+// algorithm scale (EXHAUST ignores the requested ε and runs near ground
+// truth, so it prices two orders of magnitude above AdaAlg). The absolute
+// unit is arbitrary; admission control (Config.MaxCost), the fast-lane
+// threshold (Config.FastLaneThreshold) and the drain-rate estimator all
+// measure in the same unit, which is all that matters.
+func EstimateCost(n, m int, opts core.Options) float64 {
+	eps := opts.Epsilon
+	if eps == 0 {
+		eps = 0.3 // Options.withDefaults
+	}
+	gamma := opts.Gamma
+	if gamma == 0 {
+		gamma = 0.01
+	}
+	size := float64(n + m)
+	samples := math.Log(float64(n)/gamma) / (eps * eps)
+	return size * samples * algCostFactor(opts.Algorithm)
+}
+
+// algCostFactor scales the shared bound per algorithm. The ratios are
+// deliberately coarse — admission control needs the right order of
+// magnitude, not a tight constant.
+func algCostFactor(alg core.Algorithm) float64 {
+	switch alg {
+	case core.AlgEXHAUST:
+		// EXHAUST fixes a tiny internal ε regardless of the request.
+		return 100
+	case core.AlgCentRa:
+		// CentRa's K·log K bound typically undercuts HEDGE's K·log n.
+		return 1.5
+	case core.AlgHEDGE:
+		return 2
+	default: // AdaAlg, PairSampling, Budgeted
+		return 1
+	}
+}
+
+// drainTracker estimates the scheduler's service rate in cost units per
+// second — an exponentially weighted average over completed runs — so a
+// 429 can carry a Retry-After computed from how long the current backlog
+// will take to drain instead of a blind constant.
+type drainTracker struct {
+	mu   sync.Mutex
+	rate float64 // EWMA cost/sec; 0 until the first completion
+	last time.Time
+}
+
+// ewmaAlpha weighs the newest completion ~1/4; a few completions are
+// enough to converge after a workload shift without one outlier run
+// whipsawing the estimate.
+const ewmaAlpha = 0.25
+
+// observe records one completed run of the given cost.
+func (d *drainTracker) observe(cost float64, now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.last.IsZero() {
+		d.last = now
+		// First completion: no interval to rate yet; seed with the cost
+		// spread over a nominal second so RetryAfter has something.
+		d.rate = cost
+		return
+	}
+	dt := now.Sub(d.last).Seconds()
+	d.last = now
+	if dt <= 0 {
+		dt = 1e-3
+	}
+	inst := cost / dt
+	d.rate = ewmaAlpha*inst + (1-ewmaAlpha)*d.rate
+}
+
+// retryAfter converts a pending-cost backlog into a client backoff hint,
+// clamped to [1s, 5m]. With no completions observed yet the floor applies.
+func (d *drainTracker) retryAfter(pendingCost float64) time.Duration {
+	d.mu.Lock()
+	rate := d.rate
+	d.mu.Unlock()
+	if rate <= 0 || pendingCost <= 0 {
+		return time.Second
+	}
+	secs := pendingCost / rate
+	switch {
+	case secs < 1:
+		return time.Second
+	case secs > 300:
+		return 5 * time.Minute
+	}
+	return time.Duration(secs * float64(time.Second))
+}

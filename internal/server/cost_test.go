@@ -1,0 +1,107 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"gbc/internal/core"
+)
+
+func TestEstimateCostMonotone(t *testing.T) {
+	base := EstimateCost(1000, 5000, core.Options{K: 10, Epsilon: 0.1})
+	if base <= 0 {
+		t.Fatalf("cost must be positive, got %g", base)
+	}
+	if bigger := EstimateCost(10000, 50000, core.Options{K: 10, Epsilon: 0.1}); bigger <= base {
+		t.Fatalf("cost not increasing in graph size: %g <= %g", bigger, base)
+	}
+	if tighter := EstimateCost(1000, 5000, core.Options{K: 10, Epsilon: 0.01}); tighter <= base {
+		t.Fatalf("cost not increasing as epsilon tightens: %g <= %g", tighter, base)
+	}
+	// ε⁻² scaling: halving ε quadruples the sample bound exactly.
+	half := EstimateCost(1000, 5000, core.Options{K: 10, Epsilon: 0.05})
+	if got, want := half/base, 4.0; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("halving epsilon scaled cost by %g, want 4", got)
+	}
+}
+
+func TestEstimateCostDefaults(t *testing.T) {
+	// Zero ε and γ must price as the solver's defaults (0.3, 0.01), so an
+	// explicit-default request and an implicit one get the same admission
+	// decision.
+	implicit := EstimateCost(1000, 5000, core.Options{K: 10})
+	explicit := EstimateCost(1000, 5000, core.Options{K: 10, Epsilon: 0.3, Gamma: 0.01})
+	if implicit != explicit {
+		t.Fatalf("defaulted cost %g != explicit-default cost %g", implicit, explicit)
+	}
+}
+
+func TestEstimateCostAlgorithmOrdering(t *testing.T) {
+	opts := func(a core.Algorithm) core.Options { return core.Options{K: 10, Epsilon: 0.1, Algorithm: a} }
+	ada := EstimateCost(1000, 5000, opts(core.AlgAdaAlg))
+	centra := EstimateCost(1000, 5000, opts(core.AlgCentRa))
+	hedge := EstimateCost(1000, 5000, opts(core.AlgHEDGE))
+	exhaust := EstimateCost(1000, 5000, opts(core.AlgEXHAUST))
+	if !(ada < centra && centra < hedge && hedge < exhaust) {
+		t.Fatalf("algorithm cost ordering broken: ada=%g centra=%g hedge=%g exhaust=%g",
+			ada, centra, hedge, exhaust)
+	}
+}
+
+func TestDrainTrackerRetryAfter(t *testing.T) {
+	var d drainTracker
+	// No completions yet: floor applies whatever the backlog.
+	if got := d.retryAfter(1e12); got != time.Second {
+		t.Fatalf("no-rate retryAfter = %v, want 1s floor", got)
+	}
+	t0 := time.Unix(1000, 0)
+	d.observe(500, t0) // seeds rate = 500/s
+	d.observe(500, t0.Add(time.Second))
+	if got := d.retryAfter(5000); got < 5*time.Second || got > 30*time.Second {
+		t.Fatalf("retryAfter(5000) at ~500/s = %v, want a few seconds", got)
+	}
+	if got := d.retryAfter(1); got != time.Second {
+		t.Fatalf("tiny backlog should hit the 1s floor, got %v", got)
+	}
+	if got := d.retryAfter(1e12); got != 5*time.Minute {
+		t.Fatalf("huge backlog should hit the 5m ceiling, got %v", got)
+	}
+}
+
+func TestTenantLimiter(t *testing.T) {
+	l := newTenantLimiter(1, 2) // 1 rps, burst 2
+	now := time.Unix(2000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a", now); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.allow("a", now)
+	if ok {
+		t.Fatal("third request within the burst window must be rejected")
+	}
+	if wait < time.Second {
+		t.Fatalf("rejected request got wait %v, want >= 1s", wait)
+	}
+	// A near-zero rate's true wait is hours; the hint clamps at 5m.
+	slow := newTenantLimiter(0.0001, 1)
+	slow.allow("a", now)
+	if ok, wait := slow.allow("a", now); ok || wait != 5*time.Minute {
+		t.Fatalf("wait hint not clamped: ok=%v wait=%v", ok, wait)
+	}
+	// A different tenant has its own bucket.
+	if ok, _ := l.allow("b", now); !ok {
+		t.Fatal("tenant b must not share tenant a's bucket")
+	}
+	// Tokens accrue with time.
+	if ok, _ := l.allow("a", now.Add(1500*time.Millisecond)); !ok {
+		t.Fatal("token did not accrue after 1.5s at 1 rps")
+	}
+	// Rate 0 disables limiting.
+	open := newTenantLimiter(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := open.allow("a", now); !ok {
+			t.Fatal("rate 0 must never limit")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// fuzzServer is shared across fuzz iterations — building a Server per input
+// would drown the fuzzer in setup. No graphs are registered, so any
+// structurally valid topk request 404s; everything else must be a typed
+// 4xx. The property under test is the decode path: arbitrary bytes must
+// never panic the handler or produce an untyped error body.
+func fuzzPost(f *testing.F, path string) {
+	s := New(Config{MaxBodyBytes: 1 << 16, MaxUploadBytes: 1 << 16})
+	f.Cleanup(func() { s.Shutdown(context.Background()) })
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic fails the fuzz run
+		code := rec.Code
+		if code == http.StatusCreated {
+			return // a graph request the fuzzer legitimately assembled
+		}
+		if code != http.StatusBadRequest && code != http.StatusNotFound &&
+			code != http.StatusConflict {
+			t.Fatalf("status %d for body %q", code, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("error body is not a typed errorResponse: %q", rec.Body.Bytes())
+		}
+		if e.Error == "" {
+			t.Fatalf("empty error message for body %q", body)
+		}
+	})
+}
+
+func FuzzTopKDecode(f *testing.F) {
+	f.Add([]byte(`{"graph":"g","k":3}`))
+	f.Add([]byte(`{"graph":"g","k":-1}`))
+	f.Add([]byte(`{"graph":"g","k":3,"epsilon":1e999}`))
+	f.Add([]byte(`{"graph":"g","k":3,"epsilon":-0.5}`))
+	f.Add([]byte(`{"graph":"g","k":3,"gamma":"NaN"}`))
+	f.Add([]byte(`{"graph":"g","k":9223372036854775807,"timeoutMillis":-5}`))
+	f.Add([]byte(`{"graph":`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"algorithm":"EXHAUST","k":0}`))
+	fuzzPost(f, "/v1/topk")
+}
+
+func FuzzGraphDecode(f *testing.F) {
+	f.Add([]byte(`{"name":"g","generator":"ba","n":10,"degree":2}`))
+	f.Add([]byte(`{"name":"g","generator":"ba","n":-10,"degree":2}`))
+	f.Add([]byte(`{"name":"../etc","generator":"ba","n":10,"degree":2}`))
+	f.Add([]byte(`{"name":"g","edgeList":"0 1\n1 99999999999999999999\n"}`))
+	f.Add([]byte(`{"name":"g","dataset":"GrQc","scale":1e999}`))
+	f.Add([]byte(`{"name":"g","generator":"ws","n":4,"degree":2,"p":2}`))
+	f.Add([]byte(`{"name":"g"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`0`))
+	fuzzPost(f, "/v1/graphs")
+}

@@ -15,9 +15,11 @@ import (
 	"time"
 
 	"gbc/internal/core"
+	"gbc/internal/faultinject"
 	"gbc/internal/graph"
 	"gbc/internal/obs"
 	"gbc/internal/sampling"
+	"gbc/internal/wire"
 	"gbc/internal/xrand"
 )
 
@@ -49,6 +51,32 @@ type Entry struct {
 
 	mu   sync.Mutex
 	warm map[warmKey]*warmSets
+
+	// resMu guards the ε-dominance result cache separately from mu, which
+	// is held for the entire duration of a solve: a degraded-path lookup
+	// must answer instantly even while a run is in flight on this entry.
+	resMu   sync.Mutex
+	results map[resultKey]cachedResult
+}
+
+// resultKey identifies the family of runs a completed result can stand in
+// for under the ε-dominance rule: everything answer-determining except ε
+// itself. A run completed at ε' dominates any request at ε ≥ ε' with the
+// same key — the looser request would have accepted the tighter answer.
+type resultKey struct {
+	algorithm core.Algorithm
+	k         int
+	seed      uint64
+	workers   int
+	forward   bool
+}
+
+// cachedResult is the tightest (smallest-ε) converged result seen for a
+// key. Only converged results are cached: a partial run carries no
+// guarantee at its ε, so it dominates nothing.
+type cachedResult struct {
+	epsilon float64
+	res     wire.Result
 }
 
 // warmKey identifies which cached sets a run may reuse. Sample content is
@@ -102,6 +130,7 @@ func (r *Registry) Add(name, desc string, g *graph.Graph) (*Entry, error) {
 	e := &Entry{
 		Name: name, Desc: desc, Created: time.Now(),
 		graph: g, warm: make(map[warmKey]*warmSets),
+		results: make(map[resultKey]cachedResult),
 	}
 	e.elem = r.order.PushFront(e)
 	r.entries[name] = e
@@ -167,6 +196,14 @@ func (e *Entry) Graph() *graph.Graph { return e.graph }
 func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metrics) (*core.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if faultinject.Enabled {
+		// The chaos test arms this point with a concurrent registry
+		// eviction; a returned error simulates the entry's backing state
+		// failing mid-solve.
+		if err := faultinject.Fire(faultinject.RegistryEvictDuringSolve); err != nil {
+			return nil, err
+		}
+	}
 	if cacheable(opts) {
 		key := warmKey{seed: opts.Seed, forward: opts.UseForwardSampler}
 		if key.seed == 0 {
@@ -203,6 +240,36 @@ func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metri
 func cacheable(opts core.Options) bool {
 	return opts.Rand == nil && opts.SamplerSet == nil &&
 		opts.Algorithm != core.AlgPairSampling && opts.Algorithm != core.AlgBudgeted
+}
+
+// StoreResult records a converged run at eps for its key, keeping only the
+// tightest ε per key (a smaller ε dominates strictly more requests). The
+// caller passes effective (defaulted) values so lookups with explicit and
+// implicit defaults land on the same key.
+func (e *Entry) StoreResult(key resultKey, eps float64, res wire.Result) {
+	// Traces are per-request decoration, not part of the dominance
+	// contract; strip them so a degraded answer to a no-trace request
+	// doesn't smuggle one in.
+	res.Trace = nil
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	if cur, ok := e.results[key]; ok && cur.epsilon <= eps {
+		return
+	}
+	e.results[key] = cachedResult{epsilon: eps, res: res}
+}
+
+// Dominating returns a cached converged result that ε-dominates a request
+// at eps — same key, cached ε ≤ requested ε — or ok false. The degradation
+// path serves it instead of a 429 when the scheduler sheds the run.
+func (e *Entry) Dominating(key resultKey, eps float64) (wire.Result, float64, bool) {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	c, ok := e.results[key]
+	if !ok || c.epsilon > eps {
+		return wire.Result{}, 0, false
+	}
+	return c.res, c.epsilon, true
 }
 
 // buildSet mirrors the solver's default sampler choice (weighted →

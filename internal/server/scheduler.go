@@ -3,40 +3,84 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"time"
+
+	"gbc/internal/faultinject"
 )
 
-// ErrQueueFull rejects a submission when every worker is busy and the FIFO
-// queue is at capacity; the HTTP layer maps it to 429 Too Many Requests.
+// ErrQueueFull rejects a submission when the target lane's queue is at
+// capacity; the HTTP layer maps it to 429 Too Many Requests with a
+// Retry-After computed from the drain rate.
 var ErrQueueFull = errors.New("server: run queue full")
+
+// ErrOverCapacity rejects a submission whose cost would push the
+// scheduler's total pending work past Config.MaxCost — admission control
+// for expensive runs. Also a 429 with Retry-After.
+var ErrOverCapacity = errors.New("server: estimated cost exceeds remaining capacity")
 
 // ErrDraining rejects a submission after Shutdown began; the HTTP layer
 // maps it to 503 Service Unavailable.
 var ErrDraining = errors.New("server: scheduler draining")
 
-// Scheduler bounds solver concurrency: a fixed pool of worker goroutines
-// consumes a bounded FIFO queue of runs. Submitting beyond queue capacity
-// fails fast with ErrQueueFull instead of building an unbounded backlog —
-// adaptive sampling has no a-priori work bound, so admission control is the
-// only real protection against pile-ups.
+// Job carries a submission's scheduling attributes: which tenant it counts
+// against, its estimated cost (EstimateCost units) and whether it rides the
+// small-job fast lane.
+type Job struct {
+	Tenant   string
+	Cost     float64
+	FastLane bool
+}
+
+// Scheduler bounds solver concurrency and arbitrates overload. Two lanes —
+// a normal lane for arbitrary runs and a fast lane reserved for cheap ones
+// — each own a fixed worker pool and a bounded queue, so tiny-graph
+// requests never wait behind billion-edge monsters. Within a lane, tasks
+// queue per tenant and workers dequeue weighted-round-robin across
+// tenants, so one flooding tenant delays only itself. Admission is
+// rejected fast on a full lane (ErrQueueFull), on aggregate cost beyond
+// MaxCost (ErrOverCapacity), and after Shutdown (ErrDraining) — adaptive
+// sampling has no a-priori work bound, so fail-fast admission is the only
+// real protection against pile-ups.
 //
 // Every run executes under a context derived from both the request's
 // deadline and the scheduler's base context; Shutdown first stops
 // admissions, then (when the grace period expires) cancels the base
-// context, at which point in-flight runs return their best-so-far partial
-// results through the solvers' StopReason machinery rather than being
-// killed.
+// context, at which point queued and in-flight runs return their
+// best-so-far partial results through the solvers' StopReason machinery
+// rather than being killed.
 type Scheduler struct {
-	queue   chan *task
+	mu       sync.Mutex
+	cond     *sync.Cond
+	draining bool
+
+	normal, fast *lane
+
+	maxCost     float64 // 0 = unlimited
+	pendingCost float64 // queued + running cost
+	drain       drainTracker
+
 	metrics metricsSink
 
 	base       context.Context
 	cancelBase context.CancelFunc
+	workers    sync.WaitGroup
+}
 
-	mu       sync.RWMutex
-	draining bool
-
-	workers sync.WaitGroup
+// SchedulerConfig sizes a Scheduler. Zero workers/depth fields get min 1;
+// FastWorkers 0 disables the fast lane (every job runs on the normal
+// lane).
+type SchedulerConfig struct {
+	Workers, Depth         int
+	FastWorkers, FastDepth int
+	// MaxCost bounds the total estimated cost queued plus running
+	// (0 = unlimited).
+	MaxCost float64
+	// Weights sets per-tenant weighted-round-robin weights (default 1): a
+	// tenant with weight w dequeues w tasks per cycle.
+	Weights map[string]int
+	Metrics metricsSink
 }
 
 // metricsSink is the slice of obs.Metrics the scheduler updates; an
@@ -45,90 +89,244 @@ type metricsSink interface {
 	QueueDepth(delta int)
 }
 
-type task struct {
-	ctx  context.Context
-	fn   func(ctx context.Context)
-	done chan struct{}
-}
-
-// NewScheduler starts a scheduler with `workers` concurrent runs and a
-// pending queue of `depth` (both min 1). m may be nil.
-func NewScheduler(workers, depth int, m metricsSink) *Scheduler {
-	if workers < 1 {
-		workers = 1
-	}
-	if depth < 1 {
-		depth = 1
-	}
-	if m == nil {
-		m = noopMetrics{}
-	}
-	base, cancel := context.WithCancel(context.Background())
-	s := &Scheduler{
-		queue:      make(chan *task, depth),
-		metrics:    m,
-		base:       base,
-		cancelBase: cancel,
-	}
-	s.workers.Add(workers)
-	for i := 0; i < workers; i++ {
-		go s.worker()
-	}
-	return s
-}
-
 type noopMetrics struct{}
 
 func (noopMetrics) QueueDepth(int) {}
 
-func (s *Scheduler) worker() {
+type task struct {
+	ctx  context.Context
+	fn   func(ctx context.Context)
+	cost float64
+	done chan struct{}
+	err  error // a recovered panic from fn, surfaced to Do's caller
+}
+
+// lane is one queue + worker pool: per-tenant FIFOs dequeued WRR.
+type lane struct {
+	depth   int
+	queued  int
+	weights map[string]int
+	tenants map[string]*tenantQ
+	// active rotates through tenants with pending tasks; cursor and the
+	// per-tenant credit implement the weighted round robin.
+	active []*tenantQ
+	cursor int
+}
+
+// tenantQ is one tenant's FIFO within a lane.
+type tenantQ struct {
+	name   string
+	weight int
+	credit int
+	tasks  []*task
+	listed bool // on the lane's active rotation
+}
+
+func newLane(depth int, weights map[string]int) *lane {
+	if depth < 1 {
+		depth = 1
+	}
+	return &lane{depth: depth, weights: weights, tenants: make(map[string]*tenantQ)}
+}
+
+func (l *lane) enqueue(tenant string, t *task) {
+	q := l.tenants[tenant]
+	if q == nil {
+		w := l.weights[tenant]
+		if w < 1 {
+			w = 1
+		}
+		q = &tenantQ{name: tenant, weight: w}
+		l.tenants[tenant] = q
+	}
+	q.tasks = append(q.tasks, t)
+	if !q.listed {
+		q.listed = true
+		q.credit = q.weight
+		l.active = append(l.active, q)
+	}
+	l.queued++
+}
+
+// dequeue pops the next task under the weighted round robin: the tenant at
+// the cursor serves up to `weight` consecutive tasks (its credit), then
+// the cursor advances; a tenant that runs out of tasks leaves the rotation
+// immediately. Caller must hold the scheduler lock and have checked
+// l.queued > 0.
+func (l *lane) dequeue() *task {
+	for {
+		if l.cursor >= len(l.active) {
+			l.cursor = 0
+		}
+		q := l.active[l.cursor]
+		if len(q.tasks) == 0 {
+			// Exhausted tenant: drop from rotation, keep cursor position
+			// (the next tenant slides into it).
+			q.listed = false
+			l.active = append(l.active[:l.cursor], l.active[l.cursor+1:]...)
+			continue
+		}
+		if q.credit <= 0 {
+			q.credit = q.weight
+			l.cursor++
+			continue
+		}
+		q.credit--
+		t := q.tasks[0]
+		q.tasks[0] = nil // let the task be collected once done
+		q.tasks = q.tasks[1:]
+		if len(q.tasks) == 0 {
+			q.listed = false
+			l.active = append(l.active[:l.cursor], l.active[l.cursor+1:]...)
+		}
+		l.queued--
+		return t
+	}
+}
+
+// NewScheduler starts a scheduler per cfg.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = noopMetrics{}
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		normal:     newLane(cfg.Depth, cfg.Weights),
+		maxCost:    cfg.MaxCost,
+		metrics:    cfg.Metrics,
+		base:       base,
+		cancelBase: cancel,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(s.normal)
+	}
+	if cfg.FastWorkers > 0 {
+		s.fast = newLane(cfg.FastDepth, cfg.Weights)
+		s.workers.Add(cfg.FastWorkers)
+		for i := 0; i < cfg.FastWorkers; i++ {
+			go s.worker(s.fast)
+		}
+	}
+	return s
+}
+
+// worker serves one lane until the lane is drained dry during shutdown.
+func (s *Scheduler) worker(l *lane) {
 	defer s.workers.Done()
-	for t := range s.queue {
+	for {
+		s.mu.Lock()
+		for l.queued == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if l.queued == 0 { // draining and nothing left in this lane
+			s.mu.Unlock()
+			return
+		}
+		t := l.dequeue()
 		s.metrics.QueueDepth(-1)
-		// Merge the request context with the scheduler's base: the run
-		// stops at whichever cancels first, so a drain grace expiry turns
-		// every queued and in-flight run into a prompt partial result.
-		ctx, cancel := context.WithCancel(t.ctx)
-		stop := context.AfterFunc(s.base, cancel)
-		t.fn(ctx)
-		stop()
-		cancel()
+		s.mu.Unlock()
+
+		if faultinject.Enabled {
+			faultinject.Fire(faultinject.SchedulerDrainDuringDequeue)
+		}
+		s.runTask(t)
+
+		s.mu.Lock()
+		s.pendingCost -= t.cost
+		s.mu.Unlock()
+		s.drain.observe(t.cost, time.Now())
 		close(t.done)
 	}
 }
 
+// runTask executes one task under the merged request + scheduler-base
+// context. A panic out of fn (the solvers recover their own worker panics,
+// so this is a last-resort backstop) is captured onto the task instead of
+// wedging the worker goroutine.
+func (s *Scheduler) runTask(t *task) {
+	// Merge the request context with the scheduler's base: the run stops at
+	// whichever cancels first, so a drain grace expiry turns every queued
+	// and in-flight run into a prompt partial result.
+	ctx, cancel := context.WithCancel(t.ctx)
+	stop := context.AfterFunc(s.base, cancel)
+	defer func() {
+		stop()
+		cancel()
+		if v := recover(); v != nil {
+			t.err = fmt.Errorf("server: run panicked: %v", v)
+		}
+	}()
+	t.fn(ctx)
+}
+
 // Do enqueues fn and blocks until a worker has run it to completion. ctx
 // carries the request's deadline; fn receives a context that additionally
-// respects the scheduler's drain state. Do fails fast with ErrQueueFull
-// when the queue is at capacity and ErrDraining after Shutdown began.
-func (s *Scheduler) Do(ctx context.Context, fn func(ctx context.Context)) error {
-	t := &task{ctx: ctx, fn: fn, done: make(chan struct{})}
-	// The read lock spans the draining check and the enqueue so Shutdown's
-	// write lock cannot close the queue between them (send on a closed
-	// channel panics). The send itself never blocks: a full queue is an
-	// immediate ErrQueueFull.
-	s.mu.RLock()
+// respects the scheduler's drain state. Do fails fast with ErrQueueFull on
+// a full lane, ErrOverCapacity when job.Cost would exceed MaxCost, and
+// ErrDraining after Shutdown began.
+func (s *Scheduler) Do(ctx context.Context, job Job, fn func(ctx context.Context)) error {
+	if faultinject.Enabled {
+		if faultinject.Fire(faultinject.SchedulerQueueFull) != nil {
+			return ErrQueueFull
+		}
+	}
+	t := &task{ctx: ctx, fn: fn, cost: job.Cost, done: make(chan struct{})}
+	l := s.normal
+	if job.FastLane && s.fast != nil {
+		l = s.fast
+	}
+	s.mu.Lock()
 	if s.draining {
-		s.mu.RUnlock()
+		s.mu.Unlock()
 		return ErrDraining
 	}
-	select {
-	case s.queue <- t:
-		s.metrics.QueueDepth(+1)
-		s.mu.RUnlock()
-	default:
-		s.mu.RUnlock()
+	if l.queued >= l.depth {
+		s.mu.Unlock()
 		return ErrQueueFull
 	}
+	if s.maxCost > 0 && s.pendingCost+job.Cost > s.maxCost {
+		s.mu.Unlock()
+		return ErrOverCapacity
+	}
+	s.pendingCost += job.Cost
+	l.enqueue(job.Tenant, t)
+	// Gauge moves under the lock so a worker's matching -1 (which needs the
+	// lock to dequeue) can never be observed first.
+	s.metrics.QueueDepth(+1)
+	s.mu.Unlock()
+	s.cond.Broadcast()
 	<-t.done
-	return nil
+	return t.err
 }
 
 // Draining reports whether Shutdown has begun.
 func (s *Scheduler) Draining() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.draining
+}
+
+// QueuedNormal returns the normal lane's queued-task count — the readiness
+// signal /readyz compares against the shed threshold.
+func (s *Scheduler) QueuedNormal() (queued, depth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.normal.queued, s.normal.depth
+}
+
+// RetryAfter estimates how long a rejected client should back off: the
+// current pending cost divided by the observed drain rate, clamped to
+// [1s, 5m].
+func (s *Scheduler) RetryAfter() time.Duration {
+	s.mu.Lock()
+	pending := s.pendingCost
+	s.mu.Unlock()
+	return s.drain.retryAfter(pending)
 }
 
 // Shutdown drains the scheduler: new submissions fail with ErrDraining
@@ -139,15 +337,14 @@ func (s *Scheduler) Draining() bool {
 // idempotent.
 func (s *Scheduler) Shutdown(ctx context.Context) {
 	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if already {
 		s.workers.Wait()
 		return
 	}
-	s.draining = true
-	s.mu.Unlock()
-	close(s.queue) // safe: draining bars all future senders
-
 	// Propagate the grace deadline to in-flight runs.
 	stop := context.AfterFunc(ctx, s.cancelBase)
 	s.workers.Wait()

@@ -32,7 +32,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // capacity, so a third submission fails fast with ErrQueueFull.
 func TestSchedulerQueueFull(t *testing.T) {
 	sink := &countSink{}
-	s := NewScheduler(1, 1, sink)
+	s := NewScheduler(SchedulerConfig{Workers: 1, Depth: 1, Metrics: sink})
 	defer s.Shutdown(context.Background())
 
 	started := make(chan struct{})
@@ -41,7 +41,7 @@ func TestSchedulerQueueFull(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		s.Do(context.Background(), func(context.Context) {
+		s.Do(context.Background(), Job{}, func(context.Context) {
 			close(started)
 			<-release
 		})
@@ -50,11 +50,11 @@ func TestSchedulerQueueFull(t *testing.T) {
 
 	go func() {
 		defer wg.Done()
-		s.Do(context.Background(), func(context.Context) {})
+		s.Do(context.Background(), Job{}, func(context.Context) {})
 	}()
 	waitFor(t, "second task to queue", func() bool { return sink.depth.Load() == 1 })
 
-	if err := s.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+	if err := s.Do(context.Background(), Job{}, func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("want ErrQueueFull, got %v", err)
 	}
 
@@ -68,13 +68,13 @@ func TestSchedulerQueueFull(t *testing.T) {
 // TestSchedulerDeadlinePropagation: the context a task runs under carries
 // the submitter's deadline.
 func TestSchedulerDeadlinePropagation(t *testing.T) {
-	s := NewScheduler(1, 1, nil)
+	s := NewScheduler(SchedulerConfig{Workers: 1, Depth: 1})
 	defer s.Shutdown(context.Background())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	var sawDeadline atomic.Bool
-	err := s.Do(ctx, func(runCtx context.Context) {
+	err := s.Do(ctx, Job{}, func(runCtx context.Context) {
 		<-runCtx.Done()
 		sawDeadline.Store(errors.Is(runCtx.Err(), context.Canceled) ||
 			errors.Is(runCtx.Err(), context.DeadlineExceeded))
@@ -91,11 +91,11 @@ func TestSchedulerDeadlinePropagation(t *testing.T) {
 // cancels in-flight runs when the grace period expires, and returns only
 // after every worker exited. A second Shutdown is a no-op.
 func TestSchedulerShutdown(t *testing.T) {
-	s := NewScheduler(2, 2, nil)
+	s := NewScheduler(SchedulerConfig{Workers: 2, Depth: 2})
 
 	started := make(chan struct{})
 	var sawCancel atomic.Bool
-	go s.Do(context.Background(), func(runCtx context.Context) {
+	go s.Do(context.Background(), Job{}, func(runCtx context.Context) {
 		close(started)
 		<-runCtx.Done() // only the drain grace can end this run
 		sawCancel.Store(true)
@@ -120,10 +120,179 @@ func TestSchedulerShutdown(t *testing.T) {
 	if !s.Draining() {
 		t.Fatal("Draining() false after Shutdown")
 	}
-	if err := s.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrDraining) {
+	if err := s.Do(context.Background(), Job{}, func(context.Context) {}); !errors.Is(err, ErrDraining) {
 		t.Fatalf("want ErrDraining after Shutdown, got %v", err)
 	}
 	s.Shutdown(context.Background()) // idempotent
+}
+
+// TestSchedulerOverCapacity pins cost-based admission: with MaxCost 100,
+// a running 60-cost job leaves room for 30 but not another 60, and
+// capacity frees once the first job completes.
+func TestSchedulerOverCapacity(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 2, Depth: 4, MaxCost: 100})
+	defer s.Shutdown(context.Background())
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go s.Do(context.Background(), Job{Cost: 60}, func(context.Context) {
+		close(started)
+		<-release
+	})
+	<-started
+
+	if err := s.Do(context.Background(), Job{Cost: 60}, func(context.Context) {}); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("want ErrOverCapacity at 60+60 > 100, got %v", err)
+	}
+	if err := s.Do(context.Background(), Job{Cost: 30}, func(context.Context) {}); err != nil {
+		t.Fatalf("30-cost job should fit under the 60-cost job: %v", err)
+	}
+	close(release)
+	// The 60-cost slot frees after its worker finishes; retry until then.
+	waitFor(t, "capacity to free", func() bool {
+		return s.Do(context.Background(), Job{Cost: 60}, func(context.Context) {}) == nil
+	})
+	if ra := s.RetryAfter(); ra < time.Second {
+		t.Fatalf("RetryAfter below the 1s floor: %v", ra)
+	}
+}
+
+// TestSchedulerFastLane: with the normal lane wedged and full, a FastLane
+// job still runs — the two lanes have independent workers and queues.
+func TestSchedulerFastLane(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1, Depth: 1, FastWorkers: 1, FastDepth: 1})
+	defer s.Shutdown(context.Background())
+
+	wedged := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go s.Do(context.Background(), Job{}, func(context.Context) {
+		close(wedged)
+		<-release
+	})
+	<-wedged
+	go s.Do(context.Background(), Job{}, func(context.Context) {}) // fills the normal queue
+	waitFor(t, "normal lane to fill", func() bool {
+		q, d := s.QueuedNormal()
+		return q == d
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Do(context.Background(), Job{FastLane: true}, func(context.Context) {})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fast-lane job failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast-lane job stuck behind the wedged normal lane")
+	}
+}
+
+// TestSchedulerTenantFairness: one worker, tenant A floods 8 tasks first,
+// tenant B adds 2 — the weighted round robin must interleave B's tasks
+// instead of running A's whole backlog first.
+func TestSchedulerTenantFairness(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1, Depth: 32})
+	defer s.Shutdown(context.Background())
+
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	submit := func(tenant string) {
+		defer wg.Done()
+		s.Do(context.Background(), Job{Tenant: tenant}, func(context.Context) {
+			<-gate
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+		})
+	}
+	// Wedge the single worker so every later submission queues behind it.
+	wedged := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Do(context.Background(), Job{Tenant: "A"}, func(context.Context) { close(wedged); <-gate })
+	}()
+	<-wedged
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go submit("A")
+	}
+	waitFor(t, "A's backlog to queue", func() bool { q, _ := s.QueuedNormal(); return q == 8 })
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go submit("B")
+	}
+	waitFor(t, "B's tasks to queue", func() bool { q, _ := s.QueuedNormal(); return q == 10 })
+	close(gate)
+	wg.Wait()
+
+	// With equal weights the rotation alternates A,B,A,B,… while both have
+	// work: B's second task must run well before A's backlog is done.
+	lastB := -1
+	for i, tenant := range order {
+		if tenant == "B" {
+			lastB = i
+		}
+	}
+	if lastB == -1 || lastB >= len(order)-2 {
+		t.Fatalf("tenant B starved behind A's backlog: order %v", order)
+	}
+}
+
+// TestSchedulerShutdownStress races Shutdown against a storm of concurrent
+// submissions and drains (run under -race in CI). Every Do must return nil
+// or a typed admission error — never panic, never hang — and in-flight
+// runs must observe the grace cancellation rather than being abandoned.
+func TestSchedulerShutdownStress(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := NewScheduler(SchedulerConfig{Workers: 2, Depth: 4, FastWorkers: 1, FastDepth: 2, MaxCost: 1000})
+		var wg sync.WaitGroup
+		var ran, cancelled atomic.Int64
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				err := s.Do(context.Background(), Job{
+					Tenant:   string(rune('A' + i%3)),
+					Cost:     float64(i%5) * 10,
+					FastLane: i%2 == 0,
+				}, func(ctx context.Context) {
+					ran.Add(1)
+					select {
+					case <-ctx.Done():
+						cancelled.Add(1)
+					case <-time.After(time.Duration(i%3) * time.Millisecond):
+					}
+				})
+				if err != nil && !errors.Is(err, ErrDraining) &&
+					!errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrOverCapacity) {
+					t.Errorf("Do returned unexpected error: %v", err)
+				}
+			}(i)
+		}
+		grace, cancelGrace := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		done := make(chan struct{})
+		go func() {
+			s.Shutdown(grace)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Shutdown hung under concurrent submissions")
+		}
+		wg.Wait()
+		cancelGrace()
+		if !s.Draining() {
+			t.Fatal("Draining() false after Shutdown")
+		}
+	}
 }
 
 // TestFlightGroupCoalesces pins exact coalescing with controlled timing:

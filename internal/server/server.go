@@ -6,9 +6,11 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"regexp"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,9 +38,37 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// MaxUploadBytes bounds an edge-list upload body (default 64 MiB).
 	MaxUploadBytes int64
+	// MaxBodyBytes bounds every non-upload request body (default 1 MiB);
+	// beyond it decoding fails with a typed 400 instead of buffering an
+	// unbounded payload.
+	MaxBodyBytes int64
+	// MaxCost bounds the total estimated cost (EstimateCost units) queued
+	// plus running; submissions beyond it are shed with 429 + Retry-After.
+	// 0 — the default — disables cost-based admission control.
+	MaxCost float64
+	// FastLaneThreshold routes runs whose estimated cost is at or below it
+	// through a dedicated small-job worker pool, so cheap queries never
+	// wait behind expensive ones. 0 picks the default (1e7, roughly a
+	// few-thousand-node graph at default ε); negative disables the lane.
+	FastLaneThreshold float64
+	// FastLaneWorkers and FastLaneDepth size the fast lane (defaults 2 and
+	// QueueDepth).
+	FastLaneWorkers int
+	FastLaneDepth   int
+	// TenantRPS enforces a per-tenant token-bucket quota, keyed on the
+	// X-Tenant request header, of this many /v1/topk requests per second
+	// (burst TenantBurst, default 2·TenantRPS). 0 — the default — disables
+	// quotas.
+	TenantRPS   float64
+	TenantBurst int
+	// TenantWeights sets per-tenant weighted-round-robin dequeue weights
+	// (default 1 each): a tenant with weight w is dequeued w tasks per
+	// round-robin cycle.
+	TenantWeights map[string]int
 	// Metrics receives the serving counters (queue depth, coalesced runs,
-	// registry hits/evictions) and is threaded into every solver run. Nil
-	// gets a private instance; pass obs.Published() to feed /debug/vars.
+	// registry hits/evictions, overload accounting) and is threaded into
+	// every solver run. Nil gets a private instance; pass obs.Published()
+	// to feed /debug/vars.
 	Metrics *obs.Metrics
 }
 
@@ -61,6 +91,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes == 0 {
 		c.MaxUploadBytes = 64 << 20
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.FastLaneThreshold == 0 {
+		c.FastLaneThreshold = 1e7
+	}
+	if c.FastLaneWorkers == 0 {
+		c.FastLaneWorkers = 2
+	}
+	if c.FastLaneThreshold < 0 {
+		c.FastLaneWorkers = 0 // lane disabled: all runs share the normal pool
+	}
+	if c.FastLaneDepth == 0 {
+		c.FastLaneDepth = c.QueueDepth
+	}
 	if c.Metrics == nil {
 		c.Metrics = &obs.Metrics{}
 	}
@@ -76,6 +121,7 @@ type Server struct {
 	reg     *Registry
 	sched   *Scheduler
 	flight  *flightGroup
+	tenants *tenantLimiter
 	mux     *http.ServeMux
 }
 
@@ -86,8 +132,14 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		metrics: cfg.Metrics,
 		reg:     NewRegistry(cfg.MaxGraphs, cfg.Metrics),
-		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, cfg.Metrics),
+		sched: NewScheduler(SchedulerConfig{
+			Workers: cfg.Workers, Depth: cfg.QueueDepth,
+			FastWorkers: cfg.FastLaneWorkers, FastDepth: cfg.FastLaneDepth,
+			MaxCost: cfg.MaxCost, Weights: cfg.TenantWeights,
+			Metrics: cfg.Metrics,
+		}),
 		flight:  newFlightGroup(),
+		tenants: newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
@@ -95,6 +147,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux = mux
 	return s
@@ -179,6 +232,12 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	var req graphRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), "")
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error(), "")
 		return
 	}
@@ -308,13 +367,25 @@ type topkRequest struct {
 type topkResponse struct {
 	Graph string `json:"graph"`
 	// TimeoutMillis is the effective deadline the run was held to.
-	TimeoutMillis int64       `json:"timeoutMillis"`
-	Result        wire.Result `json:"result"`
+	TimeoutMillis int64 `json:"timeoutMillis"`
+	// Degraded marks a response served from the ε-dominance cache because
+	// the scheduler shed the run: the result was computed by an earlier
+	// converged run at DegradedEpsilon ≤ the requested ε, so it satisfies
+	// the request's error bound without a fresh solve.
+	Degraded        bool        `json:"degraded,omitempty"`
+	DegradedEpsilon float64     `json:"degradedEpsilon,omitempty"`
+	Result          wire.Result `json:"result"`
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req topkRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), "")
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error(), "")
 		return
 	}
@@ -353,28 +424,105 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.MaxTimeout
 	}
 
+	// From here the request is structurally valid and enters overload
+	// accounting: it must terminate as exactly one of completed, shed or
+	// failed (the chaos test asserts the balance).
+	s.metrics.RequestAdmitted()
+
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	g := entry.Graph()
+	cost := EstimateCost(g.N(), g.M(), opts)
+	rk := resultKeyFor(opts)
+
+	if ok, wait := s.tenants.allow(tenant, time.Now()); !ok {
+		s.shedOrDegrade(w, entry, rk, opts, timeout, req.Graph, wait,
+			fmt.Sprintf("server: tenant %q over its request quota", tenant),
+			http.StatusTooManyRequests)
+		return
+	}
+
 	key := flightKey{
 		graph: req.Graph, algorithm: alg, k: req.K,
 		epsilon: req.Epsilon, gamma: req.Gamma, seed: req.Seed,
 		workers: req.Workers, forward: req.Forward, trace: req.Trace,
 	}
 	res := s.flight.do(key, s.metrics, func() flightResult {
-		return s.runTopK(entry, opts, timeout, req.Graph)
+		return s.runTopK(entry, opts, timeout, req.Graph, Job{
+			Tenant: tenant, Cost: cost,
+			FastLane: cost <= s.cfg.FastLaneThreshold,
+		})
 	})
 	if res.err != nil {
 		switch {
-		case errors.Is(res.err, ErrQueueFull):
-			writeError(w, http.StatusTooManyRequests, res.err.Error(), "")
+		case errors.Is(res.err, ErrQueueFull) || errors.Is(res.err, ErrOverCapacity):
+			s.shedOrDegrade(w, entry, rk, opts, timeout, req.Graph,
+				s.sched.RetryAfter(), res.err.Error(), http.StatusTooManyRequests)
 		case errors.Is(res.err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, res.err.Error(), "")
+			s.shedOrDegrade(w, entry, rk, opts, timeout, req.Graph,
+				0, res.err.Error(), http.StatusServiceUnavailable)
 		default:
+			s.metrics.RequestFailed()
 			writeError(w, http.StatusInternalServerError, res.err.Error(), "")
 		}
 		return
 	}
+	s.metrics.RequestCompleted()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(res.status)
 	w.Write(res.body)
+}
+
+// resultKeyFor derives the ε-dominance cache key from a run's options,
+// normalizing defaulted fields so explicit and implicit defaults share an
+// entry (Seed 0 solves as 1 — Options.withDefaults).
+func resultKeyFor(opts core.Options) resultKey {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return resultKey{
+		algorithm: opts.Algorithm, k: opts.K, seed: seed,
+		workers: opts.Workers, forward: opts.UseForwardSampler,
+	}
+}
+
+// effectiveEpsilon mirrors Options.withDefaults for the dominance rule.
+func effectiveEpsilon(opts core.Options) float64 {
+	if opts.Epsilon == 0 {
+		return 0.3
+	}
+	return opts.Epsilon
+}
+
+// shedOrDegrade answers a request the scheduler refused to run. Preference
+// order: a cached converged result at ε' ≤ the requested ε answers with
+// 200 and "degraded":true — the client gets an answer that satisfies its
+// error bound, just not a freshly computed one. Otherwise the shed
+// surfaces as the given status (429 or 503) with a Retry-After hint.
+// Either way the request counts as shed; a degraded answer additionally
+// counts on the degraded counter.
+func (s *Server) shedOrDegrade(w http.ResponseWriter, entry *Entry, rk resultKey,
+	opts core.Options, timeout time.Duration, graphName string,
+	retryAfter time.Duration, msg string, status int) {
+	s.metrics.RequestShed()
+	if cached, eps, ok := entry.Dominating(rk, effectiveEpsilon(opts)); ok {
+		s.metrics.RequestDegraded()
+		writeJSON(w, http.StatusOK, topkResponse{
+			Graph:         graphName,
+			TimeoutMillis: timeout.Milliseconds(),
+			Degraded:      true, DegradedEpsilon: eps,
+			Result: cached,
+		})
+		return
+	}
+	if retryAfter <= 0 {
+		retryAfter = s.sched.RetryAfter()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
+	writeError(w, status, msg, "")
 }
 
 // runTopK executes one (possibly shared) solver run through the scheduler
@@ -382,13 +530,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // same bytes. The run's context is detached from any single client: a
 // waiter disconnecting must not cancel a run others share. Deadlines cover
 // queue wait plus solve time — admission control should surface as 429s
-// and partial results, not unbounded latency.
-func (s *Server) runTopK(entry *Entry, opts core.Options, timeout time.Duration, graphName string) flightResult {
+// and partial results, not unbounded latency. A converged run feeds the
+// ε-dominance cache that backs graceful degradation under overload.
+func (s *Server) runTopK(entry *Entry, opts core.Options, timeout time.Duration, graphName string, job Job) flightResult {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var res *core.Result
 	var solveErr error
-	if err := s.sched.Do(ctx, func(runCtx context.Context) {
+	if err := s.sched.Do(ctx, job, func(runCtx context.Context) {
 		res, solveErr = entry.Solve(runCtx, opts, s.metrics)
 	}); err != nil {
 		return flightResult{err: err}
@@ -402,10 +551,14 @@ func (s *Server) runTopK(entry *Entry, opts core.Options, timeout time.Duration,
 		})
 		return flightResult{body: body, status: http.StatusGatewayTimeout}
 	}
+	wres := wire.FromResult(opts.Algorithm, opts.K, res, nil)
+	if res.StopReason == core.StopConverged {
+		entry.StoreResult(resultKeyFor(opts), effectiveEpsilon(opts), wres)
+	}
 	body, err := json.Marshal(topkResponse{
 		Graph:         graphName,
 		TimeoutMillis: timeout.Milliseconds(),
-		Result:        wire.FromResult(opts.Algorithm, opts.K, res, nil),
+		Result:        wres,
 	})
 	if err != nil {
 		return flightResult{err: err}
@@ -417,20 +570,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
+// handleHealthz is liveness: the process is up and serving HTTP. It stays
+// 200 even while draining or saturated — restarting a draining process
+// would only lose the in-flight partials. Readiness lives on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	code := http.StatusOK
 	if s.sched.Draining() {
-		// Draining still answers health checks — load balancers need the
-		// signal — but flags itself unready.
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, struct {
+	writeJSON(w, http.StatusOK, struct {
 		Status     string `json:"status"`
 		Graphs     int    `json:"graphs"`
 		QueueDepth int64  `json:"queueDepth"`
 	}{status, s.reg.Len(), s.metrics.Snapshot().QueueDepth})
+}
+
+// handleReadyz is readiness: should a load balancer route new work here?
+// Not ready while draining (admissions would 503) or while the normal
+// lane's queue is at the shed threshold (admissions would 429) — in either
+// state a new request is better sent to a sibling.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	queued, depth := s.sched.QueuedNormal()
+	switch {
+	case s.sched.Draining():
+		status, code = "draining", http.StatusServiceUnavailable
+	case queued >= depth:
+		status, code = "saturated", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queueDepth"`
+		QueueCap   int    `json:"queueCap"`
+	}{status, queued, depth})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -337,20 +337,232 @@ func TestHealthzAndStats(t *testing.T) {
 		t.Fatalf("stats not populated: %+v", stats)
 	}
 
-	// Draining flips health to 503 and rejects new runs.
+	// Draining: liveness stays 200 (restarting a draining process loses the
+	// in-flight partials), readiness flips to 503, new runs are rejected.
 	s.Shutdown(context.Background())
 	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hd struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hd.Status != "draining" {
+		t.Fatalf("draining healthz: %d %+v, want 200 draining", resp.StatusCode, hd)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+		t.Fatalf("draining readyz status %d, want 503", resp.StatusCode)
 	}
-	if status, _ := post(t, ts.URL+"/v1/topk", map[string]any{"graph": "g", "k": 3}); status != http.StatusServiceUnavailable {
-		t.Fatalf("topk while draining: %d, want 503", status)
+	// The identical request was served (and converged) before the drain, so
+	// the shed falls back to the ε-dominance cache: 200 with degraded:true.
+	status, body := post(t, ts.URL+"/v1/topk", map[string]any{"graph": "g", "k": 3})
+	if status != http.StatusOK {
+		t.Fatalf("topk while draining with a cached dominator: %d %s", status, body)
 	}
+	var deg topkResponse
+	if err := json.Unmarshal(body, &deg); err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Degraded {
+		t.Fatalf("draining answer must be marked degraded: %s", body)
+	}
+	// A request with no cached dominator (fresh seed) sheds hard with 503.
+	if status, _ := post(t, ts.URL+"/v1/topk", map[string]any{"graph": "g", "k": 3, "seed": 99}); status != http.StatusServiceUnavailable {
+		t.Fatalf("uncached topk while draining: %d, want 503", status)
+	}
+}
+
+// TestReadyzStates: ready when idle, saturated (503) while the normal
+// lane's queue is full, ready again once it drains.
+func TestReadyzStates(t *testing.T) {
+	_, ts, m := newTestServer(t, Config{Workers: 1, QueueDepth: 1, FastLaneThreshold: -1})
+	addGeneratedGraph(t, ts.URL, "g", 4000)
+
+	getReady := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var r struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, r.Status
+	}
+	if code, status := getReady(); code != http.StatusOK || status != "ready" {
+		t.Fatalf("idle readyz: %d %q, want 200 ready", code, status)
+	}
+
+	// Wedge the worker with a slow run, then fill the one queue slot with a
+	// second — staggered so the two don't race for the single slot.
+	slow := func(seed int) {
+		post(t, ts.URL+"/v1/topk", map[string]any{
+			"graph": "g", "k": 5, "epsilon": 0.02, "seed": seed,
+			"timeoutMillis": 400,
+		})
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); slow(1) }()
+	waitFor(t, "first run to start", func() bool { return m.Snapshot().ActiveRuns == 1 })
+	go func() { defer wg.Done(); slow(2) }()
+	waitFor(t, "readyz to report saturated", func() bool {
+		code, status := getReady()
+		return code == http.StatusServiceUnavailable && status == "saturated"
+	})
+	wg.Wait()
+	waitFor(t, "readyz to recover", func() bool {
+		code, status := getReady()
+		return code == http.StatusOK && status == "ready"
+	})
+}
+
+// TestTopKDegraded pins graceful degradation: a converged run populates the
+// ε-dominance cache, and once the scheduler sheds (here: tenant quota with
+// burst 1), an identical request is answered from the cache with 200 and
+// degraded:true instead of a 429 — and the overload counters balance.
+func TestTopKDegraded(t *testing.T) {
+	_, ts, m := newTestServer(t, Config{TenantRPS: 0.001, TenantBurst: 1})
+	addGeneratedGraph(t, ts.URL, "g", 600)
+
+	req := map[string]any{"graph": "g", "k": 5, "seed": 7}
+	status, body := post(t, ts.URL+"/v1/topk", req)
+	if status != http.StatusOK {
+		t.Fatalf("warmup topk: %d %s", status, body)
+	}
+	var warm topkResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Degraded || !warm.Result.Converged {
+		t.Fatalf("warmup must be a fresh converged run: %+v", warm)
+	}
+
+	// The tenant's single burst token is spent: the next request is shed,
+	// but the cached converged result at the same ε dominates it.
+	status, body = post(t, ts.URL+"/v1/topk", req)
+	if status != http.StatusOK {
+		t.Fatalf("degraded topk: %d %s", status, body)
+	}
+	var deg topkResponse
+	if err := json.Unmarshal(body, &deg); err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Degraded || deg.DegradedEpsilon != 0.3 {
+		t.Fatalf("want degraded:true at cached eps 0.3, got %+v", deg)
+	}
+	aj, _ := json.Marshal(warm.Result.Group)
+	bj, _ := json.Marshal(deg.Result.Group)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("degraded answer differs from the cached run:\n  %s\n  %s", aj, bj)
+	}
+	if len(deg.Result.Trace) != 0 {
+		t.Fatalf("degraded answer must not carry a trace: %+v", deg.Result)
+	}
+
+	// A tighter-ε request is NOT dominated by the 0.3 cache entry: it sheds
+	// with a plain 429 + Retry-After.
+	tight := map[string]any{"graph": "g", "k": 5, "seed": 7, "epsilon": 0.1}
+	resp, err := http.Post(ts.URL+"/v1/topk", "application/json", jsonBody(t, tight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("tighter-eps shed: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry a Retry-After header")
+	}
+
+	st := m.Snapshot()
+	if st.RequestsAdmitted != st.RequestsCompleted+st.RequestsShed+st.RequestsFailed {
+		t.Fatalf("overload accounting broken: %+v", st)
+	}
+	if st.RequestsShed != 2 || st.RequestsDegraded != 1 || st.RequestsCompleted != 1 {
+		t.Fatalf("want completed=1 shed=2 degraded=1, got %+v", st)
+	}
+}
+
+// TestTenantQuotaIsolation: tenant quotas are per-tenant — one tenant
+// exhausting its bucket must not affect another.
+func TestTenantQuotaIsolation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{TenantRPS: 0.001, TenantBurst: 1})
+	addGeneratedGraph(t, ts.URL, "g", 300)
+
+	doAs := func(tenant string, seed int) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/topk",
+			jsonBody(t, map[string]any{"graph": "g", "k": 3, "seed": seed}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := doAs("alice", 1); got != http.StatusOK {
+		t.Fatalf("alice's first request: %d", got)
+	}
+	// Distinct seed defeats both coalescing and the dominance cache, so the
+	// quota rejection surfaces as a 429.
+	if got := doAs("alice", 2); got != http.StatusTooManyRequests {
+		t.Fatalf("alice over quota: %d, want 429", got)
+	}
+	if got := doAs("bob", 3); got != http.StatusOK {
+		t.Fatalf("bob must not share alice's bucket: %d", got)
+	}
+}
+
+// TestTopKBodyLimit: an oversized /v1/topk body fails with a typed 400,
+// not a connection reset or a panic.
+func TestTopKBodyLimit(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := fmt.Sprintf(`{"graph":"g","k":3,"pad":%q}`, bytes.Repeat([]byte("x"), 1024))
+	resp, err := http.Post(ts.URL+"/v1/topk", "application/json", bytes.NewReader([]byte(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: %d, want 400", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("oversized-body error is not typed JSON: %v", err)
+	}
+	if e.Error == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
 }
 
 // TestTopKForwardSampler: the forward-ablation flag routes through and

@@ -43,6 +43,16 @@ done
 curl -fsS "$URL/healthz" >"$TMP/health.json" || fail "healthz unreachable"
 grep -q '"status":"ok"' "$TMP/health.json" || fail "healthz not ok: $(cat "$TMP/health.json")"
 
+# Readiness is a separate gate: poll /readyz until the daemon reports ready
+# (200), the signal a load balancer would route on.
+READY=0
+for _ in $(seq 1 50); do
+    if curl -fsS "$URL/readyz" >"$TMP/ready.json" 2>/dev/null; then READY=1; break; fi
+    sleep 0.1
+done
+[ "$READY" = 1 ] || fail "daemon never became ready: $(cat "$TMP/ready.json" 2>/dev/null)"
+grep -q '"status":"ready"' "$TMP/ready.json" || fail "readyz not ready: $(cat "$TMP/ready.json")"
+
 curl -fsS -X POST "$URL/v1/graphs" \
     -d '{"name":"smoke","generator":"ba","n":2000,"degree":4,"seed":1}' \
     >"$TMP/graph.json" || fail "graph upload failed"
@@ -64,6 +74,8 @@ curl -fsS -X POST "$URL/v1/topk" \
 curl -fsS "$URL/v1/stats" >"$TMP/stats.json" || fail "stats unreachable"
 grep -q '"registryHits":[1-9]' "$TMP/stats.json" \
     || fail "repeated query did not hit the warm registry: $(cat "$TMP/stats.json")"
+grep -q '"requestsCompleted":[1-9]' "$TMP/stats.json" \
+    || fail "overload accounting did not count the completed runs: $(cat "$TMP/stats.json")"
 
 kill -TERM "$GBCD_PID"
 DRAINED=0

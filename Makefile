@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all ci build test race chaos serve-smoke fuzz cover bench bench-compare figures fmt fmtcheck vet staticcheck govulncheck clean
+.PHONY: all ci build test race chaos serve-smoke gbcsr-smoke fuzz cover bench bench-compare figures fmt fmtcheck vet staticcheck govulncheck clean
 
 all: build vet fmtcheck test
 
 # The exact gate .github/workflows/ci.yml runs; `make ci` reproduces a CI
 # failure locally. staticcheck/govulncheck no-op with a notice when the
 # tools aren't installed (CI installs them).
-ci: fmtcheck vet staticcheck govulncheck build test race chaos serve-smoke
+ci: fmtcheck vet staticcheck govulncheck build test race chaos serve-smoke gbcsr-smoke
 
 build:
 	$(GO) build ./...
@@ -49,10 +49,19 @@ govulncheck:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-# Short smoke run of the edge-list parser fuzzers (native Go fuzzing).
+# End-to-end smoke test of the binary .gbcsr graph format: generate a
+# dataset straight to .gbcsr, solve it from disk (mmap-attached), diff the
+# JSON result byte-for-byte against the in-memory solve, and check a
+# truncated file is rejected loudly.
+gbcsr-smoke:
+	sh scripts/gbcsr_smoke.sh
+
+# Short smoke run of the graph input fuzzers (native Go fuzzing): the two
+# edge-list parsers and the binary .gbcsr decoder.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadEdgeList$$ -fuzztime 10s ./internal/graph
 	$(GO) test -run xxx -fuzz FuzzReadWeightedEdgeList -fuzztime 10s ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzDecodeCSR -fuzztime 10s ./internal/graph
 
 cover:
 	$(GO) test -cover ./...

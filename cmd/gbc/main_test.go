@@ -100,6 +100,105 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+// TestRunGBCSRInput runs the CLI against a binary .gbcsr input (format
+// auto-detected from the magic bytes, no flag) and checks the solve is
+// bit-identical to running on the same graph in memory.
+func TestRunGBCSRInput(t *testing.T) {
+	g := gbc.BarabasiAlbert(300, 3, 5)
+	path := filepath.Join(t.TempDir(), "g.gbcsr")
+	if err := g.WriteCSRFile(path); err != nil {
+		t.Fatal(err)
+	}
+	o := cliOptions{input: path, k: 4, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 2, jsonOut: true}
+
+	orig := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(context.Background(), o)
+	w.Close()
+	os.Stdout = orig
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var out jsonResult
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Nodes != g.N() || out.Edges != g.M() {
+		t.Fatalf("gbcsr input shape %d/%d, want %d/%d", out.Nodes, out.Edges, g.N(), g.M())
+	}
+	want, err := gbc.TopKWith(gbc.AdaAlg, g, gbc.Options{K: 4, Epsilon: 0.3, Gamma: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Group) != 4 {
+		t.Fatalf("group size %d, want 4", len(out.Result.Group))
+	}
+	for i, v := range want.Group {
+		if int32(out.Result.Group[i]) != v {
+			t.Fatalf("group[%d] = %d, want %d (file-backed solve diverged)", i, out.Result.Group[i], v)
+		}
+	}
+	if out.Result.Estimate != want.Estimate {
+		t.Fatalf("estimate %v, want %v", out.Result.Estimate, want.Estimate)
+	}
+}
+
+// TestRunCacheDir: two runs with -cache-dir must agree exactly (the
+// second one solves against the mmap-attached .gbcsr artifact), and a
+// truncated cache must fail the run instead of feeding a wrong graph.
+func TestRunCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	o := cliOptions{dataset: "GrQc", scale: 0.05, k: 3, algName: "AdaAlg",
+		eps: 0.3, gamma: 0.01, seed: 1, cacheDir: dir, jsonOut: true}
+
+	capture := func() jsonResult {
+		t.Helper()
+		orig := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run(context.Background(), o)
+		w.Close()
+		os.Stdout = orig
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		var out jsonResult
+		if err := json.NewDecoder(r).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first, second := capture(), capture()
+	if first.Nodes != second.Nodes || first.Edges != second.Edges ||
+		first.Result.Estimate != second.Result.Estimate {
+		t.Fatalf("cached rerun diverged:\n  %+v\n  %+v", first, second)
+	}
+
+	// Truncate the cached edge list: the next run must fail loudly.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("cache txt glob: %v %v", matches, err)
+	}
+	fi, err := os.Stat(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(matches[0], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o); err == nil {
+		t.Fatal("truncated cache did not fail the run")
+	}
+}
+
 func TestRunWeightedInput(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "w.txt")

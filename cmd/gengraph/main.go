@@ -6,6 +6,7 @@
 //	gengraph -model ba -n 10000 -k 4 -out ba.txt
 //	gengraph -model ws -n 10000 -k 8 -p 0.1 -out ws.txt
 //	gengraph -dataset GrQc -out grqc.txt
+//	gengraph -dataset GrQc -format gbcsr -out grqc.gbcsr
 package main
 
 import (
@@ -28,15 +29,24 @@ func main() {
 		dirFlg = flag.Bool("directed", false, "directed (er only; ba/ws undirected, dirpref directed)")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		out    = flag.String("out", "", "output file (default stdout)")
+		format = flag.String("format", "edgelist", "output format: edgelist or gbcsr (binary CSR; requires -out)")
 	)
 	flag.Parse()
-	if err := run(*model, *ds, *scale, *n, *k, *m, *p, *dirFlg, *seed, *out); err != nil {
+	if err := run(*model, *ds, *scale, *n, *k, *m, *p, *dirFlg, *seed, *out, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, ds string, scale float64, n, k, m int, p float64, directed bool, seed uint64, out string) error {
+func run(model, ds string, scale float64, n, k, m int, p float64, directed bool, seed uint64, out, format string) error {
+	switch format {
+	case "edgelist", "gbcsr":
+	default:
+		return fmt.Errorf("unknown -format %q (want edgelist or gbcsr)", format)
+	}
+	if format == "gbcsr" && out == "" {
+		return fmt.Errorf("-format gbcsr requires -out (binary output does not go to stdout)")
+	}
 	var g *gbc.Graph
 	var err error
 	switch {
@@ -61,7 +71,11 @@ func run(model, ds string, scale float64, n, k, m int, p float64, directed bool,
 	if out == "" {
 		return g.WriteEdgeList(os.Stdout)
 	}
-	if err := g.WriteEdgeListFile(out); err != nil {
+	if format == "gbcsr" {
+		if err := g.WriteCSRFile(out); err != nil {
+			return err
+		}
+	} else if err := g.WriteEdgeListFile(out); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %v to %s\n", g, out)

@@ -5,17 +5,25 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"gbc"
 )
 
 func TestRunErrors(t *testing.T) {
-	if err := run("ba", "GrQc", 0.1, 100, 2, 0, 0, false, 1, ""); err == nil {
+	if err := run("ba", "GrQc", 0.1, 100, 2, 0, 0, false, 1, "", "edgelist"); err == nil {
 		t.Fatal("model+dataset must error")
 	}
-	if err := run("", "", 0.1, 100, 2, 0, 0, false, 1, ""); err == nil {
+	if err := run("", "", 0.1, 100, 2, 0, 0, false, 1, "", "edgelist"); err == nil {
 		t.Fatal("no source must error")
 	}
-	if err := run("", "NotReal", 0.1, 0, 0, 0, 0, false, 1, ""); err == nil {
+	if err := run("", "NotReal", 0.1, 0, 0, 0, 0, false, 1, "", "edgelist"); err == nil {
 		t.Fatal("unknown dataset must error")
+	}
+	if err := run("ba", "", 0, 100, 2, 0, 0, false, 1, "", "parquet"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+	if err := run("ba", "", 0, 100, 2, 0, 0, false, 1, "", "gbcsr"); err == nil {
+		t.Fatal("gbcsr to stdout must error")
 	}
 }
 
@@ -33,7 +41,7 @@ func TestRunWritesModels(t *testing.T) {
 		{"dirpref", 100, 2, 0, 0.2},
 	} {
 		out := filepath.Join(dir, tc.model+".txt")
-		if err := run(tc.model, "", 0, tc.n, tc.k, tc.m, tc.p, false, 1, out); err != nil {
+		if err := run(tc.model, "", 0, tc.n, tc.k, tc.m, tc.p, false, 1, out, "edgelist"); err != nil {
 			t.Fatalf("%s: %v", tc.model, err)
 		}
 		data, err := os.ReadFile(out)
@@ -48,7 +56,7 @@ func TestRunWritesModels(t *testing.T) {
 
 func TestRunDatasetToFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "d.txt")
-	if err := run("", "Coauthor", 0.02, 0, 0, 0, 0, false, 2, out); err != nil {
+	if err := run("", "Coauthor", 0.02, 0, 0, 0, 0, false, 2, out, "edgelist"); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
@@ -57,7 +65,40 @@ func TestRunDatasetToFile(t *testing.T) {
 }
 
 func TestRunWritesToStdout(t *testing.T) {
-	if err := run("ba", "", 0, 50, 2, 0, 0, false, 1, ""); err != nil {
+	if err := run("ba", "", 0, 50, 2, 0, 0, false, 1, "", "edgelist"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunGBCSRMatchesInMemory: -format gbcsr must write a binary file
+// whose reopened graph is the same graph the generator produced.
+func TestRunGBCSRMatchesInMemory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.gbcsr")
+	if err := run("ba", "", 0, 200, 3, 0, 0, false, 7, out, "gbcsr"); err != nil {
+		t.Fatal(err)
+	}
+	isCSR, err := gbc.IsCSRFile(out)
+	if err != nil || !isCSR {
+		t.Fatalf("IsCSRFile = %v, %v; want true", isCSR, err)
+	}
+	g, err := gbc.OpenCSR(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	want := gbc.BarabasiAlbert(200, 3, 7)
+	if g.N() != want.N() || g.M() != want.M() || g.Directed() != want.Directed() {
+		t.Fatalf("reopened %v, want %v", g, want)
+	}
+	for v := 0; v < want.N(); v++ {
+		got, exp := g.OutNeighbors(int32(v)), want.OutNeighbors(int32(v))
+		if len(got) != len(exp) {
+			t.Fatalf("node %d: %d neighbors, want %d", v, len(got), len(exp))
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("node %d neighbor %d: %d, want %d", v, i, got[i], exp[i])
+			}
+		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"time"
 
 	"gbc/internal/brandes"
@@ -267,6 +268,44 @@ func LoadWeightedEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	return graph.ReadWeightedEdgeList(r, directed)
 }
 
+// OpenCSR opens a graph stored in the binary .gbcsr format, attaching to
+// the file via mmap where the platform supports it (a heap read elsewhere):
+// load cost is integrity verification, not parse-and-sort. The returned
+// graph holds its backing storage until Close; see Graph.Close. Write the
+// format with Graph.WriteCSR/WriteCSRFile or `gengraph -format gbcsr`.
+func OpenCSR(path string) (*Graph, error) { return graph.OpenCSR(path) }
+
+// IsCSRFile sniffs whether the file at path starts with the .gbcsr magic
+// bytes (the first 8 bytes; the extension is not consulted).
+func IsCSRFile(path string) (bool, error) { return graph.DetectCSRFile(path) }
+
+// GraphFormatError is the typed error every .gbcsr reader failure
+// surfaces: truncated or corrupt headers, checksum mismatches, invalid CSR
+// structure. Retrieve it with errors.As.
+type GraphFormatError = graph.FormatError
+
+// LoadGraphFile loads a graph from path in whichever format the file
+// holds: a binary .gbcsr (detected by magic bytes; directed/weighted come
+// from its header) or a text edge list parsed with the given flags.
+func LoadGraphFile(path string, directed, weighted bool) (*Graph, error) {
+	isCSR, err := graph.DetectCSRFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isCSR {
+		return graph.OpenCSR(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if weighted {
+		return graph.ReadWeightedEdgeList(f, directed)
+	}
+	return graph.ReadEdgeList(f, directed)
+}
+
 // NewWeightedGraph builds a weighted graph from explicit (u, v, w) triples.
 func NewWeightedGraph(n int, directed bool, edges [][2]int32, weights []float64) (*Graph, error) {
 	if len(edges) != len(weights) {
@@ -319,6 +358,21 @@ func Dataset(name string, scale float64, seed uint64) (*Graph, error) {
 		return nil, err
 	}
 	return spec.Generate(scale, seed), nil
+}
+
+// DatasetCached is Dataset backed by an on-disk cache under dir: the
+// first fetch materializes the stand-in as a canonical text edge list plus
+// a binary .gbcsr twin, and later fetches verify the cache (size/sha256 —
+// truncation fails loudly) and attach to the .gbcsr via mmap instead of
+// regenerating. Note the cached graph's node numbering is the text parse's
+// first-appearance order, a permutation of Dataset's; Close the returned
+// graph when done.
+func DatasetCached(name string, scale float64, seed uint64, dir string) (*Graph, error) {
+	spec, err := dataset.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Fetch(scale, seed, dir)
 }
 
 // DatasetNames lists the Table I dataset names in paper order.

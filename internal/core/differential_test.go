@@ -245,6 +245,46 @@ func TestDifferentialWithObserverAttached(t *testing.T) {
 	}
 }
 
+// TestDifferentialGBCSRBacked replays every golden cell against graphs
+// that took a round trip through the binary .gbcsr storage format
+// (WriteCSRFile → OpenCSR, mmap-backed where the platform allows): all 48
+// cells must match the goldens bit for bit. This is the end-to-end proof
+// that on-disk storage is invisible to the solvers — same samples, same
+// group, same estimate to the last float bit.
+func TestDifferentialGBCSRBacked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	dir := t.TempDir()
+	graphs := make(map[string]*graph.Graph)
+	for name, g := range differentialGraphs() {
+		path := filepath.Join(dir, name+".gbcsr")
+		if err := g.WriteCSRFile(path); err != nil {
+			t.Fatal(err)
+		}
+		fg, err := graph.OpenCSR(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[name] = fg
+	}
+	t.Cleanup(func() {
+		for _, g := range graphs {
+			g.Close()
+		}
+	})
+	cases, want := loadGoldenMatrix(t)
+	for i, tc := range cases {
+		tc, w := tc, want[i]
+		name := fmt.Sprintf("%s/%s/seed%d/workers%d", tc.Graph, tc.Algorithm, tc.Seed, tc.Workers)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runDifferentialCase(t, graphs[tc.Graph], tc, nil)
+			checkDifferentialCase(t, tc, w)
+		})
+	}
+}
+
 // checkDifferentialCase compares one executed cell against its golden.
 func checkDifferentialCase(t *testing.T, tc, w *differentialCase) {
 	t.Helper()

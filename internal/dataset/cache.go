@@ -1,0 +1,178 @@
+// Cache layer: materialized dataset stand-ins on disk.
+//
+// Fetch writes each generated stand-in once as a canonical text edge list
+// (the stand-in for a network download) plus a size/sha256 manifest, and
+// converts it to the binary .gbcsr format beside it. Reuse verifies the
+// manifest first — a truncated or tampered cache file fails loudly with a
+// *CacheError instead of silently feeding a wrong graph downstream — and
+// then prefers the .gbcsr, which attaches via mmap in O(verification)
+// instead of re-parsing text.
+//
+// The .gbcsr is always built from a re-parse of the text file, not from
+// the generator output directly: text round-tripping relabels nodes in
+// first-appearance order, so deriving both artifacts from the same parse
+// keeps them bit-for-bit interchangeable.
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gbc/internal/graph"
+)
+
+// CacheError reports a cache artifact that failed verification or could
+// not be materialized. Verification failures are deliberate hard errors:
+// the fix is to delete the named file, not to trust a regeneration that
+// would mask corruption elsewhere on the volume.
+type CacheError struct {
+	// Path is the offending cache file.
+	Path string
+	// Msg says what was wrong with it.
+	Msg string
+}
+
+func (e *CacheError) Error() string {
+	return fmt.Sprintf("dataset: cache %s: %s", e.Path, e.Msg)
+}
+
+// CacheBase returns the directory-relative stem the cache files of one
+// (dataset, scale, seed) triple share: stem.txt (canonical edge list),
+// stem.txt.sha256 (manifest), stem.gbcsr (binary CSR).
+func (s Spec) CacheBase(scale float64, seed uint64) string {
+	return fmt.Sprintf("%s_s%s_seed%d", s.Name,
+		strconv.FormatFloat(scale, 'g', -1, 64), seed)
+}
+
+// Fetch returns the stand-in graph at (scale, seed), materializing it
+// under dir on first use and reusing the verified cache afterwards. The
+// returned graph is the canonical parse of the cached edge list (node ids
+// relabeled in first-appearance order — a permutation of Generate's
+// numbering); when the platform supports it, it is mmap-backed and the
+// caller should Close it when done.
+func (s Spec) Fetch(scale float64, seed uint64, dir string) (*graph.Graph, error) {
+	base := filepath.Join(dir, s.CacheBase(scale, seed))
+	txt, man, csr := base+".txt", base+".txt.sha256", base+".gbcsr"
+
+	if _, err := os.Stat(txt); err == nil {
+		if err := verifyManifest(txt, man); err != nil {
+			return nil, err
+		}
+		if g, err := graph.OpenCSR(csr); err == nil {
+			return g, nil
+		}
+		// The derived .gbcsr is missing or corrupt but the canonical text
+		// verified clean: rebuild the derived artifact from it.
+		return buildCSR(txt, csr, s.Directed)
+	} else if !os.IsNotExist(err) {
+		return nil, &CacheError{Path: txt, Msg: err.Error()}
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, &CacheError{Path: dir, Msg: err.Error()}
+	}
+	if err := s.Generate(scale, seed).WriteEdgeListFile(txt); err != nil {
+		return nil, &CacheError{Path: txt, Msg: err.Error()}
+	}
+	if err := writeManifest(txt, man); err != nil {
+		return nil, err
+	}
+	return buildCSR(txt, csr, s.Directed)
+}
+
+// FetchDefault is Fetch at the spec's experiment default scale.
+func (s Spec) FetchDefault(seed uint64, dir string) (*graph.Graph, error) {
+	return s.Fetch(s.DefaultScale, seed, dir)
+}
+
+// buildCSR parses the verified text edge list and writes its binary CSR
+// twin, returning the freshly opened (mmap-backed where possible) graph.
+func buildCSR(txt, csr string, directed bool) (*graph.Graph, error) {
+	g, err := graph.ReadEdgeListFile(txt, directed)
+	if err != nil {
+		return nil, &CacheError{Path: txt, Msg: err.Error()}
+	}
+	if err := g.WriteCSRFile(csr); err != nil {
+		return nil, &CacheError{Path: csr, Msg: err.Error()}
+	}
+	return graph.OpenCSR(csr)
+}
+
+// hashFile returns the size and SHA-256 of the file at path.
+func hashFile(path string) (int64, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return 0, "", err
+	}
+	return n, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// writeManifest records the size and SHA-256 of the file at path into man
+// ("size N\nsha256 HEX\n").
+func writeManifest(path, man string) error {
+	size, sum, err := hashFile(path)
+	if err != nil {
+		return &CacheError{Path: path, Msg: err.Error()}
+	}
+	body := fmt.Sprintf("size %d\nsha256 %s\n", size, sum)
+	if err := os.WriteFile(man, []byte(body), 0o644); err != nil {
+		return &CacheError{Path: man, Msg: err.Error()}
+	}
+	return nil
+}
+
+// verifyManifest checks the file at path against its manifest. Size is
+// compared before hashing so a truncated file is reported as truncation,
+// the most common form of cache corruption, rather than a bare hash
+// mismatch.
+func verifyManifest(path, man string) error {
+	raw, err := os.ReadFile(man)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &CacheError{Path: man, Msg: "manifest missing — cache incomplete, delete the cached files and refetch"}
+		}
+		return &CacheError{Path: man, Msg: err.Error()}
+	}
+	var wantSize int64 = -1
+	wantSum := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			continue
+		}
+		switch f[0] {
+		case "size":
+			if wantSize, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+				return &CacheError{Path: man, Msg: "malformed size line"}
+			}
+		case "sha256":
+			wantSum = f[1]
+		}
+	}
+	if wantSize < 0 || wantSum == "" {
+		return &CacheError{Path: man, Msg: "malformed manifest"}
+	}
+	size, sum, err := hashFile(path)
+	if err != nil {
+		return &CacheError{Path: path, Msg: err.Error()}
+	}
+	if size != wantSize {
+		return &CacheError{Path: path, Msg: fmt.Sprintf("size %d, manifest says %d — truncated or partially written cache file", size, wantSize)}
+	}
+	if sum != wantSum {
+		return &CacheError{Path: path, Msg: "sha256 mismatch — corrupt cache file"}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gbc/internal/graph"
+)
+
+// fetchSpec is a small fixture dataset for cache tests.
+func fetchSpec(t *testing.T) Spec {
+	t.Helper()
+	s, err := Lookup("GrQc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// requireSameGraph compares two graphs node by node.
+func requireSameGraph(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() || got.Directed() != want.Directed() {
+		t.Fatalf("graph shape %v, want %v", got, want)
+	}
+	for v := 0; v < want.N(); v++ {
+		g, w := got.OutNeighbors(int32(v)), want.OutNeighbors(int32(v))
+		if len(g) != len(w) {
+			t.Fatalf("node %d: %d neighbors, want %d", v, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("node %d neighbor %d: %d, want %d", v, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func TestFetchMaterializesAndReuses(t *testing.T) {
+	dir := t.TempDir()
+	s := fetchSpec(t)
+	g1, err := s.Fetch(0.05, 3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.Close()
+
+	base := filepath.Join(dir, s.CacheBase(0.05, 3))
+	for _, p := range []string{base + ".txt", base + ".txt.sha256", base + ".gbcsr"} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("cache artifact %s missing: %v", p, err)
+		}
+	}
+
+	// The returned graph is the canonical parse of the text artifact.
+	parsed, err := graph.ReadEdgeListFile(base+".txt", s.Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, g1, parsed)
+
+	// Reuse returns the same graph, preferring the binary artifact.
+	g2, err := s.Fetch(0.05, 3, dir)
+	if err != nil {
+		t.Fatalf("reuse failed: %v", err)
+	}
+	defer g2.Close()
+	requireSameGraph(t, g2, g1)
+}
+
+func TestFetchTruncatedCacheFailsLoud(t *testing.T) {
+	dir := t.TempDir()
+	s := fetchSpec(t)
+	g, err := s.Fetch(0.05, 3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	txt := filepath.Join(dir, s.CacheBase(0.05, 3)+".txt")
+	fi, err := os.Stat(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(txt, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Fetch(0.05, 3, dir)
+	var ce *CacheError
+	if !errors.As(err, &ce) {
+		t.Fatalf("truncated cache returned %v, want *CacheError", err)
+	}
+	if ce.Path != txt {
+		t.Fatalf("error names %q, want %q", ce.Path, txt)
+	}
+}
+
+func TestFetchChecksumMismatchFailsLoud(t *testing.T) {
+	dir := t.TempDir()
+	s := fetchSpec(t)
+	g, err := s.Fetch(0.05, 3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	// Flip one byte without changing the size: must be caught by sha256.
+	txt := filepath.Join(dir, s.CacheBase(0.05, 3)+".txt")
+	raw, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(txt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CacheError
+	if _, err := s.Fetch(0.05, 3, dir); !errors.As(err, &ce) {
+		t.Fatalf("corrupt cache returned %v, want *CacheError", err)
+	}
+}
+
+func TestFetchMissingManifestFailsLoud(t *testing.T) {
+	dir := t.TempDir()
+	s := fetchSpec(t)
+	g, err := s.Fetch(0.05, 3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	if err := os.Remove(filepath.Join(dir, s.CacheBase(0.05, 3)+".txt.sha256")); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CacheError
+	if _, err := s.Fetch(0.05, 3, dir); !errors.As(err, &ce) {
+		t.Fatalf("missing manifest returned %v, want *CacheError", err)
+	}
+}
+
+// TestFetchRebuildsCorruptCSR: the .gbcsr is derived state — when it is
+// corrupt but the canonical text verifies, Fetch rebuilds it instead of
+// failing.
+func TestFetchRebuildsCorruptCSR(t *testing.T) {
+	dir := t.TempDir()
+	s := fetchSpec(t)
+	g1, err := s.Fetch(0.05, 3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.Close()
+
+	csr := filepath.Join(dir, s.CacheBase(0.05, 3)+".gbcsr")
+	raw, err := os.ReadFile(csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(csr, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Fetch(0.05, 3, dir)
+	if err != nil {
+		t.Fatalf("corrupt derived .gbcsr not rebuilt: %v", err)
+	}
+	defer g2.Close()
+	requireSameGraph(t, g2, g1)
+
+	// And the rebuilt file opens cleanly on its own.
+	g3, err := graph.OpenCSR(csr)
+	if err != nil {
+		t.Fatalf("rebuilt .gbcsr invalid: %v", err)
+	}
+	g3.Close()
+}

@@ -1,0 +1,553 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The .gbcsr on-disk format, version 1: a graph's CSR arrays serialized so
+// a process can attach to them without re-parsing or re-sorting anything.
+//
+//	offset 0   magic   [8]byte  89 'G' 'B' 'C' 'S' 'R' 0D 0A
+//	       8   version uint32   (currently 1)
+//	      12   flags   uint32   bit0 directed, bit1 weighted, bit2 labels
+//	      16   n       int64    node count
+//	      24   m       int64    edge count (undirected edges counted once)
+//	      32   nsec    uint32   section count
+//	      36   _       uint32   reserved (0)
+//	      40   section table    nsec × 32-byte entries
+//	       +   headerCRC uint32 CRC-32C of bytes [0, 40+32·nsec)
+//
+// Each section-table entry is {id uint32, _ uint32, off int64, len int64,
+// crc uint32, _ uint32}: off is the section's byte offset from the start of
+// the file (page-aligned so the arrays can be used in place from an mmap),
+// len its exact byte length, crc the CRC-32C of those bytes. All integers
+// are little-endian. Section payloads are the CSR arrays verbatim: offsets
+// as int64, adjacency as int32, weights as IEEE-754 float64 bits, labels
+// as int64. Undirected graphs store only the out-view (the in-view is the
+// same arrays); unweighted graphs omit the weight sections.
+const (
+	csrVersion     = 1
+	csrPageSize    = 4096
+	csrSecSize     = 32
+	csrFixedSize   = 40 // magic through reserved, before the section table
+	csrMaxSections = 7
+)
+
+const (
+	csrFlagDirected = 1 << 0
+	csrFlagWeighted = 1 << 1
+	csrFlagLabels   = 1 << 2
+	csrFlagsKnown   = csrFlagDirected | csrFlagWeighted | csrFlagLabels
+)
+
+// Section ids. Values are part of the format and must never be renumbered.
+const (
+	secOutOff uint32 = 1
+	secOutAdj uint32 = 2
+	secInOff  uint32 = 3
+	secInAdj  uint32 = 4
+	secOutWts uint32 = 5
+	secInWts  uint32 = 6
+	secLabels uint32 = 7
+)
+
+// csrMagic begins every .gbcsr file. The 0x89 high-bit byte and the \r\n
+// pair catch text-mode transfers and truncation at byte 0, PNG-style.
+var csrMagic = [8]byte{0x89, 'G', 'B', 'C', 'S', 'R', '\r', '\n'}
+
+var csrCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CSRFileExt is the conventional extension for the binary CSR graph format.
+const CSRFileExt = ".gbcsr"
+
+// FormatError reports a structurally invalid .gbcsr input: truncated or
+// corrupt header, out-of-bounds sections, checksum mismatches, or CSR
+// arrays that violate the representation's invariants. Every reader
+// failure mode surfaces as a *FormatError (possibly wrapped with the file
+// path) rather than a panic.
+type FormatError struct {
+	Msg string
+}
+
+func (e *FormatError) Error() string { return "gbcsr: " + e.Msg }
+
+func csrErrf(format string, args ...any) error {
+	return &FormatError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsCSRMagic reports whether b begins with the .gbcsr magic bytes; b may be
+// any prefix of a file (shorter than the magic reports false).
+func IsCSRMagic(b []byte) bool {
+	return len(b) >= len(csrMagic) && bytes.Equal(b[:len(csrMagic)], csrMagic[:])
+}
+
+// DetectCSRFile sniffs whether the file at path starts with the .gbcsr
+// magic. It reads at most 8 bytes; extension is not consulted.
+func DetectCSRFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var head [len(csrMagic)]byte
+	n, err := io.ReadFull(f, head[:])
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return IsCSRMagic(head[:n]), nil
+}
+
+func alignUp(v, align int64) int64 { return (v + align - 1) &^ (align - 1) }
+
+// WriteCSR serializes the graph in the .gbcsr binary format. The output is
+// deterministic: the same graph always produces the same bytes.
+func (g *Graph) WriteCSR(w io.Writer) error {
+	type section struct {
+		id   uint32
+		data []byte
+	}
+	secs := []section{
+		{secOutOff, encodeOffsets(g.outOff)},
+		{secOutAdj, encodeInt32s(g.outAdj)},
+	}
+	if g.directed {
+		secs = append(secs,
+			section{secInOff, encodeOffsets(g.inOff)},
+			section{secInAdj, encodeInt32s(g.inAdj)})
+	}
+	if g.outWts != nil {
+		secs = append(secs, section{secOutWts, encodeFloat64s(g.outWts)})
+		if g.directed {
+			secs = append(secs, section{secInWts, encodeFloat64s(g.inWts)})
+		}
+	}
+	if g.labels != nil {
+		secs = append(secs, section{secLabels, encodeInt64s(g.labels)})
+	}
+
+	var flags uint32
+	if g.directed {
+		flags |= csrFlagDirected
+	}
+	if g.outWts != nil {
+		flags |= csrFlagWeighted
+	}
+	if g.labels != nil {
+		flags |= csrFlagLabels
+	}
+
+	headerLen := int64(csrFixedSize + len(secs)*csrSecSize + 4)
+	header := make([]byte, headerLen)
+	copy(header, csrMagic[:])
+	le := binary.LittleEndian
+	le.PutUint32(header[8:], csrVersion)
+	le.PutUint32(header[12:], flags)
+	le.PutUint64(header[16:], uint64(g.n))
+	le.PutUint64(header[24:], uint64(g.m))
+	le.PutUint32(header[32:], uint32(len(secs)))
+
+	// Lay sections out page-aligned after the header; zero-length sections
+	// take no space and simply point at the current cursor.
+	cursor := alignUp(headerLen, csrPageSize)
+	offsets := make([]int64, len(secs))
+	for i, s := range secs {
+		offsets[i] = cursor
+		cursor += int64(len(s.data))
+		if i < len(secs)-1 {
+			cursor = alignUp(cursor, csrPageSize)
+		}
+		base := csrFixedSize + i*csrSecSize
+		le.PutUint32(header[base:], s.id)
+		le.PutUint64(header[base+8:], uint64(offsets[i]))
+		le.PutUint64(header[base+16:], uint64(len(s.data)))
+		le.PutUint32(header[base+24:], crc32.Checksum(s.data, csrCRCTable))
+	}
+	le.PutUint32(header[headerLen-4:], crc32.Checksum(header[:headerLen-4], csrCRCTable))
+
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	written := headerLen
+	for i, s := range secs {
+		if err := writeZeros(w, offsets[i]-written); err != nil {
+			return err
+		}
+		if _, err := w.Write(s.data); err != nil {
+			return err
+		}
+		written = offsets[i] + int64(len(s.data))
+	}
+	return nil
+}
+
+// WriteCSRFile writes the graph to path in the .gbcsr format. The file is
+// written to a temporary sibling and renamed into place, so a crashed or
+// failed write never leaves a truncated .gbcsr behind.
+func (g *Graph) WriteCSRFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := g.WriteCSR(bw); err == nil {
+		err = bw.Flush()
+	} else {
+		bw.Flush()
+	}
+	if err2 := tmp.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+var zeroPage [csrPageSize]byte
+
+func writeZeros(w io.Writer, n int64) error {
+	for n > 0 {
+		chunk := n
+		if chunk > csrPageSize {
+			chunk = csrPageSize
+		}
+		if _, err := w.Write(zeroPage[:chunk]); err != nil {
+			return err
+		}
+		n -= chunk
+	}
+	return nil
+}
+
+func encodeOffsets(off []int) []byte {
+	b := make([]byte, 8*len(off))
+	for i, v := range off {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(int64(v)))
+	}
+	return b
+}
+
+func encodeInt64s(vs []int64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+func encodeInt32s(vs []int32) []byte {
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return b
+}
+
+func encodeFloat64s(vs []float64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// OpenCSR opens a .gbcsr file and returns a Graph whose CSR arrays are
+// backed by the file. On platforms with mmap support (see csr_mmap.go) the
+// arrays alias a read-only mapping, so attaching costs no per-edge work
+// beyond integrity verification; elsewhere the file is read into the heap
+// behind the same API. Either way the header, per-section checksums and
+// the CSR structural invariants are verified before the graph is returned —
+// a truncated or corrupt file yields a *FormatError, never a panic.
+//
+// The returned graph holds its backing storage until Close is called;
+// every accessor keeps its usual meaning and aliasing rules.
+func OpenCSR(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	data, store, mapped, err := openCSRData(f, size)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("graph: open %s: %w", path, err)
+	}
+	g, err := parseCSR(data)
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return nil, fmt.Errorf("graph: open %s: %w", path, err)
+	}
+	g.store, g.mapped, g.storeBytes = store, mapped, size
+	return g, nil
+}
+
+// DecodeCSR parses a .gbcsr image already in memory (tests, fuzzing,
+// network transports). The returned graph may alias data; data must not be
+// modified afterwards.
+func DecodeCSR(data []byte) (*Graph, error) { return parseCSR(data) }
+
+// csrSection is one parsed section-table entry.
+type csrSection struct {
+	off, length int64
+}
+
+// parseCSR validates and decodes a .gbcsr image. It never allocates more
+// than the image itself spans: every section's declared length is checked
+// against both the expected array size (derived from n, m and the flags)
+// and the file size before any array is materialized.
+func parseCSR(data []byte) (*Graph, error) {
+	le := binary.LittleEndian
+	size := int64(len(data))
+	if size < csrFixedSize+4 {
+		return nil, csrErrf("file too small (%d bytes)", size)
+	}
+	if !IsCSRMagic(data) {
+		return nil, csrErrf("bad magic (not a .gbcsr file)")
+	}
+	if v := le.Uint32(data[8:]); v != csrVersion {
+		return nil, csrErrf("unsupported version %d (this build reads version %d)", v, csrVersion)
+	}
+	flags := le.Uint32(data[12:])
+	if flags&^uint32(csrFlagsKnown) != 0 {
+		return nil, csrErrf("unknown flag bits %#x", flags&^uint32(csrFlagsKnown))
+	}
+	n := int64(le.Uint64(data[16:]))
+	m := int64(le.Uint64(data[24:]))
+	nsec := le.Uint32(data[32:])
+	if n < 0 || n > math.MaxInt32 {
+		return nil, csrErrf("node count %d out of range [0, 2^31)", n)
+	}
+	if m < 0 || m > 1<<40 {
+		return nil, csrErrf("edge count %d out of range [0, 2^40]", m)
+	}
+	if nsec > csrMaxSections {
+		return nil, csrErrf("section count %d exceeds maximum %d", nsec, csrMaxSections)
+	}
+	headerLen := int64(csrFixedSize + int(nsec)*csrSecSize + 4)
+	if size < headerLen {
+		return nil, csrErrf("truncated header: %d bytes, need %d", size, headerLen)
+	}
+	if got, want := crc32.Checksum(data[:headerLen-4], csrCRCTable), le.Uint32(data[headerLen-4:]); got != want {
+		return nil, csrErrf("header checksum mismatch (got %#x, want %#x)", got, want)
+	}
+
+	secs := make(map[uint32]csrSection, nsec)
+	for i := 0; i < int(nsec); i++ {
+		base := csrFixedSize + i*csrSecSize
+		id := le.Uint32(data[base:])
+		off := int64(le.Uint64(data[base+8:]))
+		length := int64(le.Uint64(data[base+16:]))
+		if id == 0 || id > csrMaxSections {
+			return nil, csrErrf("unknown section id %d", id)
+		}
+		if _, dup := secs[id]; dup {
+			return nil, csrErrf("duplicate section id %d", id)
+		}
+		if off < 0 || length < 0 || off%8 != 0 || off > size || length > size-off {
+			return nil, csrErrf("section %d spans [%d, %d+%d) outside the %d-byte file", id, off, off, length, size)
+		}
+		if got, want := crc32.Checksum(data[off:off+length], csrCRCTable), le.Uint32(data[base+24:]); got != want {
+			return nil, csrErrf("section %d checksum mismatch (got %#x, want %#x)", id, got, want)
+		}
+		secs[id] = csrSection{off: off, length: length}
+	}
+
+	directed := flags&csrFlagDirected != 0
+	weighted := flags&csrFlagWeighted != 0
+	hasLabels := flags&csrFlagLabels != 0
+	mOut := m
+	if !directed {
+		mOut = 2 * m
+	}
+
+	// The exact section set is a function of the flags; anything extra or
+	// missing (or the wrong size) is a format error.
+	want := map[uint32]int64{
+		secOutOff: 8 * (n + 1),
+		secOutAdj: 4 * mOut,
+	}
+	if directed {
+		want[secInOff] = 8 * (n + 1)
+		want[secInAdj] = 4 * m
+	}
+	if weighted {
+		want[secOutWts] = 8 * mOut
+		if directed {
+			want[secInWts] = 8 * m
+		}
+	}
+	if hasLabels {
+		want[secLabels] = 8 * n
+	}
+	for id, wantLen := range want {
+		s, ok := secs[id]
+		if !ok {
+			return nil, csrErrf("missing section %d", id)
+		}
+		if s.length != wantLen {
+			return nil, csrErrf("section %d is %d bytes, want %d (n=%d, m=%d)", id, s.length, wantLen, n, m)
+		}
+	}
+	for id := range secs {
+		if _, ok := want[id]; !ok {
+			return nil, csrErrf("section %d not allowed by flags %#x", id, flags)
+		}
+	}
+
+	payload := func(id uint32) []byte {
+		s := secs[id]
+		if s.length == 0 {
+			return nil
+		}
+		return data[s.off : s.off+s.length]
+	}
+
+	g := &Graph{directed: directed, n: int(n), m: int(m)}
+	var err error
+	if g.outOff, err = decodeOffsets(payload(secOutOff)); err != nil {
+		return nil, err
+	}
+	g.outAdj = decodeInt32s(payload(secOutAdj))
+	if directed {
+		if g.inOff, err = decodeOffsets(payload(secInOff)); err != nil {
+			return nil, err
+		}
+		g.inAdj = decodeInt32s(payload(secInAdj))
+	}
+	if weighted {
+		g.outWts = decodeFloat64s(payload(secOutWts))
+		if directed {
+			g.inWts = decodeFloat64s(payload(secInWts))
+		}
+	}
+	if hasLabels {
+		g.labels = decodeInt64s(payload(secLabels))
+	}
+	if !directed {
+		g.inOff, g.inAdj, g.inWts = g.outOff, g.outAdj, g.outWts
+	}
+	if err := validateCSR(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validateCSR checks the decoded arrays against the Graph representation
+// invariants the rest of the module relies on, so a crafted file cannot
+// make an accessor or sampler index out of range later.
+func validateCSR(g *Graph) error {
+	if err := validateCSRView(g.outOff, g.outAdj, g.outWts, g.n, "out"); err != nil {
+		return err
+	}
+	if g.directed {
+		if err := validateCSRView(g.inOff, g.inAdj, g.inWts, g.n, "in"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateCSRView(off []int, adj []int32, wts []float64, n int, view string) error {
+	if off[0] != 0 {
+		return csrErrf("%s-offsets start at %d, want 0", view, off[0])
+	}
+	if off[n] != len(adj) {
+		return csrErrf("%s-offsets end at %d, want adjacency length %d", view, off[n], len(adj))
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		if lo > hi {
+			return csrErrf("%s-offsets decrease at node %d (%d > %d)", view, v, lo, hi)
+		}
+		prev := int32(-1)
+		for _, u := range adj[lo:hi] {
+			if u < 0 || int(u) >= n {
+				return csrErrf("%s-neighbor %d of node %d out of range [0, %d)", view, u, v, n)
+			}
+			if u <= prev {
+				return csrErrf("%s-adjacency of node %d not strictly ascending", view, v)
+			}
+			prev = u
+		}
+	}
+	for i, w := range wts {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return csrErrf("%s-weight %d is %g, want positive finite", view, i, w)
+		}
+	}
+	return nil
+}
+
+// decodeOffsets converts a little-endian int64 section into the in-memory
+// []int offsets, aliasing in place when the platform allows it.
+func decodeOffsets(b []byte) ([]int, error) {
+	if csrCanAlias(b) {
+		return aliasInts(b), nil
+	}
+	out := make([]int, len(b)/8)
+	for i := range out {
+		v := int64(binary.LittleEndian.Uint64(b[8*i:]))
+		iv := int(v)
+		if int64(iv) != v {
+			return nil, csrErrf("offset %d overflows this platform's int", v)
+		}
+		out[i] = iv
+	}
+	return out, nil
+}
+
+func decodeInt32s(b []byte) []int32 {
+	if csrCanAlias(b) {
+		return aliasInt32s(b)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func decodeFloat64s(b []byte) []float64 {
+	if csrCanAlias(b) {
+		return aliasFloat64s(b)
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func decodeInt64s(b []byte) []int64 {
+	if csrCanAlias(b) {
+		return aliasInt64s(b)
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+//go:build !((linux || darwin) && (amd64 || arm64))
+
+package graph
+
+// Portable .gbcsr storage: no mmap, no in-place aliasing. The file is read
+// into the heap (bounded by its actual size) and each section is decoded
+// with explicit little-endian conversion, so the format stays readable on
+// 32-bit and big-endian platforms — just without the O(1) attach.
+
+import (
+	"io"
+	"os"
+)
+
+func openCSRData(f *os.File, size int64) (data []byte, store io.Closer, mapped bool, err error) {
+	if size == 0 {
+		return nil, nil, false, nil
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, false, err
+	}
+	return data, nil, false, nil
+}
+
+// csrCanAlias is always false here: decode paths copy-convert instead.
+func csrCanAlias(b []byte) bool { return false }
+
+func aliasInts(b []byte) []int         { panic("unreachable") }
+func aliasInt32s(b []byte) []int32     { panic("unreachable") }
+func aliasFloat64s(b []byte) []float64 { panic("unreachable") }
+func aliasInt64s(b []byte) []int64     { panic("unreachable") }

@@ -1,0 +1,73 @@
+//go:build (linux || darwin) && (amd64 || arm64)
+
+package graph
+
+// mmap-backed .gbcsr storage. On 64-bit little-endian unix platforms the
+// on-disk arrays have exactly the in-memory layout of the Graph's slices
+// (int64 offsets == int, int32 adjacency, float64 weight bits), so OpenCSR
+// maps the file read-only and the slices alias the mapping directly: no
+// per-edge copy, decode or sort on load. Other platforms fall through to
+// csr_fallback.go, which reads the file into the heap behind the same API.
+
+import (
+	"io"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// openCSRData maps the file read-only and returns the mapping, its closer
+// (munmap) and mapped=true. Empty files fail in the parser with a proper
+// FormatError, so mmap's zero-length restriction is routed around by
+// handing back an empty heap slice.
+func openCSRData(f *os.File, size int64) (data []byte, store io.Closer, mapped bool, err error) {
+	if size == 0 {
+		return nil, nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, &mmapStore{data: data}, true, nil
+}
+
+// mmapStore owns one read-only mapping; Close unmaps it. After Close every
+// slice that aliased the mapping is invalid — the registry's refcounting
+// (internal/server) and cmd-level defers enforce "no readers left" first.
+type mmapStore struct {
+	data []byte
+}
+
+func (s *mmapStore) Close() error {
+	if s.data == nil {
+		return nil
+	}
+	data := s.data
+	s.data = nil
+	return syscall.Munmap(data)
+}
+
+// csrCanAlias reports whether a section payload can be reinterpreted in
+// place: the platform is 64-bit little-endian (build-tagged) and the
+// payload is 8-byte aligned. mmap bases are page-aligned and sections are
+// page-aligned within the file, so mapped payloads always qualify; heap
+// images (DecodeCSR) qualify whenever the allocator happened to align them.
+func csrCanAlias(b []byte) bool {
+	return len(b) > 0 && uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+func aliasInts(b []byte) []int {
+	return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func aliasInt32s(b []byte) []int32 {
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func aliasFloat64s(b []byte) []float64 {
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func aliasInt64s(b []byte) []int64 {
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

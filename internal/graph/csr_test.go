@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// csrTestGraphs builds a deterministic menagerie covering every flag
+// combination the format can express.
+func csrTestGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	lcg := uint64(12345)
+	next := func(n int) int32 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return int32((lcg >> 33) % uint64(n))
+	}
+	undirected := NewBuilder(200, false)
+	for i := 0; i < 900; i++ {
+		undirected.AddEdge(next(200), next(200))
+	}
+	directed := NewBuilder(150, true)
+	for i := 0; i < 700; i++ {
+		directed.AddEdge(next(150), next(150))
+	}
+	weighted := NewBuilder(80, false)
+	for i := 0; i < 300; i++ {
+		weighted.AddWeightedEdge(next(80), next(80), 0.5+float64(next(70)))
+	}
+	dirWeighted := NewBuilder(60, true)
+	for i := 0; i < 250; i++ {
+		dirWeighted.AddWeightedEdge(next(60), next(60), 1+float64(next(9)))
+	}
+	build := func(b *Builder) *Graph {
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	labeled, err := ReadEdgeList(strings.NewReader("10 20\n20 30\n30 10\n10 40\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := build(NewBuilder(0, false))
+	isolated := build(NewBuilder(5, true)) // nodes, no edges
+	return map[string]*Graph{
+		"undirected":        build(undirected),
+		"directed":          build(directed),
+		"weighted":          build(weighted),
+		"directed-weighted": build(dirWeighted),
+		"labeled":           labeled,
+		"empty":             empty,
+		"isolated":          isolated,
+	}
+}
+
+// requireGraphsEqual asserts a and b are structurally identical: same
+// size, direction, adjacency, weights and labels, node by node.
+func requireGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() || a.Directed() != b.Directed() || a.Weighted() != b.Weighted() {
+		t.Fatalf("shape mismatch: %v vs %v (weighted %v vs %v)", a, b, a.Weighted(), b.Weighted())
+	}
+	for v := int32(0); int(v) < a.N(); v++ {
+		if got, want := b.OutNeighbors(v), a.OutNeighbors(v); !int32sEqual(got, want) {
+			t.Fatalf("node %d out-neighbors: got %v, want %v", v, got, want)
+		}
+		if got, want := b.InNeighbors(v), a.InNeighbors(v); !int32sEqual(got, want) {
+			t.Fatalf("node %d in-neighbors: got %v, want %v", v, got, want)
+		}
+		if a.Weighted() {
+			if got, want := b.OutWeights(v), a.OutWeights(v); !float64sEqual(got, want) {
+				t.Fatalf("node %d out-weights: got %v, want %v", v, got, want)
+			}
+			if got, want := b.InWeights(v), a.InWeights(v); !float64sEqual(got, want) {
+				t.Fatalf("node %d in-weights: got %v, want %v", v, got, want)
+			}
+		}
+		if a.Label(v) != b.Label(v) {
+			t.Fatalf("node %d label: got %d, want %d", v, b.Label(v), a.Label(v))
+		}
+	}
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCSRRoundTripMemory(t *testing.T) {
+	for name, g := range csrTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := g.WriteCSR(&buf); err != nil {
+				t.Fatal(err)
+			}
+			g2, err := DecodeCSR(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireGraphsEqual(t, g, g2)
+
+			// Serialization is deterministic.
+			var buf2 bytes.Buffer
+			if err := g.WriteCSR(&buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("two serializations of the same graph differ")
+			}
+			// And re-serializing the decoded graph reproduces the bytes.
+			var buf3 bytes.Buffer
+			if err := g2.WriteCSR(&buf3); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf3.Bytes()) {
+				t.Fatal("round-tripped graph serializes differently")
+			}
+		})
+	}
+}
+
+func TestCSRRoundTripFile(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range csrTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name+CSRFileExt)
+			if err := g.WriteCSRFile(path); err != nil {
+				t.Fatal(err)
+			}
+			ok, err := DetectCSRFile(path)
+			if err != nil || !ok {
+				t.Fatalf("DetectCSRFile = %v, %v; want true", ok, err)
+			}
+			g2, err := OpenCSR(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g2.Close()
+			requireGraphsEqual(t, g, g2)
+			if g2.MappedBytes() != 0 && !g2.Mapped() {
+				t.Fatal("MappedBytes nonzero on unmapped graph")
+			}
+		})
+	}
+}
+
+// TestCSRMappedSurvivesUnlink: on mmap platforms the mapping outlives the
+// directory entry, so a graph stays readable after its file is deleted —
+// the property the registry's eviction path relies on.
+func TestCSRMappedSurvivesUnlink(t *testing.T) {
+	g := MustFromEdges(50, false, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	path := filepath.Join(t.TempDir(), "g"+CSRFileExt)
+	if err := g.WriteCSRFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := OpenCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Mapped() {
+		t.Skip("no mmap on this platform")
+	}
+	if g2.MappedBytes() <= 0 {
+		t.Fatal("mapped graph reports no mapped bytes")
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	requireGraphsEqual(t, g, g2)
+	if err := g2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+}
+
+func TestCSRDetectRejectsEdgeList(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("# comment\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := DetectCSRFile(path)
+	if err != nil || ok {
+		t.Fatalf("DetectCSRFile on edge list = %v, %v; want false", ok, err)
+	}
+	if _, err := OpenCSR(path); err == nil {
+		t.Fatal("OpenCSR accepted an edge list")
+	}
+}
+
+func TestCSRCorruptionDetected(t *testing.T) {
+	g := MustFromEdges(100, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 5}})
+	var buf bytes.Buffer
+	if err := g.WriteCSR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	if _, err := DecodeCSR(clean); err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single byte of the image must be caught by a checksum
+	// (header or section) or a structural check — never accepted silently,
+	// never a panic. Padding bytes are the exception: they are outside
+	// every checksummed region, and ignoring them is correct.
+	for i := 0; i < len(clean); i += 97 {
+		data := make([]byte, len(clean))
+		copy(data, clean)
+		data[i] ^= 0x40
+		if bytes.Equal(data, clean) {
+			continue
+		}
+		if g2, err := DecodeCSR(data); err == nil {
+			// Only acceptable if the flip landed in inter-section padding:
+			// the decoded graph must then be identical.
+			requireGraphsEqual(t, g, g2)
+		} else {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("flip at %d: error %v is not a *FormatError", i, err)
+			}
+		}
+	}
+	// Truncations at every prefix length must fail cleanly too.
+	for _, cut := range []int{0, 1, 7, 8, 39, 40, len(clean) / 2, len(clean) - 1} {
+		if cut >= len(clean) {
+			continue
+		}
+		if _, err := DecodeCSR(clean[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestCSROpenErrorsAreTyped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad"+CSRFileExt)
+	g := MustFromEdges(10, false, [][2]int32{{0, 1}, {1, 2}})
+	if err := g.WriteCSRFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // corrupt the last section's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenCSR(path)
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("OpenCSR on corrupt file: %v is not a *FormatError", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the file", err)
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -114,6 +115,83 @@ func FuzzReadWeightedEdgeList(f *testing.F) {
 		// Empty inputs build an unweighted 0-node graph; only inputs with
 		// at least one edge are weighted.
 		checkParsedGraph(t, g, directed, g.M() > 0)
+	})
+}
+
+// FuzzDecodeCSR drives the binary .gbcsr reader with arbitrary bytes:
+// truncated or corrupt headers, overflowing section offsets and mismatched
+// checksums must all surface as *FormatError — never a panic, and never an
+// allocation beyond what the input's own size justifies (every section
+// length is validated against the file size before arrays materialize).
+func FuzzDecodeCSR(f *testing.F) {
+	// Seed with valid images of each flag combination, plus classic
+	// corruptions of one of them.
+	seeds := [][]byte{}
+	for _, g := range []*Graph{
+		MustFromEdges(6, false, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}),
+		MustFromEdges(6, true, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}}),
+		MustFromEdges(0, false, nil),
+	} {
+		var buf bytes.Buffer
+		if err := g.WriteCSR(&buf); err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	wb := NewBuilder(4, false)
+	wb.AddWeightedEdge(0, 1, 2.5)
+	wb.AddWeightedEdge(1, 2, 0.125)
+	if wg, err := wb.Build(); err == nil {
+		var buf bytes.Buffer
+		wg.WriteCSR(&buf)
+		seeds = append(seeds, buf.Bytes())
+	}
+	base := seeds[0]
+	truncated := base[:len(base)/3]
+	flipped := append([]byte(nil), base...)
+	flipped[len(flipped)-2] ^= 0x10 // payload corruption → section CRC
+	headerCorrupt := append([]byte(nil), base...)
+	headerCorrupt[16] = 0xff // header corruption → header CRC
+	hugeN := append([]byte(nil), base...)
+	copy(hugeN[16:24], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	seeds = append(seeds, truncated, flipped, headerCorrupt, hugeN,
+		[]byte{}, csrMagic[:], []byte("not a gbcsr file at all"))
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeCSR(data)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("DecodeCSR error %v (type %T) is not a *FormatError", err, err)
+			}
+			return
+		}
+		// Accepted images must satisfy the full Graph contract: in-range
+		// sorted adjacency, valid weights, and a clean re-serialization.
+		if g.N() > 0 {
+			_ = g.OutNeighbors(0)
+			_ = g.InNeighbors(int32(g.N() - 1))
+		}
+		g.Edges(func(u, v int32) bool {
+			if u < 0 || int(u) >= g.N() || v < 0 || int(v) >= g.N() {
+				t.Fatalf("edge (%d,%d) out of range [0,%d)", u, v, g.N())
+			}
+			if g.Weighted() {
+				if w, ok := g.Weight(u, v); !ok || !(w > 0) || math.IsInf(w, 1) {
+					t.Fatalf("edge (%d,%d) weight %g ok=%v invalid", u, v, w, ok)
+				}
+			}
+			return true
+		})
+		var buf bytes.Buffer
+		if err := g.WriteCSR(&buf); err != nil {
+			t.Fatalf("re-serializing an accepted graph failed: %v", err)
+		}
+		if _, err := DecodeCSR(buf.Bytes()); err != nil {
+			t.Fatalf("re-serialized image rejected: %v", err)
+		}
 	})
 }
 

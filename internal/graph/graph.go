@@ -10,6 +10,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 )
@@ -34,6 +35,41 @@ type Graph struct {
 	inWts  []float64
 
 	labels []int64 // optional original node ids (nil if nodes were 0..n-1)
+
+	// store owns the backing storage of a graph opened from a .gbcsr file
+	// (the mmap for mapped graphs); nil for graphs built in memory. The
+	// accessor surface is identical either way — only Close and the
+	// Mapped/MappedBytes introspection see the difference.
+	store      io.Closer
+	mapped     bool
+	storeBytes int64
+}
+
+// Close releases the graph's backing storage: for a graph opened with
+// OpenCSR on an mmap platform it unmaps the file, invalidating every slice
+// previously returned by the accessors. Graphs built in memory (and
+// fallback-loaded files) have nothing to release and Close is a no-op.
+// Close is idempotent but not safe to race with accessor use — callers
+// that share a file-backed graph refcount it (see internal/server).
+func (g *Graph) Close() error {
+	if g.store == nil {
+		return nil
+	}
+	store := g.store
+	g.store = nil
+	return store.Close()
+}
+
+// Mapped reports whether the graph's arrays alias a file mapping.
+func (g *Graph) Mapped() bool { return g.mapped }
+
+// MappedBytes returns the size of the file mapping backing the graph, or 0
+// for graphs that own their arrays on the heap.
+func (g *Graph) MappedBytes() int64 {
+	if !g.mapped {
+		return 0
+	}
+	return g.storeBytes
 }
 
 // Weighted reports whether the graph carries edge weights.

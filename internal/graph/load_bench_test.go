@@ -1,0 +1,132 @@
+package graph_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/xrand"
+)
+
+// benchGraphFiles materializes one ~1M-edge Barabási–Albert graph in both
+// on-disk formats and caches the paths across benchmark runs in the same
+// process.
+var benchFiles struct {
+	txt, csr string
+	nodes    int
+	edges    int
+}
+
+func benchGraphPaths(b testing.TB) (txt, csr string) {
+	b.Helper()
+	if benchFiles.txt != "" {
+		return benchFiles.txt, benchFiles.csr
+	}
+	g := gen.BarabasiAlbert(125000, 8, xrand.New(1))
+	dir, err := os.MkdirTemp("", "gbc-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The temp dir outlives the benchmark process only until the OS cleans
+	// it; not worth a cleanup hook that would break -count=N reuse.
+	txt = filepath.Join(dir, "g.txt")
+	csr = filepath.Join(dir, "g.gbcsr")
+	if err := g.WriteEdgeListFile(txt); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.WriteCSRFile(csr); err != nil {
+		b.Fatal(err)
+	}
+	benchFiles.txt, benchFiles.csr = txt, csr
+	benchFiles.nodes, benchFiles.edges = g.N(), g.M()
+	return txt, csr
+}
+
+// BenchmarkGraphLoad compares cold-loading a ~1M-edge graph from the text
+// edge-list format against attaching to its binary .gbcsr twin (mmap plus
+// full checksum and structure verification). The gap is the tentpole
+// payoff of the binary format: parse-and-sort versus verify-and-alias.
+func BenchmarkGraphLoad(b *testing.B) {
+	txt, csr := benchGraphPaths(b)
+
+	b.Run("text", func(b *testing.B) {
+		fi, err := os.Stat(txt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(fi.Size())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := graph.ReadEdgeListFile(txt, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.N() != benchFiles.nodes || g.M() != benchFiles.edges {
+				b.Fatalf("parsed %v, want %d/%d", g, benchFiles.nodes, benchFiles.edges)
+			}
+		}
+	})
+
+	b.Run("gbcsr", func(b *testing.B) {
+		fi, err := os.Stat(csr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(fi.Size())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := graph.OpenCSR(csr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.N() != benchFiles.nodes || g.M() != benchFiles.edges {
+				b.Fatalf("opened %v, want %d/%d", g, benchFiles.nodes, benchFiles.edges)
+			}
+			if err := g.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestGraphLoadSpeedup is the acceptance gate behind the benchmark:
+// OpenCSR must load the ~1M-edge graph at least 10× faster than the text
+// parse. One warm measurement each is enough — the margin is large (two
+// orders of magnitude on mmap platforms), so the test is far from flaky.
+func TestGraphLoadSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-edge load comparison skipped in -short")
+	}
+	txt, csr := benchGraphPaths(t)
+	textRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.ReadEdgeListFile(txt, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	csrRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := graph.OpenCSR(csr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Close()
+		}
+	})
+	textNs, csrNs := textRes.NsPerOp(), csrRes.NsPerOp()
+	if csrNs <= 0 {
+		csrNs = 1
+	}
+	speedup := float64(textNs) / float64(csrNs)
+	t.Logf("text %v/op, gbcsr %v/op: %.1f× (want ≥ 10×)",
+		fmt.Sprintf("%dns", textNs), fmt.Sprintf("%dns", csrNs), speedup)
+	if speedup < 10 {
+		t.Fatalf("OpenCSR only %.1f× faster than text parse, want ≥ 10×", speedup)
+	}
+}

@@ -59,6 +59,38 @@ type Metrics struct {
 	reqShed      atomic.Int64 // requests rejected by admission control, quota or drain
 	reqFailed    atomic.Int64 // requests that died on a solver or encoding error
 	reqDegraded  atomic.Int64 // shed requests served a cached ε-dominating result
+
+	// Graph-storage counters (PR 7): the mmap-able .gbcsr load path.
+	graphBytesMapped  atomic.Int64 // bytes of .gbcsr files currently mapped
+	graphLoadNanos    atomic.Int64 // cumulative wall time spent loading graphs from files
+	registryFileLoads atomic.Int64 // registry graphs loaded from the "file" source
+}
+
+// AddGraphBytesMapped adjusts the mapped-graph-bytes gauge: +size when a
+// file-backed graph is opened, -size when its last reference unmaps it.
+func (m *Metrics) AddGraphBytesMapped(delta int64) {
+	if m == nil {
+		return
+	}
+	m.graphBytesMapped.Add(delta)
+}
+
+// AddGraphLoad accumulates the wall time of one graph load from a file
+// (text parse or .gbcsr open) into the load-time counter.
+func (m *Metrics) AddGraphLoad(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.graphLoadNanos.Add(d.Nanoseconds())
+}
+
+// RegistryFileLoad counts one registry graph loaded through the "file"
+// source (POST /v1/graphs with a path).
+func (m *Metrics) RegistryFileLoad() {
+	if m == nil {
+		return
+	}
+	m.registryFileLoads.Add(1)
 }
 
 // AddSamples records one committed growth chunk of n samples, nulls of
@@ -257,6 +289,10 @@ type Stats struct {
 	RequestsShed      int64 `json:"requestsShed"`
 	RequestsFailed    int64 `json:"requestsFailed"`
 	RequestsDegraded  int64 `json:"requestsDegraded"`
+
+	GraphBytesMapped  int64 `json:"graphBytesMapped"`
+	GraphLoadNanos    int64 `json:"graphLoadNanos"`
+	RegistryFileLoads int64 `json:"registryFileLoads"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -291,6 +327,10 @@ func (m *Metrics) Snapshot() Stats {
 		RequestsShed:      m.reqShed.Load(),
 		RequestsFailed:    m.reqFailed.Load(),
 		RequestsDegraded:  m.reqDegraded.Load(),
+
+		GraphBytesMapped:  m.graphBytesMapped.Load(),
+		GraphLoadNanos:    m.graphLoadNanos.Load(),
+		RegistryFileLoads: m.registryFileLoads.Load(),
 	}
 	if start := m.startNanos.Load(); start != 0 {
 		if secs := time.Since(time.Unix(0, start)).Seconds(); secs > 0 {

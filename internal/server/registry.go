@@ -39,6 +39,13 @@ type Registry struct {
 // its mutex: they share the warm sample sets, which are single-owner
 // state (sampling.Set is not safe for concurrent use). Cross-graph runs
 // proceed in parallel, bounded only by the scheduler.
+//
+// Entries are reference counted because a graph may be backed by a file
+// mapping (graph.OpenCSR) that eviction must eventually unmap: Get
+// acquires a reference, the caller pairs it with Release, and eviction
+// only closes the backing storage once the last reference is gone — an
+// in-flight solve keeps reading valid memory even if its graph is evicted
+// mid-run.
 type Entry struct {
 	Name string
 	// Desc says where the graph came from ("dataset GrQc scale 0.1", …).
@@ -48,6 +55,21 @@ type Entry struct {
 
 	graph *graph.Graph
 	elem  *list.Element
+
+	// Immutable shape fields copied out of the graph at Add time, so
+	// listings never touch graph memory (which an eviction may be about
+	// to unmap).
+	nodes, edges       int
+	directed, weighted bool
+
+	metrics *obs.Metrics
+
+	// refMu guards the liveness state below; it is never held while
+	// closing the graph (closeOnce serializes that).
+	refMu     sync.Mutex
+	refs      int
+	evicted   bool
+	closeOnce sync.Once
 
 	mu   sync.Mutex
 	warm map[warmKey]*warmSets
@@ -126,39 +148,89 @@ func (r *Registry) Add(name, desc string, g *graph.Graph) (*Entry, error) {
 		r.order.Remove(oldest)
 		delete(r.entries, victim.Name)
 		r.metrics.RegistryEviction()
+		victim.evict()
 	}
 	e := &Entry{
 		Name: name, Desc: desc, Created: time.Now(),
 		graph: g, warm: make(map[warmKey]*warmSets),
 		results: make(map[resultKey]cachedResult),
+		nodes:   g.N(), edges: g.M(),
+		directed: g.Directed(), weighted: g.Weighted(),
+		metrics: r.metrics,
 	}
+	r.metrics.AddGraphBytesMapped(g.MappedBytes())
 	e.elem = r.order.PushFront(e)
 	r.entries[name] = e
 	return e, nil
 }
 
-// Get returns the named entry and marks it most recently used.
+// Get returns the named entry, marks it most recently used, and acquires
+// a reference on it: the caller must pair every successful Get with
+// exactly one Release once it is done touching the entry's graph. The
+// reference keeps the graph's backing storage alive across a concurrent
+// eviction.
 func (r *Registry) Get(name string) (*Entry, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.entries[name]
 	if ok {
 		r.order.MoveToFront(e.elem)
+		e.refMu.Lock()
+		e.refs++
+		e.refMu.Unlock()
 	}
 	return e, ok
 }
 
+// Release returns the reference acquired by Registry.Get. If the entry
+// was evicted while this reference was held and this is the last one, the
+// graph's backing storage (an mmap for .gbcsr-loaded graphs) is released
+// now.
+func (e *Entry) Release() {
+	e.refMu.Lock()
+	e.refs--
+	last := e.refs == 0 && e.evicted
+	e.refMu.Unlock()
+	if last {
+		e.closeGraph()
+	}
+}
+
+// evict marks the entry dead; the backing storage closes immediately when
+// no references are held, otherwise when the last Release comes in.
+func (e *Entry) evict() {
+	e.refMu.Lock()
+	e.evicted = true
+	idle := e.refs == 0
+	e.refMu.Unlock()
+	if idle {
+		e.closeGraph()
+	}
+}
+
+// closeGraph releases the graph's backing storage exactly once and settles
+// the mapped-bytes gauge. Heap-built graphs close as a no-op.
+func (e *Entry) closeGraph() {
+	e.closeOnce.Do(func() {
+		e.metrics.AddGraphBytesMapped(-e.graph.MappedBytes())
+		e.graph.Close()
+	})
+}
+
 // Remove drops the named graph and its warm state. It reports whether the
-// name was present.
+// name was present. Like eviction, the backing storage is closed once the
+// last outstanding reference is released.
 func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.entries[name]
 	if !ok {
+		r.mu.Unlock()
 		return false
 	}
 	r.order.Remove(e.elem)
 	delete(r.entries, name)
+	r.mu.Unlock()
+	e.evict()
 	return true
 }
 

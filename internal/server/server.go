@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -198,10 +199,19 @@ type graphRequest struct {
 	M         int     `json:"m,omitempty"`
 
 	// EdgeList is an inline edge list ("u v" lines, or "u v w" with
-	// Weighted); Directed applies to uploads and "er".
+	// Weighted); Directed applies to uploads, "er" and file edge lists.
 	EdgeList string `json:"edgeList,omitempty"`
 	Directed bool   `json:"directed,omitempty"`
 	Weighted bool   `json:"weighted,omitempty"`
+
+	// Path loads a graph from a file on the server's filesystem — the
+	// "file" source. Format selects the parser: "gbcsr" (binary CSR,
+	// mmap-attached where the platform supports it), "edgelist" (text,
+	// honoring Directed/Weighted), or "" / "auto" to sniff the magic
+	// bytes. The registry holds the mapping and unmaps it when the graph
+	// is evicted and its last in-flight run finishes.
+	Path   string `json:"path,omitempty"`
+	Format string `json:"format,omitempty"`
 
 	// Seed makes generated graphs deterministic (default 1).
 	Seed uint64 `json:"seed,omitempty"`
@@ -218,11 +228,13 @@ type graphInfo struct {
 	Created  time.Time `json:"created"`
 }
 
+// infoFor reads only the shape fields copied into the Entry at Add time,
+// never the graph arrays: a listing must stay safe concurrently with an
+// eviction unmapping a file-backed graph.
 func infoFor(e *Entry) graphInfo {
-	g := e.Graph()
 	return graphInfo{
-		Name: e.Name, Desc: e.Desc, Nodes: g.N(), Edges: g.M(),
-		Directed: g.Directed(), Weighted: g.Weighted(), Created: e.Created,
+		Name: e.Name, Desc: e.Desc, Nodes: e.nodes, Edges: e.edges,
+		Directed: e.directed, Weighted: e.weighted, Created: e.Created,
 	}
 }
 
@@ -246,13 +258,19 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 			"graph name must match [A-Za-z0-9._-]{1,64}", "name")
 		return
 	}
+	start := time.Now()
 	g, desc, field, err := buildGraph(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), field)
 		return
 	}
+	if req.Path != "" {
+		s.metrics.AddGraphLoad(time.Since(start))
+		s.metrics.RegistryFileLoad()
+	}
 	e, err := s.reg.Add(req.Name, desc, g)
 	if err != nil {
+		g.Close() // a file-backed graph that never made it in must unmap now
 		writeError(w, http.StatusConflict, err.Error(), "name")
 		return
 	}
@@ -267,15 +285,17 @@ func buildGraph(req graphRequest) (g *graph.Graph, desc, field string, err error
 		seed = 1
 	}
 	sources := 0
-	for _, set := range []bool{req.Dataset != "", req.Generator != "", req.EdgeList != ""} {
+	for _, set := range []bool{req.Dataset != "", req.Generator != "", req.EdgeList != "", req.Path != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return nil, "", "", errors.New("specify exactly one of dataset, generator or edgeList")
+		return nil, "", "", errors.New("specify exactly one of dataset, generator, edgeList or path")
 	}
 	switch {
+	case req.Path != "":
+		return buildGraphFromFile(req)
 	case req.Dataset != "":
 		spec, err := dataset.Lookup(req.Dataset)
 		if err != nil {
@@ -325,6 +345,49 @@ func buildGraph(req graphRequest) (g *graph.Graph, desc, field string, err error
 		}
 		desc = fmt.Sprintf("upload directed=%v weighted=%v", req.Directed, req.Weighted)
 		return g, desc, "", nil
+	}
+}
+
+// buildGraphFromFile is the "file" source of POST /v1/graphs: a
+// server-local path holding either a binary .gbcsr (attached via mmap
+// where supported, integrity-verified either way) or a text edge list.
+func buildGraphFromFile(req graphRequest) (g *graph.Graph, desc, field string, err error) {
+	format := req.Format
+	if format == "" || format == "auto" {
+		isCSR, err := graph.DetectCSRFile(req.Path)
+		if err != nil {
+			return nil, "", "path", err
+		}
+		if isCSR {
+			format = "gbcsr"
+		} else {
+			format = "edgelist"
+		}
+	}
+	switch format {
+	case "gbcsr":
+		if g, err = graph.OpenCSR(req.Path); err != nil {
+			return nil, "", "path", err
+		}
+		return g, fmt.Sprintf("file %s (gbcsr, mapped=%v)", req.Path, g.Mapped()), "", nil
+	case "edgelist":
+		f, err := os.Open(req.Path)
+		if err != nil {
+			return nil, "", "path", err
+		}
+		defer f.Close()
+		if req.Weighted {
+			g, err = graph.ReadWeightedEdgeList(f, req.Directed)
+		} else {
+			g, err = graph.ReadEdgeList(f, req.Directed)
+		}
+		if err != nil {
+			return nil, "", "path", err
+		}
+		desc = fmt.Sprintf("file %s (edgelist, directed=%v, weighted=%v)", req.Path, req.Directed, req.Weighted)
+		return g, desc, "", nil
+	default:
+		return nil, "", "format", fmt.Errorf("unknown format %q (want gbcsr, edgelist or auto)", req.Format)
 	}
 }
 
@@ -416,6 +479,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", req.Graph), "graph")
 		return
 	}
+	// The reference pins the graph's backing storage (the mmap of a
+	// file-loaded graph) for the whole request, including the solve: an
+	// eviction racing with this request only unmaps after the release.
+	defer entry.Release()
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMillis > 0 {
 		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond

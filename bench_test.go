@@ -379,19 +379,23 @@ func BenchmarkSamplingGrow(b *testing.B) {
 // the persistent pipeline targets.
 func BenchmarkSamplingGrowWarm(b *testing.B) {
 	g := BarabasiAlbert(5000, 3, 27)
-	for _, workers := range []int{1, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			set := sampling.NewBidirectionalSet(g, xrand.New(1))
-			set.Workers = workers
-			set.GrowTo(10000)
-			target := set.Len()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				target += 10000
-				set.GrowTo(target)
-			}
-		})
+	for _, mode := range []sampling.Mode{sampling.Deterministic, sampling.Fast} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("mode=%v/workers=%d", mode, workers), func(b *testing.B) {
+				set := sampling.NewBidirectionalSet(g, xrand.New(1))
+				set.Workers = workers
+				set.Mode = mode
+				set.GrowTo(10000)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Fast mode stops past its target at an epoch boundary,
+					// so each op asks for 10k more than whatever is committed
+					// to keep per-op work comparable across modes.
+					set.GrowTo(set.Len() + 10000)
+				}
+			})
+		}
 	}
 }
 

@@ -17,33 +17,45 @@ type Sample struct {
 	Reachable bool
 }
 
+// nodeState packs a node's BFS distance and path count into one 16-byte
+// record so the expand inner loop touches a single cache line per neighbor
+// instead of two parallel arrays (dist to classify, sigma to accumulate).
+type nodeState struct {
+	dist  int32
+	sigma float64
+}
+
 // side holds the per-direction state of the bidirectional search.
 type side struct {
-	dist     []int32
-	sigma    []float64
+	state    []nodeState
 	order    []int32 // labeled nodes in labeling order
 	levelOff []int   // levelOff[l] = index in order where level l starts
+	// frontierVol caches the expansion cost of the current frontier (sum of
+	// its nodes' degrees on the traversal side), accumulated while the
+	// frontier is labeled so the balance decision costs no extra pass.
+	frontierVol int64
 }
 
 func newSide(n int) side {
-	d := make([]int32, n)
-	for i := range d {
-		d[i] = -1
+	st := make([]nodeState, n)
+	for i := range st {
+		st[i].dist = -1
 	}
-	return side{dist: d, sigma: make([]float64, n), levelOff: make([]int, 0, 32)}
+	return side{state: st, levelOff: make([]int, 0, 32)}
 }
 
 func (s *side) reset() {
 	for _, v := range s.order {
-		s.dist[v] = -1
+		s.state[v].dist = -1
 	}
 	s.order = s.order[:0]
 	s.levelOff = s.levelOff[:0]
 }
 
 func (s *side) label(v, d int32, sig float64) {
-	s.dist[v] = d
-	s.sigma[v] = sig
+	st := &s.state[v]
+	st.dist = d
+	st.sigma = sig
 	s.order = append(s.order, v)
 }
 
@@ -60,6 +72,14 @@ func (s *side) level(l int32) []int32 {
 	return s.order[s.levelOff[l]:s.levelOff[l+1]]
 }
 
+// crossEdge is one edge of the σ-counting cut: forward endpoint, backward
+// endpoint, and its path weight σ_s(u)·σ_t(v). One record keeps the
+// weighted selection scan on a single stream.
+type crossEdge struct {
+	u, v int32
+	w    float64
+}
+
 // Bidirectional samples shortest paths between node pairs using a balanced
 // bidirectional BFS: the search alternates between the two endpoints,
 // always expanding the cheaper frontier, stops as soon as the meeting level
@@ -73,8 +93,7 @@ type Bidirectional struct {
 	f, b side
 
 	// crossing-edge scratch
-	crossU, crossV []int32
-	crossW         []float64
+	cross []crossEdge
 
 	// EdgesScanned counts adjacency entries examined since creation; used
 	// by the sampler-cost ablation benchmarks.
@@ -91,22 +110,10 @@ func NewBidirectional(g *graph.Graph) *Bidirectional {
 	return &Bidirectional{g: g, f: newSide(g.N()), b: newSide(g.N())}
 }
 
-// volume estimates the cost of expanding a frontier as the sum of its
-// nodes' degrees on the traversal side.
-func (bd *Bidirectional) volume(fr []int32, forward bool) int64 {
-	var vol int64
-	for _, u := range fr {
-		if forward {
-			vol += int64(bd.g.OutDegree(u))
-		} else {
-			vol += int64(bd.g.InDegree(u))
-		}
-	}
-	return vol
-}
-
 // expand processes one full BFS level of the chosen side, labeling the next
-// level, accumulating σ and registering meeting candidates in best.
+// level, accumulating σ and registering meeting candidates in best. The
+// next frontier's expansion volume is summed as its nodes are labeled, so
+// the balance decision in search reads a cached value.
 func (bd *Bidirectional) expand(forward bool, best int32) int32 {
 	this, other := &bd.f, &bd.b
 	if !forward {
@@ -114,8 +121,9 @@ func (bd *Bidirectional) expand(forward bool, best int32) int32 {
 	}
 	fr := this.frontier()
 	nd := this.depth() + 1
+	var nextVol int64
 	for _, u := range fr {
-		su := this.sigma[u]
+		su := this.state[u].sigma
 		var adj []int32
 		if forward {
 			adj = bd.g.OutNeighbors(u)
@@ -124,19 +132,28 @@ func (bd *Bidirectional) expand(forward bool, best int32) int32 {
 		}
 		bd.EdgesScanned += int64(len(adj))
 		for _, v := range adj {
-			switch this.dist[v] {
+			st := &this.state[v]
+			switch st.dist {
 			case -1:
-				this.label(v, nd, su)
-				if od := other.dist[v]; od >= 0 {
+				st.dist = nd
+				st.sigma = su
+				this.order = append(this.order, v)
+				if forward {
+					nextVol += int64(bd.g.OutDegree(v))
+				} else {
+					nextVol += int64(bd.g.InDegree(v))
+				}
+				if od := other.state[v].dist; od >= 0 {
 					if cand := nd + od; best < 0 || cand < best {
 						best = cand
 					}
 				}
 			case nd:
-				this.sigma[v] += su
+				st.sigma += su
 			}
 		}
 	}
+	this.frontierVol = nextVol
 	this.levelOff = append(this.levelOff, len(this.order))
 	return best
 }
@@ -150,9 +167,11 @@ func (bd *Bidirectional) search(s, t int32) (best int32, ok bool) {
 	bd.f.levelOff = append(bd.f.levelOff, 0)
 	bd.f.label(s, 0, 1)
 	bd.f.levelOff = append(bd.f.levelOff, 1)
+	bd.f.frontierVol = int64(bd.g.OutDegree(s))
 	bd.b.levelOff = append(bd.b.levelOff, 0)
 	bd.b.label(t, 0, 1)
 	bd.b.levelOff = append(bd.b.levelOff, 1)
+	bd.b.frontierVol = int64(bd.g.InDegree(t))
 	best = -1
 	for {
 		fs, bs := bd.f.depth(), bd.b.depth()
@@ -168,7 +187,7 @@ func (bd *Bidirectional) search(s, t int32) (best int32, ok bool) {
 			// An exhausted side with no meeting proves unreachability.
 			return -1, false
 		}
-		if bd.volume(bd.f.frontier(), true) <= bd.volume(bd.b.frontier(), false) {
+		if bd.f.frontierVol <= bd.b.frontierVol {
 			best = bd.expand(true, best)
 		} else {
 			best = bd.expand(false, best)
@@ -195,19 +214,15 @@ func (bd *Bidirectional) cut(d int32) int32 {
 // collectCrossing fills the crossing-edge scratch for distance d and cut c,
 // returning the total σ_st.
 func (bd *Bidirectional) collectCrossing(d, c int32) float64 {
-	bd.crossU = bd.crossU[:0]
-	bd.crossV = bd.crossV[:0]
-	bd.crossW = bd.crossW[:0]
+	bd.cross = bd.cross[:0]
 	want := d - c - 1
 	var total float64
 	for _, u := range bd.f.level(c) {
-		su := bd.f.sigma[u]
+		su := bd.f.state[u].sigma
 		for _, v := range bd.g.OutNeighbors(u) {
-			if bd.b.dist[v] == want {
-				w := su * bd.b.sigma[v]
-				bd.crossU = append(bd.crossU, u)
-				bd.crossV = append(bd.crossV, v)
-				bd.crossW = append(bd.crossW, w)
+			if st := &bd.b.state[v]; st.dist == want {
+				w := su * st.sigma
+				bd.cross = append(bd.cross, crossEdge{u: u, v: v, w: w})
 				total += w
 			}
 		}
@@ -254,29 +269,29 @@ func (bd *Bidirectional) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (S
 	total := bd.collectCrossing(d, c)
 	// Select a crossing edge with probability σ_s(u)·σ_t(v)/σ_st.
 	x := r.Float64() * total
-	idx := len(bd.crossW) - 1
+	idx := len(bd.cross) - 1
 	acc := 0.0
-	for i, w := range bd.crossW {
-		acc += w
+	for i := range bd.cross {
+		acc += bd.cross[i].w
 		if x < acc {
 			idx = i
 			break
 		}
 	}
-	u, v := bd.crossU[idx], bd.crossV[idx]
+	u, v := bd.cross[idx].u, bd.cross[idx].v
 
 	dst, path := growPath(dst, int(d)+1)
 	// Walk backward from u to s, choosing predecessors ∝ σ_s.
 	cur := u
 	for lvl := c; lvl > 0; lvl-- {
 		path[lvl] = cur
-		x := r.Float64() * bd.f.sigma[cur]
+		x := r.Float64() * bd.f.state[cur].sigma
 		acc := 0.0
 		var pick int32 = -1
 		for _, w := range bd.g.InNeighbors(cur) {
-			if bd.f.dist[w] == lvl-1 {
+			if st := &bd.f.state[w]; st.dist == lvl-1 {
 				pick = w
-				acc += bd.f.sigma[w]
+				acc += st.sigma
 				if x < acc {
 					break
 				}
@@ -289,13 +304,13 @@ func (bd *Bidirectional) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (S
 	cur = v
 	for lvl := d - c - 1; lvl > 0; lvl-- {
 		path[d-lvl] = cur
-		x := r.Float64() * bd.b.sigma[cur]
+		x := r.Float64() * bd.b.state[cur].sigma
 		acc := 0.0
 		var pick int32 = -1
 		for _, w := range bd.g.OutNeighbors(cur) {
-			if bd.b.dist[w] == lvl-1 {
+			if st := &bd.b.state[w]; st.dist == lvl-1 {
 				pick = w
-				acc += bd.b.sigma[w]
+				acc += st.sigma
 				if x < acc {
 					break
 				}

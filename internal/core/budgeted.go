@@ -29,6 +29,8 @@ type BudgetedOptions struct {
 	MaxDuration time.Duration
 	// Workers sets the sampling goroutine count, as in Options.Workers.
 	Workers int
+	// Sampling selects the growth execution mode, as in Options.Sampling.
+	Sampling sampling.Mode
 	// Metrics, when non-nil, receives counter updates as in Options.Metrics.
 	Metrics *obs.Metrics
 }
@@ -96,6 +98,7 @@ func BudgetedGBCCtx(ctx context.Context, g *graph.Graph, opts BudgetedOptions) (
 	r := xrand.New(opts.Seed)
 	set := sampling.NewSetFor(g, r)
 	set.Workers = opts.Workers
+	set.Mode = opts.Sampling
 	set.Label = "S"
 	set.Metrics = opts.Metrics
 	res := &Result{}

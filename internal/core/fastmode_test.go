@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gbc/internal/exact"
+)
+
+// TestFastModeAccuracy is the ε-accuracy acceptance test for the fast
+// execution mode: across the golden graph/seed grid at workers ∈ {2, 8},
+// AdaAlg under Options.Sampling = Fast must still deliver the paper's
+// guarantees. Fast mode changes only where growth stops (epoch boundaries
+// instead of exact targets) — more samples only tighten the bounds — so a
+// converged run must satisfy both checks a deterministic run satisfies:
+//
+//  1. The returned estimate is within ε of the group's exact centrality
+//     (the estimate the stopping rule certified).
+//  2. The group's exact value clears (1-1/e-ε)·P, where the exact greedy
+//     value P lower-bounds OPT — implied by B(C) ≥ (1-1/e-ε)·OPT.
+func TestFastModeAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact oracles on the full grid are slow")
+	}
+	const (
+		k      = 8
+		eps    = 0.3
+		gamma  = 0.1
+		thresh = 1 - 1/math.E - eps
+	)
+	for gname, g := range differentialGraphs() {
+		_, greedyOpt := exact.GreedyPuzis(g, k)
+		for _, seed := range []uint64{1, 2, 3} {
+			for _, workers := range []int{2, 8} {
+				res, err := AdaAlg(g, Options{
+					K: k, Epsilon: eps, Gamma: gamma, Seed: seed,
+					Workers: workers, Sampling: SamplingFast,
+				})
+				if err != nil {
+					t.Fatalf("%s seed=%d workers=%d: %v", gname, seed, workers, err)
+				}
+				if !res.Converged {
+					t.Fatalf("%s seed=%d workers=%d: did not converge (%v)",
+						gname, seed, workers, res.StopReason)
+				}
+				exactVal := exact.GBC(g, res.Group)
+				if relErr := math.Abs(res.Estimate-exactVal) / exactVal; relErr > eps {
+					t.Errorf("%s seed=%d workers=%d: estimate %.1f vs exact %.1f (rel err %.3f > ε)",
+						gname, seed, workers, res.Estimate, exactVal, relErr)
+				}
+				if exactVal < thresh*greedyOpt {
+					t.Errorf("%s seed=%d workers=%d: B(C)=%.1f below (1-1/e-ε)·P=%.1f",
+						gname, seed, workers, exactVal, thresh*greedyOpt)
+				}
+			}
+		}
+	}
+}

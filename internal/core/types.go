@@ -33,6 +33,23 @@ import (
 // E is the base of the natural logarithm; 1-1/e is the greedy guarantee.
 const invE = 1 / math.E
 
+// SamplingMode re-exports sampling.Mode at the core API surface: the
+// growth execution mode of Options.Sampling and wire results.
+type SamplingMode = sampling.Mode
+
+// The sampling execution modes.
+const (
+	// SamplingDeterministic grows in bit-reproducible lock-step chunks
+	// (the default).
+	SamplingDeterministic = sampling.Deterministic
+	// SamplingFast grows with free-running workers and epoch merges —
+	// statistically equivalent, not bit-reproducible.
+	SamplingFast = sampling.Fast
+)
+
+// ParseSamplingMode resolves a mode name ("deterministic" or "fast").
+func ParseSamplingMode(name string) (SamplingMode, error) { return sampling.ParseMode(name) }
+
 // Options configures a top-K GBC computation.
 type Options struct {
 	// Algorithm selects the algorithm Solve runs. The zero value is
@@ -70,9 +87,17 @@ type Options struct {
 	// CollectTrace records per-iteration statistics in Result.Trace.
 	CollectTrace bool
 	// Workers sets the number of goroutines used to draw samples (< 2 =
-	// sequential). Results are identical for any worker count: each sample
-	// index has its own deterministic RNG stream.
+	// sequential). In the default Deterministic sampling mode results are
+	// identical for any worker count: each sample index has its own
+	// deterministic RNG stream.
 	Workers int
+	// Sampling selects the growth execution mode. The zero value,
+	// sampling.Deterministic, keeps runs bit-reproducible across worker
+	// counts. sampling.Fast grows with free-running workers and epoch
+	// merges: the committed samples are the same index-pure draws, but
+	// growth stops at scheduling-dependent epoch boundaries, so results
+	// satisfy the same ε guarantee without being bit-identical run to run.
+	Sampling sampling.Mode
 
 	// Observer, when non-nil, receives progress callbacks on the run's
 	// coordinating goroutine: OnGrowth after every committed sample chunk,
@@ -169,6 +194,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return optErr("Workers", o.Workers, "worker count cannot be negative")
+	}
+	if !o.Sampling.Valid() {
+		return optErr("Sampling", int(o.Sampling), "unknown sampling mode")
 	}
 	if o.MaxSamples < 0 {
 		return optErr("MaxSamples", o.MaxSamples, "sample cap cannot be negative")

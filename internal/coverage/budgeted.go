@@ -37,7 +37,7 @@ func (c *Instance) GreedyBudgeted(costs []float64, budget float64) (group []int3
 			}
 			var g int
 			for _, id := range c.row(v) {
-				if ws.coveredEpoch[id] != epoch {
+				if !ws.isCovered(id) {
 					g++
 				}
 			}
@@ -56,7 +56,7 @@ func (c *Instance) GreedyBudgeted(costs []float64, budget float64) (group []int3
 		cbGroup = append(cbGroup, best)
 		cbCovered += bestGain
 		for _, id := range c.row(best) {
-			ws.coveredEpoch[id] = epoch
+			ws.setCovered(id)
 		}
 	}
 

@@ -190,12 +190,11 @@ func (c *Instance) CoveredBy(group []int32) int {
 	c.Commit()
 	ws := &c.ws
 	ws.reset(c.n, c.Len())
-	epoch := ws.epoch
 	count := 0
 	for _, v := range group {
 		for _, id := range c.row(v) {
-			if ws.coveredEpoch[id] != epoch {
-				ws.coveredEpoch[id] = epoch
+			if !ws.isCovered(id) {
+				ws.setCovered(id)
 				count++
 			}
 		}
@@ -255,10 +254,10 @@ func (c *Instance) Greedy(k int) (group []int32, covered int) {
 		group = append(group, v)
 		ws.chosenEpoch[v] = epoch
 		for _, id := range c.row(v) {
-			if ws.coveredEpoch[id] == epoch {
+			if ws.isCovered(id) {
 				continue
 			}
-			ws.coveredEpoch[id] = epoch
+			ws.setCovered(id)
 			covered++
 			for _, w := range c.path(id) {
 				gain[w]--
@@ -298,7 +297,7 @@ func (c *Instance) GreedyReference(k int) (group []int32, covered int) {
 			}
 			var g int32
 			for _, id := range c.row(v) {
-				if ws.coveredEpoch[id] != epoch {
+				if !ws.isCovered(id) {
 					g++
 				}
 			}
@@ -312,8 +311,8 @@ func (c *Instance) GreedyReference(k int) (group []int32, covered int) {
 		group = append(group, best)
 		ws.chosenEpoch[best] = epoch
 		for _, id := range c.row(best) {
-			if ws.coveredEpoch[id] != epoch {
-				ws.coveredEpoch[id] = epoch
+			if !ws.isCovered(id) {
+				ws.setCovered(id)
 				covered++
 			}
 		}

@@ -64,6 +64,14 @@ type Metrics struct {
 	graphBytesMapped  atomic.Int64 // bytes of .gbcsr files currently mapped
 	graphLoadNanos    atomic.Int64 // cumulative wall time spent loading graphs from files
 	registryFileLoads atomic.Int64 // registry graphs loaded from the "file" source
+
+	// Parallel-execution counters (PR 8): fast-mode epoch merges and the
+	// time samplers spend not sampling — waiting at the deterministic chunk
+	// barrier for a straggling sibling, or (fast mode) waiting for a free
+	// frame because the coordinator fell behind.
+	epochsCommitted  atomic.Int64 // fast-mode epoch merges into the coverage instance
+	epochMergeNanos  atomic.Int64 // cumulative wall time inside epoch merges
+	samplerIdleNanos atomic.Int64 // cumulative worker wait (barrier or frame starvation)
 }
 
 // AddGraphBytesMapped adjusts the mapped-graph-bytes gauge: +size when a
@@ -91,6 +99,26 @@ func (m *Metrics) RegistryFileLoad() {
 		return
 	}
 	m.registryFileLoads.Add(1)
+}
+
+// EpochCommitted records one fast-mode epoch merge that took mergeNanos of
+// coordinator wall time.
+func (m *Metrics) EpochCommitted(mergeNanos int64) {
+	if m == nil {
+		return
+	}
+	m.epochsCommitted.Add(1)
+	m.epochMergeNanos.Add(mergeNanos)
+}
+
+// AddSamplerIdle accumulates worker time spent waiting instead of drawing:
+// the barrier wait of deterministic chunks (finished workers idling behind
+// the straggler) or a fast-mode worker starved of free frames.
+func (m *Metrics) AddSamplerIdle(nanos int64) {
+	if m == nil {
+		return
+	}
+	m.samplerIdleNanos.Add(nanos)
 }
 
 // AddSamples records one committed growth chunk of n samples, nulls of
@@ -293,6 +321,10 @@ type Stats struct {
 	GraphBytesMapped  int64 `json:"graphBytesMapped"`
 	GraphLoadNanos    int64 `json:"graphLoadNanos"`
 	RegistryFileLoads int64 `json:"registryFileLoads"`
+
+	EpochsCommitted  int64 `json:"epochsCommitted"`
+	EpochMergeNanos  int64 `json:"epochMergeNanos"`
+	SamplerIdleNanos int64 `json:"samplerIdleNanos"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -331,6 +363,10 @@ func (m *Metrics) Snapshot() Stats {
 		GraphBytesMapped:  m.graphBytesMapped.Load(),
 		GraphLoadNanos:    m.graphLoadNanos.Load(),
 		RegistryFileLoads: m.registryFileLoads.Load(),
+
+		EpochsCommitted:  m.epochsCommitted.Load(),
+		EpochMergeNanos:  m.epochMergeNanos.Load(),
+		SamplerIdleNanos: m.samplerIdleNanos.Load(),
 	}
 	if start := m.startNanos.Load(); start != 0 {
 		if secs := time.Since(time.Unix(0, start)).Seconds(); secs > 0 {

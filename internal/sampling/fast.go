@@ -1,0 +1,251 @@
+// Fast-mode growth: free-running workers with epoch-based aggregation.
+//
+// The deterministic path commits fixed 4096-sample chunks all-or-nothing,
+// which puts a full barrier between every chunk: all workers must finish
+// before anything commits, and nobody draws while the coordinator merges.
+// Fast mode removes both stalls, following the ADS design ("Parallel
+// Adaptive Sampling with almost no Synchronization", van der Grinten,
+// Angriman, Meyerhenke): each worker owns a state frame — sampler, RNG
+// stream, private path arena, local position counter — and free-runs,
+// filling frames and handing them to the coordinator over a channel while
+// it immediately starts drawing into its next frame. The coordinator folds
+// completed frames into per-worker carry arenas and, whenever every lane
+// has samples available, commits the common prefix into the coverage
+// instance with the same AddStrided stride discipline the deterministic
+// path uses. The per-sample synchronization cost is a single atomic load.
+//
+// Correctness: sample index i always draws from RNG stream seed1+i, so the
+// committed sample *content* is a pure function of (seeds, index) — a fast
+// set of length L holds exactly the samples a deterministic set of length L
+// holds. What scheduling decides is only *where growth stops*: GrowToCtx
+// returns at the first epoch boundary at or past the target, so Len() may
+// overshoot. The adaptive stopping rule reads these slightly-stale counts
+// at epoch boundaries, which is sound because the paper's bounds are
+// monotone in sample count (more samples only tighten them); results stay
+// inside the ε guarantee but are not bit-identical across runs or worker
+// counts.
+package sampling
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"gbc/internal/coverage"
+	"gbc/internal/obs"
+)
+
+// fastQuota clamps the per-frame sample count: large enough to amortize
+// the two channel handoffs per frame, small enough that a growth to a
+// nearby target doesn't overshoot wildly.
+const (
+	fastQuotaMin = 32
+	fastQuotaMax = 4096
+)
+
+// growFast grows the set to at least L samples with free-running workers.
+// On success Len() is a multiple of the lane count ≥ L (overshoot is valid:
+// every committed sample is index-pure). On cancellation or a worker panic
+// the committed prefix — already at an exact epoch boundary — is kept,
+// uncommitted tails are discarded, and the error is returned.
+func (s *Set) growFast(ctx context.Context, L int) error {
+	defer runtime.KeepAlive(s) // see GrowToCtx: the pool finalizer must not fire mid-growth
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	s.ensurePool(workers)
+	s.ensureFast(workers)
+	W := s.fastStride
+
+	// Tails carried over from the previous growth may already cover the
+	// target; committing them costs no drawing.
+	if err := s.commitFastEpochs(L); err != nil {
+		return err
+	}
+	if s.cov.Len() >= L {
+		s.cov.Commit()
+		s.updateArenaGauge()
+		return nil
+	}
+
+	quota := (L - s.cov.Len()) / (2 * W)
+	if quota < fastQuotaMin {
+		quota = fastQuotaMin
+	}
+	if quota > fastQuotaMax {
+		quota = fastQuotaMax
+	}
+	s.stop.Store(false)
+	for w := 0; w < W; w++ {
+		s.pool[w].jobs <- growJob{
+			first: w, stride: W, base: s.fastBase, quota: quota,
+			stop: &s.stop, metrics: s.Metrics,
+			fast: s.fastState[w], fastFull: s.fastFull, fastAck: s.fastAcks,
+		}
+	}
+
+	var firstErr error
+	stopped := false
+	halt := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		stopped = true
+		s.stop.Store(true)
+	}
+	dCh := ctx.Done()
+	for acked := 0; acked < W; {
+		select {
+		case fr := <-s.fastFull:
+			s.carryFrame(fr)
+			if !stopped {
+				if err := s.commitFastEpochs(L); err != nil {
+					halt(err)
+				} else if s.cov.Len() >= L {
+					stopped = true
+					s.stop.Store(true)
+				}
+			}
+		case a := <-s.fastAcks:
+			acked++
+			if a.pe != nil {
+				halt(a.pe)
+			}
+		case <-dCh:
+			halt(ctx.Err())
+			dCh = nil
+		}
+	}
+	// Frames completed between the last commit and the acks are still
+	// buffered; fold them into the carries so no drawn work is lost on a
+	// clean stop (on error the carries are discarded below anyway).
+drain:
+	for {
+		select {
+		case fr := <-s.fastFull:
+			s.carryFrame(fr)
+		default:
+			break drain
+		}
+	}
+	if firstErr != nil {
+		// Rewind every lane to the committed boundary: positions and
+		// carries are index-pure, so the discarded tails are redrawn
+		// identically if growth resumes.
+		pos := (s.cov.Len() - s.fastBase) / W
+		for w := 0; w < W; w++ {
+			s.fastState[w].pos = pos
+			s.fastCarry[w].Reset()
+		}
+		return firstErr
+	}
+	s.cov.Commit()
+	s.updateArenaGauge()
+	return nil
+}
+
+// carryFrame appends a completed frame to its worker's carry arena and
+// returns the frame to the worker's free cycle (capacity guarantees the
+// send never blocks).
+func (s *Set) carryFrame(fr *fastFrame) {
+	s.fastCarry[fr.worker].AppendArena(&fr.arena)
+	s.fastState[fr.worker].free <- fr
+}
+
+// commitFastEpochs commits the longest common per-lane prefix of the carry
+// arenas into the coverage instance via AddStrided — the epoch merge. Lane
+// w's k-th carried sample is global index fastBase + w + (committed+k)·W,
+// exactly the strided layout AddStrided interleaves back into index order.
+// Committed samples are dropped from the carries in place; metrics and the
+// growth observer fire on the coordinator goroutine, like the
+// deterministic path's chunk boundaries.
+func (s *Set) commitFastEpochs(target int) error {
+	W := s.fastStride
+	m := s.fastCarry[0].Len()
+	for w := 1; w < W; w++ {
+		if l := s.fastCarry[w].Len(); l < m {
+			m = l
+		}
+	}
+	if m == 0 {
+		return nil
+	}
+	start := time.Now()
+	for w := 0; w < W; w++ {
+		c := &s.fastCarry[w]
+		s.viewBuf[w] = coverage.PathArena{Nodes: c.Nodes, Offsets: c.Offsets[:m+1]}
+		s.fastViews[w] = &s.viewBuf[w]
+	}
+	nulls := s.cov.AddStrided(s.fastViews[:W], m*W)
+	s.Unreachable += nulls
+	for w := 0; w < W; w++ {
+		s.fastCarry[w].DropFront(m)
+	}
+	s.Metrics.EpochCommitted(time.Since(start).Nanoseconds())
+	s.Metrics.AddSamples(m*W, nulls)
+	if s.Observer != nil {
+		if err := obs.EmitGrowth(s.Observer, obs.GrowthEvent{
+			Set: s.Label, Len: s.cov.Len(), Target: target,
+			Added: m * W, Unreachable: s.Unreachable,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureFast prepares the fast-mode coordination state for a growth with
+// the given lane count: per-worker frame cycles and carries, the shared
+// channels, and a valid partition anchor. The partition re-anchors at the
+// current length whenever the lane count changed or the committed length
+// stopped lining up with the anchor (e.g. deterministic growth in
+// between) — always safe, because sample content is index-pure and a fresh
+// partition starting at Len() describes exactly the samples that will
+// follow. Lost frames (a worker panic drops the frame it was filling) are
+// replenished here.
+func (s *Set) ensureFast(workers int) {
+	for len(s.fastState) < workers {
+		s.fastState = append(s.fastState, &fastWorkerState{
+			free: make(chan *fastFrame, fastFramesPerWorker),
+		})
+		s.fastCarry = append(s.fastCarry, coverage.PathArena{})
+		s.viewBuf = append(s.viewBuf, coverage.PathArena{})
+		s.fastViews = append(s.fastViews, nil)
+	}
+	if cap(s.fastFull) < workers*fastFramesPerWorker {
+		s.fastFull = make(chan *fastFrame, workers*fastFramesPerWorker)
+	}
+	if cap(s.fastAcks) < workers {
+		s.fastAcks = make(chan ackMsg, workers)
+	}
+	committed := s.cov.Len()
+	anchored := s.fastStride == workers && committed >= s.fastBase &&
+		(committed-s.fastBase)%workers == 0
+	if anchored {
+		pos := (committed - s.fastBase) / workers
+		for w := 0; w < workers; w++ {
+			if s.fastState[w].pos != pos+s.fastCarry[w].Len() {
+				anchored = false
+				break
+			}
+		}
+	}
+	if !anchored {
+		s.fastBase = committed
+		s.fastStride = workers
+		for w := 0; w < workers; w++ {
+			s.fastState[w].pos = 0
+			s.fastCarry[w].Reset()
+		}
+	}
+	for w := 0; w < workers; w++ {
+		fs := s.fastState[w]
+		for len(fs.free) < fastFramesPerWorker {
+			fs.free <- &fastFrame{worker: w}
+		}
+	}
+}

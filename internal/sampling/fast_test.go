@@ -1,0 +1,156 @@
+package sampling
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gbc/internal/bfs"
+	"gbc/internal/gen"
+	"gbc/internal/obs"
+	"gbc/internal/xrand"
+)
+
+// Fast mode may stop past its target, but every committed sample is
+// index-pure, so a fast set must be indistinguishable from a deterministic
+// twin grown to the same length — the content contract every test here
+// leans on.
+
+func TestFastGrowContentMatchesDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, xrand.New(101))
+	for _, workers := range []int{1, 2, 8} {
+		fast := NewBidirectionalSet(g, xrand.New(7))
+		fast.Workers = workers
+		fast.Mode = Fast
+		fast.GrowTo(2000)
+		if fast.Len() < 2000 {
+			t.Fatalf("workers=%d: Len = %d, want >= 2000", workers, fast.Len())
+		}
+		det := NewBidirectionalSet(g, xrand.New(7))
+		det.GrowTo(fast.Len())
+		setsIdentical(t, det, fast)
+	}
+}
+
+// TestFastIncrementalAndModeSwitch interleaves fast and deterministic
+// growth at changing worker counts. Every stop point is a valid boundary
+// and sample content is a pure function of the index, so the final set must
+// match a deterministic twin of the same length no matter how the stages
+// were scheduled.
+func TestFastIncrementalAndModeSwitch(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 2, xrand.New(102))
+	s := NewBidirectionalSet(g, xrand.New(9))
+	s.Workers = 4
+	s.Mode = Fast
+	s.GrowTo(300)
+	s.Mode = Deterministic
+	s.GrowTo(s.Len() + 500)
+	s.Workers = 2
+	s.Mode = Fast
+	s.GrowTo(s.Len() + 700)
+
+	det := NewBidirectionalSet(g, xrand.New(9))
+	det.GrowTo(s.Len())
+	setsIdentical(t, det, s)
+}
+
+// TestFastCancelKeepsValidBoundary cancels a fast growth mid-flight: the
+// committed prefix must be a clean epoch boundary the set can resume from,
+// and the resumed set must match an uninterrupted deterministic twin.
+func TestFastCancelKeepsValidBoundary(t *testing.T) {
+	g := gen.BarabasiAlbert(1200, 3, xrand.New(21))
+	const target = 6 * GrowChunk
+
+	s := NewBidirectionalSet(g, xrand.New(22))
+	s.Workers = 4
+	s.Mode = Fast
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	err := s.GrowToCtx(ctx, target)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	s.GrowTo(target)
+
+	det := NewBidirectionalSet(g, xrand.New(22))
+	det.GrowTo(s.Len())
+	setsIdentical(t, det, s)
+}
+
+// TestFastPanickedPoolStaysReusable injects a one-shot panic into every
+// worker's sampler under fast mode: failed growths must abort at the
+// committed boundary (here: empty) and leave the pool reusable, and the
+// eventual clean growth must match a deterministic twin.
+func TestFastPanickedPoolStaysReusable(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, xrand.New(23))
+	s := NewFactorySet(g, func() PairSampler {
+		return &faultyOnce{inner: bfs.NewBidirectional(g)}
+	}, xrand.New(24))
+	s.Workers = 4
+	s.Mode = Fast
+	err := s.GrowToCtx(context.Background(), 2000)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	for attempt := 0; err != nil; attempt++ {
+		if attempt > s.Workers {
+			t.Fatalf("pool still failing after %d attempts: %v", attempt, err)
+		}
+		if !errors.As(err, &pe) {
+			t.Fatalf("attempt %d: err = %v (%T), want *PanicError", attempt, err, err)
+		}
+		if s.Len()%s.Workers != 0 {
+			t.Fatalf("attempt %d: Len %d is not an epoch boundary", attempt, s.Len())
+		}
+		err = s.GrowToCtx(context.Background(), 2000)
+	}
+	det := NewBidirectionalSet(g, xrand.New(24))
+	det.GrowTo(s.Len())
+	setsIdentical(t, det, s)
+}
+
+// TestFastMetricsEpochCounters pins the observability contract of fast
+// growth: epoch commits and their merge time are counted, and the sample
+// counter agrees with the set.
+func TestFastMetricsEpochCounters(t *testing.T) {
+	g := gen.BarabasiAlbert(600, 3, xrand.New(25))
+	s := NewBidirectionalSet(g, xrand.New(26))
+	s.Workers = 4
+	s.Mode = Fast
+	s.Metrics = &obs.Metrics{}
+	s.Label = "S"
+	s.GrowTo(3 * GrowChunk)
+	st := s.Metrics.Snapshot()
+	if st.EpochsCommitted == 0 {
+		t.Fatal("EpochsCommitted did not move")
+	}
+	if st.EpochMergeNanos == 0 {
+		t.Fatal("EpochMergeNanos did not move")
+	}
+	if st.Samples != int64(s.Len()) {
+		t.Fatalf("metrics counted %d samples, set holds %d", st.Samples, s.Len())
+	}
+}
+
+// TestFastResetRegrow pins Reset semantics: after a reset the fast state is
+// re-anchored at zero and a regrowth reproduces the deterministic content.
+func TestFastResetRegrow(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, xrand.New(31))
+	s := NewBidirectionalSet(g, xrand.New(33))
+	s.Workers = 3
+	s.Mode = Fast
+	s.GrowTo(1500)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	s.GrowTo(1500)
+	det := NewBidirectionalSet(g, xrand.New(33))
+	det.GrowTo(s.Len())
+	setsIdentical(t, det, s)
+}

@@ -1,0 +1,77 @@
+package sampling
+
+import "fmt"
+
+// Mode selects how a Set executes parallel growth.
+//
+// Deterministic is the library default: growth commits fixed GrowChunk
+// blocks all-or-nothing, and the result is bit-identical across worker
+// counts and runs (the differential goldens depend on this).
+//
+// Fast is the epoch-based free-running mode (after "Parallel Adaptive
+// Sampling with almost no Synchronization", van der Grinten et al.): each
+// pool worker owns a private frame — sampler, RNG stream, path arena, local
+// position counter — and draws samples with no intra-epoch barrier; the
+// coordinator merges completed frames into the coverage instance at epoch
+// boundaries while workers keep drawing into their next frame. Because
+// every sample index draws from its own RNG stream, the committed sample
+// *content* is still a pure function of (seeds, index); only the stopping
+// boundary — how many samples a growth call ends up committing — depends on
+// scheduling. Results therefore stay within the paper's ε guarantee (the
+// stopping bounds are monotone in sample count) but are not bit-identical
+// across worker counts or runs.
+type Mode int
+
+const (
+	// Deterministic grows in lock-step chunks; bit-exact across runs.
+	Deterministic Mode = iota
+	// Fast grows with free-running workers and epoch merges; statistically
+	// equivalent, not bit-reproducible.
+	Fast
+)
+
+// String returns the canonical lower-case name ("deterministic", "fast").
+func (m Mode) String() string {
+	switch m {
+	case Deterministic:
+		return "deterministic"
+	case Fast:
+		return "fast"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the defined modes.
+func (m Mode) Valid() bool { return m == Deterministic || m == Fast }
+
+// MarshalText implements encoding.TextMarshaler using the canonical name.
+func (m Mode) MarshalText() ([]byte, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("sampling: unknown mode %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; it accepts the
+// canonical names case-insensitively.
+func (m *Mode) UnmarshalText(text []byte) error {
+	parsed, err := ParseMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
+// ParseMode parses a mode name ("deterministic" or "fast", any case).
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "deterministic", "Deterministic", "DETERMINISTIC":
+		return Deterministic, nil
+	case "fast", "Fast", "FAST":
+		return Fast, nil
+	default:
+		return Deterministic, fmt.Errorf("sampling: unknown mode %q (want deterministic or fast)", name)
+	}
+}

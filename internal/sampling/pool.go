@@ -12,6 +12,7 @@ package sampling
 import (
 	"runtime/debug"
 	"sync/atomic"
+	"time"
 
 	"gbc/internal/bfs"
 	"gbc/internal/coverage"
@@ -46,10 +47,10 @@ func (d *drawState) init(n int, seed0, seed1 uint64, sampler PairSampler) {
 	d.arena.Reset()
 }
 
-// draw samples global index i into the arena: reseed the worker RNG to the
-// index's dedicated stream, draw the pair, append the path (an unreachable
-// pair seals an empty range — a null sample).
-func (d *drawState) draw(i int) {
+// drawInto samples global index i into the given arena: reseed the worker
+// RNG to the index's dedicated stream, draw the pair, append the path (an
+// unreachable pair seals an empty range — a null sample).
+func (d *drawState) drawInto(arena *coverage.PathArena, i int) {
 	if faultinject.Enabled {
 		// Chaos: a reseed failure mid-chunk panics the worker, which the
 		// pool recovers into a *PanicError. Constant-false branch (deleted
@@ -62,25 +63,73 @@ func (d *drawState) draw(i int) {
 	d.rng.Reseed(d.seed0, d.seed1+uint64(i))
 	a, b := d.rng.IntnPair(d.n)
 	if d.appender != nil {
-		_, d.arena.Nodes = d.appender.AppendSample(d.arena.Nodes, int32(a), int32(b), &d.rng)
+		_, arena.Nodes = d.appender.AppendSample(arena.Nodes, int32(a), int32(b), &d.rng)
 	} else {
 		smp := d.sampler.Sample(int32(a), int32(b), &d.rng)
 		if smp.Reachable {
-			d.arena.Nodes = append(d.arena.Nodes, smp.Path...)
+			arena.Nodes = append(arena.Nodes, smp.Path...)
 		}
 	}
-	d.arena.EndPath()
+	arena.EndPath()
 }
 
-// growJob asks one worker for its strided share of a chunk: global indices
-// cur+first, cur+first+stride, … below cur+count.
+// draw is drawInto targeting the worker's own arena (deterministic mode).
+func (d *drawState) draw(i int) { d.drawInto(&d.arena, i) }
+
+// ackMsg is the per-job completion message: the recovered panic if any,
+// plus the job's start/end timestamps. The timestamps feed the
+// deterministic path's EWMA share sizing and the samplerIdleNanos barrier
+// metric; monotonic-clock arithmetic (time.Time.Sub/After) keeps them
+// meaningful across NTP adjustments.
+type ackMsg struct {
+	pe          *PanicError
+	start, done time.Time
+}
+
+// growJob asks one worker for a share of growth. Deterministic chunks set
+// cur/count/first/stride — the worker draws global indices cur+first,
+// cur+first+stride, … below cur+count (equal strided shares) or, with
+// stride 1, one contiguous EWMA-sized block. Fast-mode jobs set fast
+// non-nil instead and free-run frames until stop (see runFast).
 type growJob struct {
 	cur, count    int
 	first, stride int
 	done          <-chan struct{} // the growth context's Done channel
 	stop          *atomic.Bool    // shared chunk-abort flag
 	metrics       *obs.Metrics    // busy-worker gauge sink (nil = disabled)
+
+	// Fast-mode fields (zero in deterministic jobs).
+	fast     *fastWorkerState  // per-worker frame cycle + position counter
+	fastFull chan<- *fastFrame // completed frames, shared across workers
+	fastAck  chan<- ackMsg     // shared ack channel the coordinator selects on
+	quota    int               // samples per frame
+	base     int               // global index where the fast partition starts
 }
+
+// fastFrame is one in-flight block of samples in fast mode: a private path
+// arena plus the worker-local position of its first sample. Two frames per
+// worker cycle between the worker (drawing) and the coordinator (merging),
+// so the worker never waits for the merge of its previous frame.
+type fastFrame struct {
+	arena  coverage.PathArena
+	worker int
+	start  int // worker-local position of the frame's first sample
+}
+
+// fastWorkerState is the per-worker half of the fast-mode frame cycle. pos
+// is worker-local: the worker's k-th sample is global index
+// base + worker + k·stride, so any committed prefix is exactly what a
+// deterministic growth of the same length would contain. Only the worker
+// goroutine touches pos during a job; the coordinator reads or resets it
+// strictly after the job's ack (a happens-before edge via the ack channel).
+type fastWorkerState struct {
+	pos  int
+	free chan *fastFrame // capacity fastFramesPerWorker
+}
+
+// fastFramesPerWorker is the frame-pipeline depth: one frame being drawn,
+// one in flight to or from the coordinator.
+const fastFramesPerWorker = 2
 
 // poolWorker is one persistent worker: a goroutine looping over jobs plus
 // its draw state. The goroutine exits when jobs is closed (by the Set's
@@ -89,7 +138,7 @@ type growJob struct {
 type poolWorker struct {
 	st   drawState
 	jobs chan growJob
-	ack  chan *PanicError
+	ack  chan ackMsg
 }
 
 func (w *poolWorker) loop() {
@@ -98,20 +147,26 @@ func (w *poolWorker) loop() {
 	}
 }
 
-// runJob draws the worker's share of one chunk into its arena. Exactly one
-// ack is sent per job — nil on success or early stop, the recovered
-// *PanicError on a sampler panic (which also aborts the chunk for the
+// runJob draws the worker's share of one growth into its arena (or, in
+// fast mode, free-runs frames until stopped). Exactly one ack is sent per
+// job — with a nil pe on success or early stop, or the recovered
+// *PanicError on a sampler panic (which also aborts the growth for the
 // sibling workers).
 func (w *poolWorker) runJob(job growJob) {
 	job.metrics.WorkerBusy(1)
+	start := time.Now()
 	defer func() {
 		job.metrics.WorkerBusy(-1)
+		msg := ackMsg{start: start, done: time.Now()}
 		if v := recover(); v != nil {
 			job.stop.Store(true)
-			w.ack <- &PanicError{Value: v, Stack: debug.Stack()}
-			return
+			msg.pe = &PanicError{Value: v, Stack: debug.Stack()}
 		}
-		w.ack <- nil
+		if job.fastAck != nil {
+			job.fastAck <- msg
+		} else {
+			w.ack <- msg
+		}
 	}()
 	if faultinject.Enabled {
 		// Chaos injection points, compiled out of the default build: a
@@ -122,6 +177,10 @@ func (w *poolWorker) runJob(job growJob) {
 		if err := faultinject.Fire(faultinject.SamplingChunkPanic); err != nil {
 			panic(err)
 		}
+	}
+	if job.fast != nil {
+		w.runFast(job)
+		return
 	}
 	w.st.arena.Reset()
 	for i := job.first; i < job.count; i += job.stride {
@@ -135,5 +194,47 @@ func (w *poolWorker) runJob(job growJob) {
 		default:
 		}
 		w.st.draw(job.cur + i)
+	}
+}
+
+// runFast is the fast-mode worker loop: take a free frame, fill it with
+// quota samples from the worker's own index lane (base + first + pos·stride
+// — the same strided index space AddStrided merges), hand it to the
+// coordinator, repeat. The only per-sample synchronization is one atomic
+// load of the stop flag; there is no barrier and no context check — the
+// coordinator watches the context and flips stop. Channel capacities make
+// the protocol deadlock-free: fastFull holds every frame in existence, so
+// sends never block, and the worker blocks only on its own free channel,
+// which the coordinator refills after consuming each frame.
+func (w *poolWorker) runFast(job growJob) {
+	fs := job.fast
+	for {
+		if job.stop.Load() {
+			return
+		}
+		var frame *fastFrame
+		if job.metrics != nil {
+			t := time.Now()
+			frame = <-fs.free
+			job.metrics.AddSamplerIdle(time.Since(t).Nanoseconds())
+		} else {
+			frame = <-fs.free
+		}
+		if job.stop.Load() {
+			// Put the frame back (capacity guarantees room) so the pool
+			// keeps its full frame complement for the next growth.
+			fs.free <- frame
+			return
+		}
+		frame.arena.Reset()
+		frame.start = fs.pos
+		for drawn := 0; drawn < job.quota; drawn++ {
+			if job.stop.Load() {
+				break
+			}
+			w.st.drawInto(&frame.arena, job.base+job.first+fs.pos*job.stride)
+			fs.pos++
+		}
+		job.fastFull <- frame
 	}
 }

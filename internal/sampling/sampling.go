@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"gbc/internal/bfs"
 	"gbc/internal/coverage"
@@ -80,10 +81,42 @@ type Set struct {
 	poolArenas []*coverage.PathArena
 	stop       atomic.Bool
 
+	// EWMA share sizing for the deterministic parallel path: ewmaCost[w] is
+	// worker w's smoothed draw cost (ns/sample, 0 = no history yet), and
+	// shareEnd/speed/ackBuf are reused scratch. Share boundaries only decide
+	// which worker draws which contiguous index block — sample content is a
+	// pure function of the index and blocks merge in index order — so the
+	// committed result is bit-identical for every timing and share split.
+	ewmaCost []float64
+	shareEnd []int
+	speed    []float64
+	ackBuf   []ackMsg
+
+	// Fast-mode coordinator state (see growFast): per-worker frame cycles
+	// and carry arenas holding uncommitted sample tails, the shared
+	// completed-frame and ack channels, and the index-space partition
+	// anchor (worker w of a partition draws global indices
+	// fastBase + w + k·fastStride).
+	fastState  []*fastWorkerState
+	fastCarry  []coverage.PathArena
+	fastViews  []*coverage.PathArena
+	viewBuf    []coverage.PathArena
+	fastFull   chan *fastFrame
+	fastAcks   chan ackMsg
+	fastBase   int
+	fastStride int // 0 until the first fast growth anchors a partition
+
 	// Workers sets the number of goroutines used by GrowTo. Values < 2, or
 	// a Set built around a caller-supplied single sampler, sample
 	// sequentially. The result is identical either way.
 	Workers int
+
+	// Mode selects the growth execution mode: Deterministic (default,
+	// bit-exact lock-step chunks) or Fast (free-running workers with epoch
+	// merges; statistically equivalent but not bit-reproducible). A Set
+	// without per-worker samplers (NewSet) always grows sequentially and
+	// deterministically regardless of Mode.
+	Mode Mode
 
 	// Unreachable counts null samples (pairs with no path).
 	Unreachable int
@@ -190,6 +223,9 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 	if L <= cur {
 		return nil
 	}
+	if s.Mode == Fast && s.newSampler != nil {
+		return s.growFast(ctx, L)
+	}
 	workers := 1
 	if s.Workers > 1 && s.newSampler != nil {
 		workers = s.Workers
@@ -269,28 +305,34 @@ func (s *Set) updateArenaGauge() {
 }
 
 // growParallel draws indices [cur, end) across the persistent worker pool —
-// worker w takes the strided share w, w+workers, … into its own arena — and
-// then bulk-appends the worker arenas into the coverage arena in index
-// order, matching the sequential result exactly (each index's RNG stream
-// depends only on the index). The chunk commits all-or-nothing: on
-// cancellation or a worker panic nothing is appended and every worker's
-// arena is reset at its next job, so the pool stays reusable and the Set
-// never holds a partially drawn chunk.
+// worker w takes one contiguous block of the range, sized by its smoothed
+// draw-cost EWMA so a straggling worker gets a smaller share instead of
+// idling its siblings at the chunk barrier — and then bulk-appends the
+// worker arenas into the coverage arena in worker (= index) order, matching
+// the sequential result exactly (each index's RNG stream depends only on
+// the index, so who draws it never matters). The chunk commits
+// all-or-nothing: on cancellation or a worker panic nothing is appended and
+// every worker's arena is reset at its next job, so the pool stays reusable
+// and the Set never holds a partially drawn chunk.
 func (s *Set) growParallel(ctx context.Context, cur, end, workers int) error {
 	s.ensurePool(workers)
 	count := end - cur
 	s.stop.Store(false)
 	done := ctx.Done()
+	shares := s.sizeShares(count, workers)
 	for w := 0; w < workers; w++ {
 		s.pool[w].jobs <- growJob{
-			cur: cur, count: count, first: w, stride: workers,
+			cur: cur + shares[w], count: shares[w+1] - shares[w],
+			first: 0, stride: 1,
 			done: done, stop: &s.stop, metrics: s.Metrics,
 		}
 	}
 	var pe *PanicError
 	for w := 0; w < workers; w++ {
-		if e := <-s.pool[w].ack; e != nil && pe == nil {
-			pe = e
+		a := <-s.pool[w].ack
+		s.ackBuf[w] = a
+		if a.pe != nil && pe == nil {
+			pe = a.pe
 		}
 	}
 	if pe != nil {
@@ -299,8 +341,95 @@ func (s *Set) growParallel(ctx context.Context, cur, end, workers int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.Unreachable += s.cov.AddStrided(s.poolArenas[:workers], count)
+	if s.Metrics != nil {
+		// Barrier waste: how long finished workers sat idle waiting for
+		// the chunk's straggler.
+		var last time.Time
+		for w := 0; w < workers; w++ {
+			if s.ackBuf[w].done.After(last) {
+				last = s.ackBuf[w].done
+			}
+		}
+		var idle int64
+		for w := 0; w < workers; w++ {
+			idle += last.Sub(s.ackBuf[w].done).Nanoseconds()
+		}
+		s.Metrics.AddSamplerIdle(idle)
+	}
+	for w := 0; w < workers; w++ {
+		n := shares[w+1] - shares[w]
+		if n <= 0 {
+			continue
+		}
+		busy := s.ackBuf[w].done.Sub(s.ackBuf[w].start).Nanoseconds()
+		if busy < 1 {
+			busy = 1
+		}
+		cost := float64(busy) / float64(n)
+		if s.ewmaCost[w] == 0 {
+			s.ewmaCost[w] = cost
+		} else {
+			s.ewmaCost[w] = 0.7*s.ewmaCost[w] + 0.3*cost
+		}
+	}
+	s.Unreachable += s.cov.AddArenas(s.poolArenas[:workers])
 	return nil
+}
+
+// sizeShares fills s.shareEnd with workers+1 cumulative block boundaries
+// over a count-sample chunk, proportional to each worker's smoothed speed
+// (1/ewmaCost). With no timing history shares are equal. Speeds are floored
+// at 1/8 of the fastest so a transient stall (GC pause, noisy neighbor)
+// can't starve a worker out of future measurements, and boundaries come
+// from cumulative proportions, so they are monotone and sum exactly.
+func (s *Set) sizeShares(count, workers int) []int {
+	if cap(s.shareEnd) < workers+1 {
+		s.shareEnd = make([]int, workers+1)
+		s.speed = make([]float64, workers)
+	}
+	s.shareEnd = s.shareEnd[:workers+1]
+	s.speed = s.speed[:workers]
+	known, sum := 0, 0.0
+	for w := 0; w < workers; w++ {
+		s.speed[w] = 0
+		if c := s.ewmaCost[w]; c > 0 {
+			s.speed[w] = 1 / c
+			known++
+			sum += s.speed[w]
+		}
+	}
+	if known == 0 {
+		for w := 0; w <= workers; w++ {
+			s.shareEnd[w] = w * count / workers
+		}
+		return s.shareEnd
+	}
+	mean := sum / float64(known)
+	maxSp := 0.0
+	for w := range s.speed {
+		if s.speed[w] == 0 {
+			s.speed[w] = mean
+		}
+		if s.speed[w] > maxSp {
+			maxSp = s.speed[w]
+		}
+	}
+	floor := maxSp / 8
+	total := 0.0
+	for w := range s.speed {
+		if s.speed[w] < floor {
+			s.speed[w] = floor
+		}
+		total += s.speed[w]
+	}
+	s.shareEnd[0] = 0
+	acc := 0.0
+	for w := 0; w < workers; w++ {
+		acc += s.speed[w]
+		s.shareEnd[w+1] = int(float64(count) * acc / total)
+	}
+	s.shareEnd[workers] = count
+	return s.shareEnd
 }
 
 // ensurePool grows the persistent pool to at least `workers` goroutines.
@@ -323,11 +452,13 @@ func (s *Set) ensurePool(workers int) {
 	for len(s.pool) < workers {
 		w := &poolWorker{
 			jobs: make(chan growJob),
-			ack:  make(chan *PanicError, 1),
+			ack:  make(chan ackMsg, 1),
 		}
 		w.st.init(s.g.N(), s.seed0, s.seed1, s.newSampler())
 		s.pool = append(s.pool, w)
 		s.poolArenas = append(s.poolArenas, &w.st.arena)
+		s.ewmaCost = append(s.ewmaCost, 0)
+		s.ackBuf = append(s.ackBuf, ackMsg{})
 		s.Metrics.AddPoolWorkers(1)
 		go w.loop()
 	}
@@ -344,6 +475,11 @@ func (s *Set) ensurePool(workers int) {
 func (s *Set) Reset() {
 	s.cov.Reset()
 	s.Unreachable = 0
+	// Drop the fast partition anchor: the next fast growth re-anchors at
+	// length zero, clearing carried tails and position counters, so a reset
+	// set regrows from a clean index space in either mode.
+	s.fastBase = 0
+	s.fastStride = 0
 }
 
 // Coverage exposes the underlying max-coverage instance (for greedy).

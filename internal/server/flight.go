@@ -20,6 +20,7 @@ type flightKey struct {
 	gamma     float64
 	seed      uint64
 	workers   int
+	sampling  core.SamplingMode
 	forward   bool
 	trace     bool
 }

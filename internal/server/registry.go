@@ -90,6 +90,7 @@ type resultKey struct {
 	k         int
 	seed      uint64
 	workers   int
+	sampling  core.SamplingMode
 	forward   bool
 }
 

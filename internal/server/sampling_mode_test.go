@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gbc/internal/core"
+)
+
+// TestTopKSamplingMode pins the /v1/topk sampling-mode surface: the
+// server-level default is deterministic, a request can opt into fast mode,
+// the response echoes the mode it ran under, and the epoch counters move
+// through /v1/stats when fast growth actually commits epochs.
+func TestTopKSamplingMode(t *testing.T) {
+	_, ts, m := newTestServer(t, Config{})
+	addGeneratedGraph(t, ts.URL, "g", 600)
+
+	status, body := post(t, ts.URL+"/v1/topk", map[string]any{"graph": "g", "k": 3, "seed": 5})
+	if status != http.StatusOK {
+		t.Fatalf("default topk: %d %s", status, body)
+	}
+	var det topkResponse
+	if err := json.Unmarshal(body, &det); err != nil {
+		t.Fatal(err)
+	}
+	if det.Result.SamplingMode != core.SamplingDeterministic {
+		t.Fatalf("default mode = %v, want deterministic", det.Result.SamplingMode)
+	}
+	if ec := m.Snapshot().EpochsCommitted; ec != 0 {
+		t.Fatalf("deterministic run committed %d epochs", ec)
+	}
+
+	status, body = post(t, ts.URL+"/v1/topk", map[string]any{
+		"graph": "g", "k": 3, "seed": 5, "sampling": "fast",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("fast topk: %d %s", status, body)
+	}
+	var fast topkResponse
+	if err := json.Unmarshal(body, &fast); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Result.SamplingMode != core.SamplingFast {
+		t.Fatalf("fast mode = %v, want fast", fast.Result.SamplingMode)
+	}
+	st := m.Snapshot()
+	if st.EpochsCommitted == 0 || st.EpochMergeNanos == 0 {
+		t.Fatalf("epoch counters did not move: %+v", st)
+	}
+
+	// The counters travel the public stats endpoint, not just the struct.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := stats["epochsCommitted"].(float64); !ok || v < 1 {
+		t.Fatalf("stats epochsCommitted = %v", stats["epochsCommitted"])
+	}
+	if v, ok := stats["epochMergeNanos"].(float64); !ok || v < 1 {
+		t.Fatalf("stats epochMergeNanos = %v", stats["epochMergeNanos"])
+	}
+
+	status, body = post(t, ts.URL+"/v1/topk", map[string]any{
+		"graph": "g", "k": 3, "sampling": "warp",
+	})
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "sampling") {
+		t.Fatalf("bad mode: %d %s", status, body)
+	}
+}
+
+// TestTopKDefaultSamplingConfig: a server configured with a fast default
+// (what cmd/gbcd ships) applies it to requests that name no mode, while an
+// explicit "deterministic" in the request still overrides it.
+func TestTopKDefaultSamplingConfig(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{DefaultSampling: core.SamplingFast})
+	addGeneratedGraph(t, ts.URL, "g", 600)
+
+	status, body := post(t, ts.URL+"/v1/topk", map[string]any{"graph": "g", "k": 3, "seed": 5})
+	if status != http.StatusOK {
+		t.Fatalf("topk: %d %s", status, body)
+	}
+	var r topkResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Result.SamplingMode != core.SamplingFast {
+		t.Fatalf("mode = %v, want fast", r.Result.SamplingMode)
+	}
+
+	status, body = post(t, ts.URL+"/v1/topk", map[string]any{
+		"graph": "g", "k": 3, "seed": 5, "sampling": "deterministic",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("topk: %d %s", status, body)
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Result.SamplingMode != core.SamplingDeterministic {
+		t.Fatalf("mode = %v, want deterministic override", r.Result.SamplingMode)
+	}
+}

@@ -66,6 +66,12 @@ type Config struct {
 	// (default 1 each): a tenant with weight w is dequeued w tasks per
 	// round-robin cycle.
 	TenantWeights map[string]int
+	// DefaultSampling is the growth execution mode applied to /v1/topk
+	// requests that name none. The zero value is deterministic (bit-exact
+	// responses); cmd/gbcd flips the default to fast, which trades
+	// bit-reproducibility for multicore sampling throughput while keeping
+	// the ε guarantee.
+	DefaultSampling core.SamplingMode
 	// Metrics receives the serving counters (queue depth, coalesced runs,
 	// registry hits/evictions, overload accounting) and is threaded into
 	// every solver run. Nil gets a private instance; pass obs.Published()
@@ -414,6 +420,11 @@ type topkRequest struct {
 	Gamma     float64 `json:"gamma,omitempty"`
 	Seed      uint64  `json:"seed,omitempty"`
 	Workers   int     `json:"workers,omitempty"`
+	// Sampling selects the growth execution mode, "deterministic" or
+	// "fast"; empty picks the server's default. Deterministic responses are
+	// bit-reproducible; fast responses satisfy the same ε guarantee with
+	// better multicore scaling but scheduling-dependent sample counts.
+	Sampling string `json:"sampling,omitempty"`
 	// Forward swaps the balanced bidirectional sampler for the forward-only
 	// ablation.
 	Forward bool `json:"forward,omitempty"`
@@ -460,9 +471,18 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	mode := s.cfg.DefaultSampling
+	if req.Sampling != "" {
+		var err error
+		if mode, err = core.ParseSamplingMode(req.Sampling); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), "sampling")
+			return
+		}
+	}
 	opts := core.Options{
 		Algorithm: alg, K: req.K, Epsilon: req.Epsilon, Gamma: req.Gamma,
-		Seed: req.Seed, Workers: req.Workers, CollectTrace: req.Trace,
+		Seed: req.Seed, Workers: req.Workers, Sampling: mode,
+		CollectTrace:      req.Trace,
 		UseForwardSampler: req.Forward, Metrics: s.metrics,
 	}
 	if err := opts.Validate(); err != nil {
@@ -514,7 +534,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	key := flightKey{
 		graph: req.Graph, algorithm: alg, k: req.K,
 		epsilon: req.Epsilon, gamma: req.Gamma, seed: req.Seed,
-		workers: req.Workers, forward: req.Forward, trace: req.Trace,
+		workers: req.Workers, sampling: mode, forward: req.Forward,
+		trace: req.Trace,
 	}
 	res := s.flight.do(key, s.metrics, func() flightResult {
 		return s.runTopK(entry, opts, timeout, req.Graph, Job{
@@ -552,7 +573,8 @@ func resultKeyFor(opts core.Options) resultKey {
 	}
 	return resultKey{
 		algorithm: opts.Algorithm, k: opts.K, seed: seed,
-		workers: opts.Workers, forward: opts.UseForwardSampler,
+		workers: opts.Workers, sampling: opts.Sampling,
+		forward: opts.UseForwardSampler,
 	}
 }
 
@@ -619,6 +641,7 @@ func (s *Server) runTopK(entry *Entry, opts core.Options, timeout time.Duration,
 		return flightResult{body: body, status: http.StatusGatewayTimeout}
 	}
 	wres := wire.FromResult(opts.Algorithm, opts.K, res, nil)
+	wres.SamplingMode = opts.Sampling
 	if res.StopReason == core.StopConverged {
 		entry.StoreResult(resultKeyFor(opts), effectiveEpsilon(opts), wres)
 	}

@@ -46,6 +46,11 @@ type Result struct {
 	StopReason core.StopReason `json:"stopReason"`
 	// ElapsedMillis is the solver's wall-clock time in milliseconds.
 	ElapsedMillis float64 `json:"elapsedMillis"`
+	// SamplingMode names the growth execution mode of the run
+	// ("deterministic" or "fast"). Deterministic runs are bit-reproducible
+	// for a given (graph, algorithm, k, seed); fast runs satisfy the same ε
+	// guarantee but stop at scheduling-dependent sample counts.
+	SamplingMode core.SamplingMode `json:"samplingMode"`
 	// Trace summarizes the outer iterations when the run collected one.
 	Trace []TraceEntry `json:"trace,omitempty"`
 }

@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all ci build test race chaos serve-smoke gbcsr-smoke fuzz cover bench bench-compare bench-scaling bench-smoke figures fmt fmtcheck vet staticcheck govulncheck clean
+.PHONY: all ci build test race chaos serve-smoke gbcsr-smoke patch-smoke fuzz cover bench bench-compare bench-scaling bench-smoke figures fmt fmtcheck vet staticcheck govulncheck clean
 
 all: build vet fmtcheck test
 
 # The exact gate .github/workflows/ci.yml runs; `make ci` reproduces a CI
 # failure locally. staticcheck/govulncheck no-op with a notice when the
 # tools aren't installed (CI installs them).
-ci: fmtcheck vet staticcheck govulncheck build test race chaos serve-smoke gbcsr-smoke bench-smoke
+ci: fmtcheck vet staticcheck govulncheck build test race chaos serve-smoke gbcsr-smoke patch-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ serve-smoke:
 # truncated file is rejected loudly.
 gbcsr-smoke:
 	sh scripts/gbcsr_smoke.sh
+
+# End-to-end smoke test of graph versioning: register, solve, repeat
+# (served from the result cache), PATCH an edge delta, assert the repeat
+# solves fresh on the new version, plus ifVersion 409s and typed delta
+# 400s against the live daemon.
+patch-smoke:
+	sh scripts/patch_smoke.sh
 
 # Short smoke run of the graph input fuzzers (native Go fuzzing): the two
 # edge-list parsers and the binary .gbcsr decoder.

@@ -246,7 +246,8 @@ func run(ctx context.Context, o cliOptions) (err error) {
 		}
 	}
 	defer stopProgress() // idempotent; covers the error returns below
-	res, err := gbc.TopKWithContext(ctx, alg, g, opts)
+	opts.Algorithm = alg
+	res, err := gbc.Solve(ctx, g, opts)
 	stopProgress() // final progress line lands before the results
 	if err != nil {
 		return err

@@ -131,7 +131,8 @@ func TestRunGBCSRInput(t *testing.T) {
 	if out.Nodes != g.N() || out.Edges != g.M() {
 		t.Fatalf("gbcsr input shape %d/%d, want %d/%d", out.Nodes, out.Edges, g.N(), g.M())
 	}
-	want, err := gbc.TopKWith(gbc.AdaAlg, g, gbc.Options{K: 4, Epsilon: 0.3, Gamma: 0.01, Seed: 2})
+	want, err := gbc.Solve(context.Background(), g,
+		gbc.Options{Algorithm: gbc.AdaAlg, K: 4, Epsilon: 0.3, Gamma: 0.01, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

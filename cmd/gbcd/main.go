@@ -3,11 +3,17 @@
 // It keeps named graphs resident in an LRU registry (each with its warm
 // sampling state, so repeated queries regrow samples allocation-free),
 // bounds solver concurrency with a FIFO-queued worker pool, and coalesces
-// identical concurrent queries into a single run.
+// identical concurrent queries into a single run. Graphs are versioned:
+// PATCH applies an edge delta as a new immutable version (optionally
+// guarded by ifVersion), converged results are cached and reused across
+// identical or ε-dominated repeats on the same version, and responses say
+// how they were produced (servedFrom: solve | cache | coalesced).
 //
 //	gbcd -addr :8080
 //	curl -s localhost:8080/v1/graphs -d '{"name":"ba","generator":"ba","n":2000,"degree":4}'
 //	curl -s localhost:8080/v1/topk   -d '{"graph":"ba","k":10,"epsilon":0.1}'
+//	curl -s -X PATCH localhost:8080/v1/graphs/ba -d '{"insert":[{"u":0,"v":9}]}'
+//	curl -s localhost:8080/v1/graphs/ba          # shape, version history, cache stats
 //
 // SIGINT/SIGTERM drains gracefully: admissions stop (503), in-flight runs
 // get the -drain-grace period to finish or return best-so-far partial

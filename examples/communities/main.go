@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 
 	// The GBC view of the same structure: the top group betweenness nodes
 	// sit on the inter-community bridges.
-	res, err := gbc.TopK(g, gbc.Options{K: 6, Epsilon: 0.2, Seed: 2})
+	res, err := gbc.Solve(context.Background(), g, gbc.Options{K: 6, Epsilon: 0.2, Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

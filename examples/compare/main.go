@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,9 @@ func main() {
 		{alg: gbc.AdaAlg, opts: gbc.Options{K: k, Epsilon: 0.3, Seed: 5}},
 	}
 	for i := range rows {
-		res, err := gbc.TopKWith(rows[i].alg, g, rows[i].opts)
+		opts := rows[i].opts
+		opts.Algorithm = rows[i].alg
+		res, err := gbc.Solve(context.Background(), g, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,8 @@ func main() {
 	naiveCover := gbc.ExactNormalizedGBC(g, naive)
 
 	// Group placement: the paper's adaptive sampling algorithm.
-	res, err := gbc.TopK(g, gbc.Options{K: K, Epsilon: 0.2, Gamma: 0.01, Seed: 3})
+	res, err := gbc.Solve(context.Background(), g,
+		gbc.Options{K: K, Epsilon: 0.2, Gamma: 0.01, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

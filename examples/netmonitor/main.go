@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,11 +27,12 @@ func main() {
 		K   = 40
 		eps = 0.3
 	)
-	ada, err := gbc.TopK(g, gbc.Options{K: K, Epsilon: eps, Seed: 2})
+	ada, err := gbc.Solve(context.Background(), g, gbc.Options{K: K, Epsilon: eps, Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cen, err := gbc.TopKWith(gbc.CentRa, g, gbc.Options{K: K, Epsilon: eps, Seed: 2})
+	cen, err := gbc.Solve(context.Background(), g,
+		gbc.Options{Algorithm: gbc.CentRa, K: K, Epsilon: eps, Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

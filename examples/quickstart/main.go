@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,8 @@ func main() {
 
 	// Find a 20-node group whose group betweenness centrality is, with
 	// probability 99%, at least (1 - 1/e - 0.3) times the optimum.
-	res, err := gbc.TopK(g, gbc.Options{K: 20, Epsilon: 0.3, Gamma: 0.01, Seed: 7})
+	res, err := gbc.Solve(context.Background(), g,
+		gbc.Options{K: 20, Epsilon: 0.3, Gamma: 0.01, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

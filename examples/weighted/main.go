@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,11 +55,11 @@ func main() {
 	flat := buildGrid(false)   // uniform latency: same as hop counting
 	express := buildGrid(true) // corridor row is 5x faster
 
-	optFlat, err := gbc.TopK(flat, gbc.Options{K: k, Epsilon: 0.2, Seed: 3})
+	optFlat, err := gbc.Solve(context.Background(), flat, gbc.Options{K: k, Epsilon: 0.2, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	optExpr, err := gbc.TopK(express, gbc.Options{K: k, Epsilon: 0.2, Seed: 3})
+	optExpr, err := gbc.Solve(context.Background(), express, gbc.Options{K: k, Epsilon: 0.2, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,7 +15,7 @@
 //
 //	g, err := gbc.LoadEdgeListFile("network.txt", false)
 //	if err != nil { ... }
-//	res, err := gbc.TopK(g, gbc.Options{K: 20})
+//	res, err := gbc.Solve(context.Background(), g, gbc.Options{K: 20})
 //	if err != nil { ... }
 //	fmt.Println(res.Group, res.NormalizedEstimate)
 package gbc
@@ -217,7 +217,10 @@ func Solve(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 // using the paper's adaptive algorithm AdaAlg: with probability at least
 // 1-γ the returned group is a (1-1/e-ε)-approximation. It is a legacy
 // alias of Solve — exactly Solve with a background context and
-// opts.Algorithm forced to AdaAlg; new integrations should call Solve.
+// opts.Algorithm forced to AdaAlg.
+//
+// Deprecated: call Solve (AdaAlg is already the zero-value algorithm) and
+// bound the run with a context.
 func TopK(g *Graph, opts Options) (*Result, error) {
 	opts.Algorithm = AdaAlg
 	return Solve(context.Background(), g, opts)
@@ -226,6 +229,8 @@ func TopK(g *Graph, opts Options) (*Result, error) {
 // TopKContext is TopK under a context — a legacy alias of Solve with
 // opts.Algorithm forced to AdaAlg; see Solve for the cancellation and
 // partial-result semantics.
+//
+// Deprecated: call Solve (AdaAlg is already the zero-value algorithm).
 func TopKContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 	opts.Algorithm = AdaAlg
 	return Solve(ctx, g, opts)
@@ -233,6 +238,8 @@ func TopKContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 
 // TopKWith is TopK with an explicit algorithm choice — a legacy alias of
 // Solve with a background context and opts.Algorithm forced to alg.
+//
+// Deprecated: set Options.Algorithm and call Solve.
 func TopKWith(alg Algorithm, g *Graph, opts Options) (*Result, error) {
 	opts.Algorithm = alg
 	return Solve(context.Background(), g, opts)
@@ -241,6 +248,8 @@ func TopKWith(alg Algorithm, g *Graph, opts Options) (*Result, error) {
 // TopKWithContext is TopKWith under a context — a legacy alias of Solve
 // with opts.Algorithm forced to alg; see Solve for the cancellation and
 // partial-result semantics.
+//
+// Deprecated: set Options.Algorithm and call Solve.
 func TopKWithContext(ctx context.Context, alg Algorithm, g *Graph, opts Options) (*Result, error) {
 	opts.Algorithm = alg
 	return Solve(ctx, g, opts)

@@ -15,6 +15,18 @@ type Sample struct {
 	Dist int32
 	// Reachable reports whether any s–t path exists.
 	Reachable bool
+
+	// ObsF and ObsB bound the region of the graph this draw's execution
+	// observed: every node whose adjacency was scanned or whose degree was
+	// read lies within hop distance ObsF-1 of s (forward) or ObsB-1 of t
+	// (backward, in-edges). An edge delta whose endpoints all fall outside
+	// both balls leaves the draw's execution — and therefore its RNG
+	// consumption and resulting path — bit-identical, which is the
+	// invariant sampling.Set.Repair relies on to skip unaffected samples.
+	// A zero ObsF means the sampler does not track observation bounds
+	// (weighted Dijkstra, custom samplers) and the sample can only be
+	// revalidated by redrawing.
+	ObsF, ObsB int32
 }
 
 // nodeState packs a node's BFS distance and path count into one 16-byte
@@ -262,8 +274,13 @@ func (bd *Bidirectional) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (S
 		panic("bfs: Sample with s == t")
 	}
 	d, ok := bd.search(s, t)
+	// Observed-region bounds: the search labels (and degree-reads) nodes up
+	// to each side's final depth, and every later phase — crossing-edge
+	// collection, the two path walks — only scans adjacencies of labeled
+	// nodes, so depth+1 is a sound exclusive radius for both exits.
+	obsF, obsB := bd.f.depth()+1, bd.b.depth()+1
 	if !ok {
-		return Sample{Dist: -1}, dst
+		return Sample{Dist: -1, ObsF: obsF, ObsB: obsB}, dst
 	}
 	c := bd.cut(d)
 	total := bd.collectCrossing(d, c)
@@ -319,5 +336,5 @@ func (bd *Bidirectional) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (S
 		cur = pick
 	}
 	path[d] = t
-	return Sample{Path: path, Sigma: total, Dist: d, Reachable: true}, dst
+	return Sample{Path: path, Sigma: total, Dist: d, Reachable: true, ObsF: obsF, ObsB: obsB}, dst
 }

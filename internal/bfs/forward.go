@@ -96,7 +96,9 @@ func (f *Forward) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (Sample, 
 		panic("bfs: Sample with s == t")
 	}
 	if !f.run(s, t) {
-		return Sample{Dist: -1}, dst
+		// The truncated BFS exhausted s's reachable set: every scanned
+		// adjacency belongs to a node within the deepest labeled level.
+		return Sample{Dist: -1, ObsF: f.maxDepth() + 1, ObsB: 1}, dst
 	}
 	d := f.dist[t]
 	dst, path := growPath(dst, int(d)+1)
@@ -118,5 +120,19 @@ func (f *Forward) AppendSample(dst []int32, s, t int32, r *xrand.Rand) (Sample, 
 		cur = pick
 	}
 	path[0] = s
-	return Sample{Path: path, Sigma: f.sigma[t], Dist: d, Reachable: true}, dst
+	// Every node observed by the BFS and the backward walk sits within
+	// d(s,t) hops of s (the BFS truncates at t's level and the walk visits
+	// only labeled nodes); ObsB = 1 additionally flags deltas touching t
+	// itself, whose in-adjacency the first walk step scans.
+	return Sample{Path: path, Sigma: f.sigma[t], Dist: d, Reachable: true,
+		ObsF: d + 1, ObsB: 1}, dst
+}
+
+// maxDepth returns the distance of the deepest labeled node of the last
+// run (0 when only s was labeled).
+func (f *Forward) maxDepth() int32 {
+	if len(f.order) == 0 {
+		return 0
+	}
+	return f.dist[f.order[len(f.order)-1]]
 }

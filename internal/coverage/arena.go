@@ -9,6 +9,11 @@ package coverage
 type PathArena struct {
 	Nodes   []int32
 	Offsets []int32 // len = Len()+1, Offsets[0] = 0, non-decreasing
+	// Obs optionally carries two observation-bound values per sealed path
+	// (bfs.Sample.ObsF, ObsB), appended by the sampling workers alongside
+	// EndPath. Arenas that never record bounds leave it nil; all arena
+	// operations keep it aligned at 2·Len() entries when present.
+	Obs []int32
 }
 
 // Reset empties the arena, keeping both buffers' capacity.
@@ -19,6 +24,7 @@ func (a *PathArena) Reset() {
 	} else {
 		a.Offsets = a.Offsets[:1]
 	}
+	a.Obs = a.Obs[:0]
 }
 
 // Len returns the number of sealed paths.
@@ -50,6 +56,7 @@ func (a *PathArena) AppendArena(src *PathArena) {
 	for _, off := range src.Offsets[1:] {
 		a.Offsets = append(a.Offsets, base+off)
 	}
+	a.Obs = append(a.Obs, src.Obs...)
 }
 
 // DropFront removes the first m paths, sliding the remaining paths (and
@@ -72,6 +79,10 @@ func (a *PathArena) DropFront(m int) {
 		a.Offsets[i] = a.Offsets[i+m] - cut
 	}
 	a.Offsets = a.Offsets[:rem+1]
+	if len(a.Obs) >= 2*m {
+		k := copy(a.Obs, a.Obs[2*m:])
+		a.Obs = a.Obs[:k]
+	}
 }
 
 // AddArenas bulk-appends every path of every arena, in arena order — the

@@ -72,6 +72,15 @@ type Metrics struct {
 	epochsCommitted  atomic.Int64 // fast-mode epoch merges into the coverage instance
 	epochMergeNanos  atomic.Int64 // cumulative wall time inside epoch merges
 	samplerIdleNanos atomic.Int64 // cumulative worker wait (barrier or frame starvation)
+
+	// Dynamic-graph counters (PR 9): graph versions created by PATCH,
+	// incremental sample repairs, and results served straight from the
+	// ε-dominance cache on the normal (non-shed) path.
+	graphPatches    atomic.Int64 // graph versions created by edge deltas
+	repairRuns      atomic.Int64 // sampling.Set.Repair invocations
+	samplesChecked  atomic.Int64 // samples examined by repair distance checks
+	samplesRepaired atomic.Int64 // samples actually re-drawn by repair
+	resultCacheHits atomic.Int64 // requests answered from the result cache (freshness "any")
 }
 
 // AddGraphBytesMapped adjusts the mapped-graph-bytes gauge: +size when a
@@ -290,6 +299,35 @@ func (m *Metrics) RequestDegraded() {
 	m.reqDegraded.Add(1)
 }
 
+// GraphPatched counts one new graph version created by an edge delta.
+func (m *Metrics) GraphPatched() {
+	if m == nil {
+		return
+	}
+	m.graphPatches.Add(1)
+}
+
+// RepairRun records one incremental sample repair: checked samples were
+// examined against the delta's touched set, repaired of them re-drawn.
+func (m *Metrics) RepairRun(checked, repaired int) {
+	if m == nil {
+		return
+	}
+	m.repairRuns.Add(1)
+	m.samplesChecked.Add(int64(checked))
+	m.samplesRepaired.Add(int64(repaired))
+}
+
+// ResultCacheHit counts one request answered from the ε-dominance result
+// cache on the normal serve path (freshness "any"), without a scheduler
+// slot.
+func (m *Metrics) ResultCacheHit() {
+	if m == nil {
+		return
+	}
+	m.resultCacheHits.Add(1)
+}
+
 // Stats is a point-in-time copy of a Metrics, shaped for JSON (the expvar
 // endpoint serves exactly this object under the "gbc" key).
 type Stats struct {
@@ -325,6 +363,12 @@ type Stats struct {
 	EpochsCommitted  int64 `json:"epochsCommitted"`
 	EpochMergeNanos  int64 `json:"epochMergeNanos"`
 	SamplerIdleNanos int64 `json:"samplerIdleNanos"`
+
+	GraphPatches    int64 `json:"graphPatches"`
+	RepairRuns      int64 `json:"repairRuns"`
+	SamplesChecked  int64 `json:"samplesChecked"`
+	SamplesRepaired int64 `json:"samplesRepaired"`
+	ResultCacheHits int64 `json:"resultCacheHits"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -367,6 +411,12 @@ func (m *Metrics) Snapshot() Stats {
 		EpochsCommitted:  m.epochsCommitted.Load(),
 		EpochMergeNanos:  m.epochMergeNanos.Load(),
 		SamplerIdleNanos: m.samplerIdleNanos.Load(),
+
+		GraphPatches:    m.graphPatches.Load(),
+		RepairRuns:      m.repairRuns.Load(),
+		SamplesChecked:  m.samplesChecked.Load(),
+		SamplesRepaired: m.samplesRepaired.Load(),
+		ResultCacheHits: m.resultCacheHits.Load(),
 	}
 	if start := m.startNanos.Load(); start != 0 {
 		if secs := time.Since(time.Unix(0, start)).Seconds(); secs > 0 {

@@ -182,6 +182,13 @@ func (s *Set) commitFastEpochs(target int) error {
 	}
 	nulls := s.cov.AddStrided(s.fastViews[:W], m*W)
 	s.Unreachable += nulls
+	// Interleave the carried bound records back into global index order —
+	// the same stride AddStrided just applied to the paths.
+	for j := 0; j < m*W; j++ {
+		c := &s.fastCarry[j%W]
+		k := j / W
+		s.obs = append(s.obs, c.Obs[2*k], c.Obs[2*k+1])
+	}
 	for w := 0; w < W; w++ {
 		s.fastCarry[w].DropFront(m)
 	}

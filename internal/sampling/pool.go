@@ -62,15 +62,17 @@ func (d *drawState) drawInto(arena *coverage.PathArena, i int) {
 	}
 	d.rng.Reseed(d.seed0, d.seed1+uint64(i))
 	a, b := d.rng.IntnPair(d.n)
+	var smp bfs.Sample
 	if d.appender != nil {
-		_, arena.Nodes = d.appender.AppendSample(arena.Nodes, int32(a), int32(b), &d.rng)
+		smp, arena.Nodes = d.appender.AppendSample(arena.Nodes, int32(a), int32(b), &d.rng)
 	} else {
-		smp := d.sampler.Sample(int32(a), int32(b), &d.rng)
+		smp = d.sampler.Sample(int32(a), int32(b), &d.rng)
 		if smp.Reachable {
 			arena.Nodes = append(arena.Nodes, smp.Path...)
 		}
 	}
 	arena.EndPath()
+	arena.Obs = append(arena.Obs, smp.ObsF, smp.ObsB)
 }
 
 // draw is drawInto targeting the worker's own arena (deterministic mode).

@@ -67,7 +67,19 @@ type Set struct {
 	seed0, seed1 uint64
 	sampler      PairSampler
 	newSampler   func() PairSampler // nil when only a shared sampler exists
-	cov          *coverage.Instance
+	// samplerFor rebuilds the sampler kind over an arbitrary graph; set by
+	// the graph-aware constructors (NewBidirectionalSet & co) and required
+	// by Repair, which must re-draw flagged samples on the patched graph.
+	samplerFor func(*graph.Graph) PairSampler
+	cov        *coverage.Instance
+
+	// obs holds two observation-bound values per sample in index order
+	// (bfs.Sample.ObsF, ObsB — see that type for the soundness contract),
+	// maintained at every commit point alongside the coverage arena. Repair
+	// reads them to decide which samples a delta could have perturbed; a
+	// zero ObsF marks a sample drawn by a bounds-blind sampler and
+	// disqualifies the whole set from repair.
+	obs []int32
 
 	// seq is the sequential draw state (lazily built around the shared
 	// sampler); seqView is its one-element arena list for AddStrided.
@@ -162,13 +174,13 @@ func NewFactorySet(g *graph.Graph, factory func() PairSampler, r *xrand.Rand) *S
 // NewBidirectionalSet is the common construction: a Set backed by balanced
 // bidirectional BFS samplers (one per worker).
 func NewBidirectionalSet(g *graph.Graph, r *xrand.Rand) *Set {
-	return NewFactorySet(g, func() PairSampler { return bfs.NewBidirectional(g) }, r)
+	return newGraphFactorySet(g, r, func(g *graph.Graph) PairSampler { return bfs.NewBidirectional(g) })
 }
 
 // NewForwardSet is a Set backed by truncated forward-BFS samplers; the
 // reference sampler for tests and ablations.
 func NewForwardSet(g *graph.Graph, r *xrand.Rand) *Set {
-	return NewFactorySet(g, func() PairSampler { return bfs.NewForward(g) }, r)
+	return newGraphFactorySet(g, r, func(g *graph.Graph) PairSampler { return bfs.NewForward(g) })
 }
 
 // NewWeightedSet is a Set backed by truncated Dijkstra samplers for
@@ -176,7 +188,19 @@ func NewForwardSet(g *graph.Graph, r *xrand.Rand) *Set {
 // every exported entry point picks the sampler by g.Weighted() (NewSetFor)
 // or validates the graph before construction.
 func NewWeightedSet(g *graph.Graph, r *xrand.Rand) *Set {
-	return NewFactorySet(g, func() PairSampler { return bfs.NewDijkstra(g) }, r)
+	return newGraphFactorySet(g, r, func(g *graph.Graph) PairSampler { return bfs.NewDijkstra(g) })
+}
+
+// newGraphFactorySet is NewFactorySet with a graph-parameterized factory,
+// which additionally enables Repair: the set can rebuild its sampler kind
+// over a patched graph. The newSampler closure reads s.g at call time, so
+// pool workers spawned after a Repair sample the rebound graph.
+func newGraphFactorySet(g *graph.Graph, r *xrand.Rand, factory func(*graph.Graph) PairSampler) *Set {
+	s := newSet(g, r)
+	s.samplerFor = factory
+	s.newSampler = func() PairSampler { return factory(s.g) }
+	s.sampler = factory(g)
+	return s
 }
 
 // NewSetFor picks the natural sampler for g: Dijkstra when weighted,
@@ -290,6 +314,7 @@ func (s *Set) growSequential(cur, end int) {
 		st.draw(i)
 	}
 	s.Unreachable += s.cov.AddStrided(s.seqView, end-cur)
+	s.obs = append(s.obs, st.arena.Obs...)
 }
 
 // updateArenaGauge reports the coverage engine's footprint change since the
@@ -373,6 +398,11 @@ func (s *Set) growParallel(ctx context.Context, cur, end, workers int) error {
 		}
 	}
 	s.Unreachable += s.cov.AddArenas(s.poolArenas[:workers])
+	// Worker w drew one contiguous index block, so concatenating the
+	// arenas' bound records in worker order preserves index order.
+	for w := 0; w < workers; w++ {
+		s.obs = append(s.obs, s.poolArenas[w].Obs...)
+	}
 	return nil
 }
 
@@ -474,6 +504,7 @@ func (s *Set) ensurePool(workers int) {
 // responses deterministic.
 func (s *Set) Reset() {
 	s.cov.Reset()
+	s.obs = s.obs[:0]
 	s.Unreachable = 0
 	// Drop the fast partition anchor: the next fast growth re-anchors at
 	// length zero, clearing carried tails and position counters, so a reset

@@ -3,10 +3,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -110,6 +112,64 @@ func TestChaos(t *testing.T) {
 		}
 	}()
 
+	// Version chaos: PATCH the small graph (toggling a chord) and the
+	// victim graph (racing its evict/respawn loop) while solves stream.
+	// Every outcome must be from the documented set — 200 applied, 400 for
+	// a delta invalid against the current version (the victim respawns with
+	// unknown edge state), 404 mid-eviction, 409 on a version conflict.
+	patchDone := make(chan struct{})
+	stopPatch := make(chan struct{})
+	var patchesApplied atomic.Int64
+	go func() {
+		defer close(patchDone)
+		patch := func(name, op string) int {
+			body, _ := json.Marshal(map[string]any{
+				op: []map[string]any{{"u": 1, "v": 299}},
+			})
+			req, err := http.NewRequest(http.MethodPatch,
+				ts.URL+"/v1/graphs/"+name, bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return 0
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return 0 // server torn down mid-run
+			}
+			defer resp.Body.Close()
+			out, _ := io.ReadAll(resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				patchesApplied.Add(1)
+			case http.StatusBadRequest, http.StatusNotFound, http.StatusConflict:
+				var e errorResponse
+				if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
+					t.Errorf("patch %s: untyped %d body %s", name, resp.StatusCode, out)
+				}
+			default:
+				t.Errorf("patch %s: status %d outside the contract: %s", name, resp.StatusCode, out)
+			}
+			return resp.StatusCode
+		}
+		present := false // chord (1, 299) in "small"; toggled on success
+		for {
+			select {
+			case <-stopPatch:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			op := "insert"
+			if present {
+				op = "delete"
+			}
+			if patch("small", op) == http.StatusOK {
+				present = !present
+			}
+			patch("victim", "insert")
+		}
+	}()
+
 	allowedStatus := map[int]bool{
 		http.StatusOK: true, http.StatusNotFound: true,
 		http.StatusTooManyRequests: true, http.StatusInternalServerError: true,
@@ -194,6 +254,8 @@ func TestChaos(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	wg.Wait()
+	close(stopPatch)
+	<-patchDone
 	close(stopMaint)
 	<-maintDone
 	s.Shutdown(context.Background())
@@ -209,6 +271,10 @@ func TestChaos(t *testing.T) {
 	}
 	if st.RequestsAdmitted == 0 || st.RequestsCompleted == 0 {
 		t.Errorf("chaos run admitted/completed nothing: %+v", st)
+	}
+	if applied := patchesApplied.Load(); applied == 0 || st.GraphPatches < applied {
+		t.Errorf("patch chaos: %d applied over HTTP but GraphPatches=%d",
+			applied, st.GraphPatches)
 	}
 	if st.QueueDepth != 0 || st.ActiveRuns != 0 || st.BusyWorkers != 0 {
 		t.Errorf("wedged state after shutdown: queue=%d active=%d busy=%d",

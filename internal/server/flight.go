@@ -8,12 +8,15 @@ import (
 )
 
 // flightKey identifies requests that must coalesce: everything that
-// changes the computed answer. Deadlines are deliberately excluded — the
+// changes the computed answer, including the graph version observed at
+// admission — a request racing ahead of a PATCH and one landing after it
+// must not share a run. Deadlines are deliberately excluded — the
 // leader's deadline governs the shared run, so a follower may receive a
 // partial result earlier than its own deadline required; identical load
 // spikes are exactly when that trade is worth it.
 type flightKey struct {
 	graph     string
+	version   int
 	algorithm core.Algorithm
 	k         int
 	epsilon   float64
@@ -25,12 +28,15 @@ type flightKey struct {
 	trace     bool
 }
 
-// flightResult is what waiters share: the response body bytes (so every
-// waiter sends bit-identical JSON), the HTTP status, or an error.
+// flightResult is what waiters share: on success the response value (each
+// waiter marshals its own copy, so the leader can report servedFrom
+// "solve" and followers "coalesced"), on a non-200 outcome pre-rendered
+// error bytes, or an error for the shed/failed paths.
 type flightResult struct {
-	body   []byte
-	status int
-	err    error
+	resp    *topkResponse // success; nil when errBody or err is set
+	errBody []byte        // rendered non-2xx body (e.g. the 504 shape)
+	status  int
+	err     error
 }
 
 type flightCall struct {
@@ -56,13 +62,14 @@ func newFlightGroup() *flightGroup {
 // call becomes the leader and executes fn; every concurrent caller with
 // the same key waits for the leader's result instead (counted on the
 // runs-coalesced metric, so N identical requests advance it by N-1).
-func (f *flightGroup) do(key flightKey, m *obs.Metrics, fn func() flightResult) flightResult {
+// shared reports whether this caller was a follower.
+func (f *flightGroup) do(key flightKey, m *obs.Metrics, fn func() flightResult) (res flightResult, shared bool) {
 	f.mu.Lock()
 	if c, ok := f.calls[key]; ok {
 		f.mu.Unlock()
 		m.IncCoalesced()
 		<-c.done
-		return c.res
+		return c.res, true
 	}
 	c := &flightCall{done: make(chan struct{})}
 	f.calls[key] = c
@@ -74,5 +81,5 @@ func (f *flightGroup) do(key flightKey, m *obs.Metrics, fn func() flightResult) 
 	delete(f.calls, key)
 	f.mu.Unlock()
 	close(c.done)
-	return c.res
+	return c.res, false
 }

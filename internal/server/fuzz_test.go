@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -54,6 +55,85 @@ func FuzzTopKDecode(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`{"algorithm":"EXHAUST","k":0}`))
 	fuzzPost(f, "/v1/topk")
+}
+
+// FuzzGraphPatchDecode targets PATCH /v1/graphs/{name} with a real graph
+// registered: arbitrary bytes must never panic, every failure must be a
+// typed 4xx, and the graph's version must only ever move forward — an
+// accepted patch bumps it by one, a rejected one leaves it alone.
+func FuzzGraphPatchDecode(f *testing.F) {
+	f.Add([]byte(`{"insert":[{"u":0,"v":5}]}`))
+	f.Add([]byte(`{"delete":[{"u":0,"v":1}]}`))
+	f.Add([]byte(`{"insert":[{"u":0,"v":5}],"delete":[{"u":0,"v":5}]}`))
+	f.Add([]byte(`{"insert":[{"u":-1,"v":5}]}`))
+	f.Add([]byte(`{"insert":[{"u":3,"v":3}]}`))
+	f.Add([]byte(`{"insert":[{"u":0,"v":5,"w":1e999}]}`))
+	f.Add([]byte(`{"insert":[{"u":0,"v":99999999}]}`))
+	f.Add([]byte(`{"ifVersion":-3,"insert":[{"u":0,"v":5}]}`))
+	f.Add([]byte(`{"ifVersion":7,"insert":[{"u":0,"v":5}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"insert":`))
+	f.Add([]byte(`null`))
+
+	s := New(Config{MaxBodyBytes: 1 << 16, MaxUploadBytes: 1 << 16})
+	f.Cleanup(func() { s.Shutdown(context.Background()) })
+	h := s.Handler()
+	// A 12-node ring: edges (i, i+1 mod 12), so the fuzzer has both present
+	// and absent edges within reach of small integers.
+	var sb bytes.Buffer
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i, (i+1)%12)
+	}
+	add, _ := json.Marshal(map[string]any{"name": "g", "edgeList": sb.String()})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/graphs", bytes.NewReader(add))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		f.Fatalf("seed graph: %d %s", rec.Code, rec.Body.Bytes())
+	}
+	version := func() int {
+		e, ok := s.Registry().Get("g")
+		if !ok {
+			f.Fatal("graph g disappeared")
+		}
+		defer e.Release()
+		return e.CurrentVersion()
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := version()
+		req := httptest.NewRequest(http.MethodPatch, "/v1/graphs/g", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic fails the fuzz run
+		after := version()
+		switch rec.Code {
+		case http.StatusOK:
+			if after != before+1 {
+				t.Fatalf("accepted patch moved version %d -> %d, want +1 (body %q)",
+					before, after, body)
+			}
+			var pr patchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil || pr.Version != after {
+				t.Fatalf("malformed patch response %q (err %v)", rec.Body.Bytes(), err)
+			}
+		case http.StatusBadRequest, http.StatusConflict:
+			if after != before {
+				t.Fatalf("rejected patch (%d) moved version %d -> %d (body %q)",
+					rec.Code, before, after, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("untyped error body %q", rec.Body.Bytes())
+			}
+			if rec.Code == http.StatusConflict && e.CurrentVersion != before {
+				t.Fatalf("409 without the current version: %q", rec.Body.Bytes())
+			}
+		default:
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+	})
 }
 
 func FuzzGraphDecode(f *testing.F) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gbc/internal/core"
@@ -35,17 +36,87 @@ type Registry struct {
 	order   *list.List // front = most recently used
 }
 
-// Entry is one resident graph. Runs against the same entry serialize on
-// its mutex: they share the warm sample sets, which are single-owner
-// state (sampling.Set is not safe for concurrent use). Cross-graph runs
-// proceed in parallel, bounded only by the scheduler.
+// version is one immutable snapshot of an entry's graph. A PATCH produces
+// a new version and retires the old one; the retired snapshot's backing
+// storage (the mmap of a .gbcsr-loaded base version — patched versions are
+// always heap-built) is released once the last in-flight solve on it
+// finishes. Every solve pins the version it runs on with acquire/release,
+// so a patch landing mid-solve never unmaps memory the solver is reading.
+type version struct {
+	num     int
+	g       *graph.Graph
+	created time.Time
+
+	mu        sync.Mutex
+	refs      int
+	retired   bool // no longer the entry's current version (or entry dead)
+	closeOnce sync.Once
+}
+
+func (v *version) acquire() {
+	v.mu.Lock()
+	v.refs++
+	v.mu.Unlock()
+}
+
+func (v *version) release(m *obs.Metrics) {
+	v.mu.Lock()
+	v.refs--
+	last := v.refs == 0 && v.retired
+	v.mu.Unlock()
+	if last {
+		v.close(m)
+	}
+}
+
+// retire marks the version dead; storage closes now if nothing holds it,
+// otherwise when the last release comes in. Idempotent.
+func (v *version) retire(m *obs.Metrics) {
+	v.mu.Lock()
+	v.retired = true
+	idle := v.refs == 0
+	v.mu.Unlock()
+	if idle {
+		v.close(m)
+	}
+}
+
+// close releases the snapshot's backing storage exactly once and settles
+// the mapped-bytes gauge. Heap-built graphs close as a no-op.
+func (v *version) close(m *obs.Metrics) {
+	v.closeOnce.Do(func() {
+		m.AddGraphBytesMapped(-v.g.MappedBytes())
+		v.g.Close()
+	})
+}
+
+// versionInfo is the per-version line of an entry's history, served by
+// GET /v1/graphs/{name}.
+type versionInfo struct {
+	Version  int       `json:"version"`
+	Created  time.Time `json:"created"`
+	Inserted int       `json:"inserted,omitempty"`
+	Deleted  int       `json:"deleted,omitempty"`
+	Edges    int       `json:"edges"`
+}
+
+// maxDeltaChain bounds how many versions behind a warm set may fall and
+// still be repaired forward: deltas older than that are pruned and the
+// sets rebuild cold instead. Keeps per-entry delta memory O(chain).
+const maxDeltaChain = 16
+
+// Entry is one resident graph under a stable name, holding a chain of
+// immutable versions (PATCH /v1/graphs/{name} appends one). Runs against
+// the same entry serialize on its mutex: they share the warm sample sets,
+// which are single-owner state (sampling.Set is not safe for concurrent
+// use). Cross-graph runs proceed in parallel, bounded only by the
+// scheduler.
 //
-// Entries are reference counted because a graph may be backed by a file
-// mapping (graph.OpenCSR) that eviction must eventually unmap: Get
-// acquires a reference, the caller pairs it with Release, and eviction
-// only closes the backing storage once the last reference is gone — an
-// in-flight solve keeps reading valid memory even if its graph is evicted
-// mid-run.
+// Two reference counts keep storage safe. The entry-level count (Get /
+// Release) pins the entry across a whole request, so eviction never closes
+// anything a handler still touches. The per-version count pins the exact
+// snapshot a solve runs on, so a PATCH retiring the old version only
+// unmaps it after in-flight solves on it finish.
 type Entry struct {
 	Name string
 	// Desc says where the graph came from ("dataset GrQc scale 0.1", …).
@@ -53,26 +124,37 @@ type Entry struct {
 	// Created is when the graph was registered.
 	Created time.Time
 
-	graph *graph.Graph
-	elem  *list.Element
+	elem *list.Element
 
-	// Immutable shape fields copied out of the graph at Add time, so
-	// listings never touch graph memory (which an eviction may be about
-	// to unmap).
-	nodes, edges       int
+	// Shape fields. Node count, directedness and weightedness are fixed
+	// for the entry's lifetime (deltas are edge-only); the edge count and
+	// current version change under verMu.
+	nodes              int
 	directed, weighted bool
 
 	metrics *obs.Metrics
 
-	// refMu guards the liveness state below; it is never held while
-	// closing the graph (closeOnce serializes that).
-	refMu     sync.Mutex
-	refs      int
-	evicted   bool
-	closeOnce sync.Once
+	// refMu guards the entry-level liveness state below; it is never held
+	// while closing a version.
+	refMu   sync.Mutex
+	refs    int
+	evicted bool
 
-	mu   sync.Mutex
-	warm map[warmKey]*warmSets
+	// verMu guards the version chain: the current version, the bounded
+	// delta chain keyed by from-version, the history and the mutable edge
+	// count. Held only for pointer swaps, never across an ApplyDelta or a
+	// solve; patchMu serializes whole patches so two concurrent PATCHes
+	// cannot both apply against the same base.
+	verMu    sync.Mutex
+	patchMu  sync.Mutex
+	cur      *version
+	edges    int
+	deltas   map[int]*graph.Delta
+	versions []versionInfo
+
+	mu        sync.Mutex
+	warm      map[warmKey]*warmSets
+	warmCount atomic.Int64 // len(warm), readable without e.mu
 
 	// resMu guards the ε-dominance result cache separately from mu, which
 	// is held for the entire duration of a solve: a degraded-path lookup
@@ -83,8 +165,10 @@ type Entry struct {
 
 // resultKey identifies the family of runs a completed result can stand in
 // for under the ε-dominance rule: everything answer-determining except ε
-// itself. A run completed at ε' dominates any request at ε ≥ ε' with the
-// same key — the looser request would have accepted the tighter answer.
+// itself, including the graph version the run observed — a result computed
+// on an older version never answers a request against a newer one. A run
+// completed at ε' dominates any request at ε ≥ ε' with the same key — the
+// looser request would have accepted the tighter answer.
 type resultKey struct {
 	algorithm core.Algorithm
 	k         int
@@ -92,6 +176,7 @@ type resultKey struct {
 	workers   int
 	sampling  core.SamplingMode
 	forward   bool
+	version   int
 }
 
 // cachedResult is the tightest (smallest-ε) converged result seen for a
@@ -114,9 +199,13 @@ type warmKey struct {
 }
 
 // warmSets holds the cached sets of one warmKey in hook-call order (slot 0
-// is every algorithm's S set, slot 1 AdaAlg's T set).
+// is every algorithm's S set, slot 1 AdaAlg's T set), plus the version
+// their graphs are bound to. The binding holds a version reference so a
+// retired snapshot stays readable until the sets are repaired forward or
+// dropped.
 type warmSets struct {
-	sets []*sampling.Set
+	sets  []*sampling.Set
+	bound *version
 }
 
 // NewRegistry returns an empty registry bounded to at most max resident
@@ -133,10 +222,10 @@ func NewRegistry(max int, m *obs.Metrics) *Registry {
 	}
 }
 
-// Add registers g under name, evicting the least recently used graph when
-// the registry is full. It fails if the name is already taken — graphs are
-// immutable once registered, so a replacement must be a new name (or an
-// explicit Remove first).
+// Add registers g under name as version 1, evicting the least recently
+// used graph when the registry is full. It fails if the name is already
+// taken — a replacement must be a new name, an explicit Remove first, or a
+// PATCH producing a new version of the resident graph.
 func (r *Registry) Add(name, desc string, g *graph.Graph) (*Entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -151,13 +240,17 @@ func (r *Registry) Add(name, desc string, g *graph.Graph) (*Entry, error) {
 		r.metrics.RegistryEviction()
 		victim.evict()
 	}
+	now := time.Now()
+	v := &version{num: 1, g: g, created: now}
 	e := &Entry{
-		Name: name, Desc: desc, Created: time.Now(),
-		graph: g, warm: make(map[warmKey]*warmSets),
+		Name: name, Desc: desc, Created: now,
+		cur: v, warm: make(map[warmKey]*warmSets),
+		deltas:  make(map[int]*graph.Delta),
 		results: make(map[resultKey]cachedResult),
 		nodes:   g.N(), edges: g.M(),
 		directed: g.Directed(), weighted: g.Weighted(),
-		metrics: r.metrics,
+		metrics:  r.metrics,
+		versions: []versionInfo{{Version: 1, Created: now, Edges: g.M()}},
 	}
 	r.metrics.AddGraphBytesMapped(g.MappedBytes())
 	e.elem = r.order.PushFront(e)
@@ -168,7 +261,7 @@ func (r *Registry) Add(name, desc string, g *graph.Graph) (*Entry, error) {
 // Get returns the named entry, marks it most recently used, and acquires
 // a reference on it: the caller must pair every successful Get with
 // exactly one Release once it is done touching the entry's graph. The
-// reference keeps the graph's backing storage alive across a concurrent
+// reference keeps the entry's versions alive across a concurrent
 // eviction.
 func (r *Registry) Get(name string) (*Entry, bool) {
 	r.mu.Lock()
@@ -185,37 +278,50 @@ func (r *Registry) Get(name string) (*Entry, bool) {
 
 // Release returns the reference acquired by Registry.Get. If the entry
 // was evicted while this reference was held and this is the last one, the
-// graph's backing storage (an mmap for .gbcsr-loaded graphs) is released
-// now.
+// entry's remaining storage (the mmap of a .gbcsr-loaded graph) is
+// released now.
 func (e *Entry) Release() {
 	e.refMu.Lock()
 	e.refs--
 	last := e.refs == 0 && e.evicted
 	e.refMu.Unlock()
 	if last {
-		e.closeGraph()
+		e.shutDown()
 	}
 }
 
-// evict marks the entry dead; the backing storage closes immediately when
-// no references are held, otherwise when the last Release comes in.
+// evict marks the entry dead; its storage closes immediately when no
+// references are held, otherwise when the last Release comes in.
 func (e *Entry) evict() {
 	e.refMu.Lock()
 	e.evicted = true
 	idle := e.refs == 0
 	e.refMu.Unlock()
 	if idle {
-		e.closeGraph()
+		e.shutDown()
 	}
 }
 
-// closeGraph releases the graph's backing storage exactly once and settles
-// the mapped-bytes gauge. Heap-built graphs close as a no-op.
-func (e *Entry) closeGraph() {
-	e.closeOnce.Do(func() {
-		e.metrics.AddGraphBytesMapped(-e.graph.MappedBytes())
-		e.graph.Close()
-	})
+// shutDown retires the entry's current version and drops the warm sets'
+// version bindings. Versions retired by earlier patches settle themselves
+// through their own reference counts; with the entry's reference count at
+// zero no solve is in flight, so taking e.mu here cannot deadlock.
+func (e *Entry) shutDown() {
+	e.verMu.Lock()
+	v := e.cur
+	e.verMu.Unlock()
+	e.mu.Lock()
+	for _, ws := range e.warm {
+		if ws.bound != nil {
+			ws.bound.release(e.metrics)
+			ws.bound = nil
+		}
+		ws.sets = nil
+	}
+	e.warm = make(map[warmKey]*warmSets)
+	e.warmCount.Store(0)
+	e.mu.Unlock()
+	v.retire(e.metrics)
 }
 
 // Remove drops the named graph and its warm state. It reports whether the
@@ -254,27 +360,224 @@ func (r *Registry) List() []*Entry {
 	return out
 }
 
-// Graph returns the entry's immutable graph.
-func (e *Entry) Graph() *graph.Graph { return e.graph }
+// Graph returns the entry's current graph version. Callers hold an
+// entry reference (Registry.Get), which keeps every version alive, so the
+// returned graph stays readable even if a patch retires it concurrently.
+func (e *Entry) Graph() *graph.Graph {
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	return e.cur.g
+}
 
-// Solve runs opts against the entry's graph, reusing the entry's warm
-// sample sets when the configuration is cacheable. A warm set is Reset
-// before reuse: its samples are regrown from index 0 on the retained
-// arenas and worker pool, so the response is bit-identical to a cold run
-// while skipping all steady-state allocation. metrics counts a RegistryHit
-// per reused set and a RegistryMiss per fresh construction.
+// CurrentVersion returns the entry's current version number.
+func (e *Entry) CurrentVersion() int {
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	return e.cur.num
+}
+
+// Versions returns a copy of the entry's version history, oldest first.
+func (e *Entry) Versions() []versionInfo {
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	out := make([]versionInfo, len(e.versions))
+	copy(out, e.versions)
+	return out
+}
+
+// shape returns the entry's listing fields without touching graph memory,
+// safe concurrently with patches and evictions.
+func (e *Entry) shape() (nodes, edges, ver int) {
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	return e.nodes, e.edges, e.cur.num
+}
+
+// WarmSetCount returns how many warm-set families the entry holds.
+func (e *Entry) WarmSetCount() int { return int(e.warmCount.Load()) }
+
+// CachedResultCount returns how many ε-dominance results are cached.
+func (e *Entry) CachedResultCount() int {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	return len(e.results)
+}
+
+// PatchConflictError reports an optimistic-concurrency failure: the
+// request named an ifVersion that is no longer the entry's current
+// version.
+type PatchConflictError struct {
+	Current int
+}
+
+func (e *PatchConflictError) Error() string {
+	return fmt.Sprintf("server: graph version conflict, current version is %d", e.Current)
+}
+
+// PatchInfo reports a successful Patch.
+type PatchInfo struct {
+	FromVersion int
+	Version     int
+	Nodes       int
+	Edges       int
+}
+
+// Patch applies an edge delta to the entry's current version, producing a
+// new immutable current version. ifVersion non-zero demands the patch
+// apply against exactly that version (409-style *PatchConflictError
+// otherwise); zero means "whatever is current". The old version is
+// retired — its storage closes once in-flight solves on it drain — and
+// cached results for older versions are dropped, so they can never answer
+// a request again. The delta is recorded on a bounded chain so warm
+// sample sets lazily repair forward at their next use instead of
+// rebuilding cold.
+//
+// Patches to the same entry serialize; a patch does not wait for, or
+// block, in-flight solves.
+func (e *Entry) Patch(d *graph.Delta, ifVersion int) (PatchInfo, error) {
+	e.patchMu.Lock()
+	defer e.patchMu.Unlock()
+	e.verMu.Lock()
+	v := e.cur
+	if ifVersion != 0 && ifVersion != v.num {
+		e.verMu.Unlock()
+		return PatchInfo{}, &PatchConflictError{Current: v.num}
+	}
+	v.acquire() // pin the base across ApplyDelta
+	e.verMu.Unlock()
+
+	ng, err := graph.ApplyDelta(v.g, d)
+	if err != nil {
+		v.release(e.metrics)
+		return PatchInfo{}, err
+	}
+	nv := &version{num: v.num + 1, g: ng, created: time.Now()}
+
+	e.verMu.Lock()
+	e.cur = nv
+	e.edges = ng.M()
+	e.deltas[v.num] = d
+	for k := range e.deltas {
+		if k < nv.num-maxDeltaChain {
+			delete(e.deltas, k)
+		}
+	}
+	e.versions = append(e.versions, versionInfo{
+		Version: nv.num, Created: nv.created,
+		Inserted: len(d.Insert), Deleted: len(d.Delete), Edges: ng.M(),
+	})
+	e.verMu.Unlock()
+
+	v.release(e.metrics)
+	v.retire(e.metrics)
+
+	// Results computed on older versions are stale by definition; with the
+	// version in the key they could never be looked up again, so drop them
+	// now rather than letting the map grow with each patch.
+	e.resMu.Lock()
+	for k := range e.results {
+		if k.version != nv.num {
+			delete(e.results, k)
+		}
+	}
+	e.resMu.Unlock()
+
+	e.metrics.GraphPatched()
+	return PatchInfo{FromVersion: v.num, Version: nv.num, Nodes: ng.N(), Edges: ng.M()}, nil
+}
+
+// deltaChain returns the concatenation of the recorded deltas carrying
+// version from to version to, or ok false when any hop has been pruned.
+// The concatenation is not a valid delta for ApplyDelta (an edge may
+// appear in both lists); it exists only for Repair, which consults the
+// touched-endpoint set — the union over hops covers every node whose
+// adjacency differs between the two versions, which is exactly what the
+// repair soundness argument needs.
+func (e *Entry) deltaChain(from, to int) (*graph.Delta, bool) {
+	if from >= to {
+		return nil, false
+	}
+	merged := &graph.Delta{}
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	for k := from; k < to; k++ {
+		d, ok := e.deltas[k]
+		if !ok {
+			return nil, false
+		}
+		merged.Insert = append(merged.Insert, d.Insert...)
+		merged.Delete = append(merged.Delete, d.Delete...)
+	}
+	return merged, true
+}
+
+// prepareWarm rebinds a warm-set family to the version the solve is about
+// to run on. Sets left behind by a patch are repaired forward through the
+// recorded delta chain — only samples whose observation region a delta
+// touched are re-drawn, the arenas and worker pools are retained — or,
+// when the chain is pruned or a set does not support repair (weighted
+// Dijkstra sampling, pre-bound growth), dropped to rebuild cold inside
+// the solve. Called under e.mu.
+func (e *Entry) prepareWarm(ws *warmSets, v *version, metrics *obs.Metrics) {
+	if ws.bound == v {
+		return
+	}
+	if ws.bound != nil && len(ws.sets) > 0 {
+		d, ok := e.deltaChain(ws.bound.num, v.num)
+		if ok {
+			for _, s := range ws.sets {
+				// Repair runs outside a solve, so the set's metrics sink
+				// is unset; borrow the caller's for the repair counters.
+				s.Metrics = metrics
+				if _, err := s.Repair(v.g, d); err != nil {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			// A failed repair may leave earlier sets already migrated;
+			// dropping the whole family is always safe — the solve
+			// rebuilds them cold on v.g.
+			ws.sets = nil
+		}
+	}
+	if ws.bound != nil {
+		ws.bound.release(e.metrics)
+	}
+	ws.bound = v
+	v.acquire()
+}
+
+// Solve runs opts against the entry's current graph version and returns
+// the result together with the version number it ran on. The version is
+// pinned for the duration, so a concurrent patch retiring it cannot unmap
+// memory mid-solve.
+//
+// When the configuration is cacheable the entry's warm sample sets are
+// reused: a warm set is repaired forward if a patch moved the graph since
+// it last ran (see prepareWarm), then Reset — its samples regrow from
+// index 0 on the retained arenas and worker pool, so the response is
+// bit-identical to a cold run on the same version while skipping all
+// steady-state allocation. metrics counts a RegistryHit per reused set
+// and a RegistryMiss per fresh construction.
 //
 // Runs against one entry serialize on the entry mutex (warm sets are
 // single-owner); the scheduler bounds how many entries solve at once.
-func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metrics) (*core.Result, error) {
+func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metrics) (*core.Result, int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.verMu.Lock()
+	v := e.cur
+	v.acquire()
+	e.verMu.Unlock()
+	defer v.release(e.metrics)
 	if faultinject.Enabled {
 		// The chaos test arms this point with a concurrent registry
 		// eviction; a returned error simulates the entry's backing state
 		// failing mid-solve.
 		if err := faultinject.Fire(faultinject.RegistryEvictDuringSolve); err != nil {
-			return nil, err
+			return nil, v.num, err
 		}
 	}
 	if cacheable(opts) {
@@ -286,7 +589,9 @@ func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metri
 		if ws == nil {
 			ws = &warmSets{}
 			e.warm[key] = ws
+			e.warmCount.Store(int64(len(e.warm)))
 		}
+		e.prepareWarm(ws, v, metrics)
 		calls := 0
 		opts.SamplerSet = func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
 			slot := calls
@@ -303,7 +608,8 @@ func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metri
 			return s
 		}
 	}
-	return core.Solve(ctx, e.graph, opts)
+	res, err := core.Solve(ctx, v.g, opts)
+	return res, v.num, err
 }
 
 // cacheable reports whether a run's sample sets may come from the warm
@@ -333,8 +639,9 @@ func (e *Entry) StoreResult(key resultKey, eps float64, res wire.Result) {
 }
 
 // Dominating returns a cached converged result that ε-dominates a request
-// at eps — same key, cached ε ≤ requested ε — or ok false. The degradation
-// path serves it instead of a 429 when the scheduler sheds the run.
+// at eps — same key (including graph version), cached ε ≤ requested ε — or
+// ok false. It backs both the first-class reuse path (freshness "any") and
+// graceful degradation when the scheduler sheds the run.
 func (e *Entry) Dominating(key resultKey, eps float64) (wire.Result, float64, bool) {
 	e.resMu.Lock()
 	defer e.resMu.Unlock()

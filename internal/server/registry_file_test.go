@@ -56,7 +56,7 @@ func TestRegistryFileBackedEvictionDuringSolve(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, solveErr = e.Solve(context.Background(), core.Options{K: 4, Seed: 9}, m)
+			res, _, solveErr = e.Solve(context.Background(), core.Options{K: 4, Seed: 9}, m)
 		}()
 		// Race the eviction with the in-flight solve (registry cap is 1).
 		if _, err := r.Add("evictor", "", testGraph(t, 99)); err != nil {

@@ -110,7 +110,7 @@ func TestEntrySolveWarmReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := e.Solve(context.Background(), opts, m)
+	first, ver1, err := e.Solve(context.Background(), opts, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,9 +118,12 @@ func TestEntrySolveWarmReuse(t *testing.T) {
 	if s1.RegistryHits != 0 || s1.RegistryMisses == 0 {
 		t.Fatalf("first run should build fresh sets: %+v", s1)
 	}
-	second, err := e.Solve(context.Background(), opts, m)
+	second, ver2, err := e.Solve(context.Background(), opts, m)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if ver1 != 1 || ver2 != 1 {
+		t.Fatalf("unpatched entry solved on versions %d/%d, want 1/1", ver1, ver2)
 	}
 	s2 := m.Snapshot()
 	if s2.RegistryHits != s1.RegistryMisses {
@@ -147,11 +150,11 @@ func TestEntrySolveSeedsIsolated(t *testing.T) {
 	r := NewRegistry(2, m)
 	e, _ := r.Add("g", "", g)
 
-	if _, err := e.Solve(context.Background(), core.Options{K: 4, Seed: 1}, m); err != nil {
+	if _, _, err := e.Solve(context.Background(), core.Options{K: 4, Seed: 1}, m); err != nil {
 		t.Fatal(err)
 	}
 	misses := m.Snapshot().RegistryMisses
-	if _, err := e.Solve(context.Background(), core.Options{K: 4, Seed: 2}, m); err != nil {
+	if _, _, err := e.Solve(context.Background(), core.Options{K: 4, Seed: 2}, m); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Snapshot()
@@ -171,7 +174,7 @@ func TestEntrySolveUncacheable(t *testing.T) {
 	r := NewRegistry(2, m)
 	e, _ := r.Add("g", "", g)
 
-	if _, err := e.Solve(context.Background(), core.Options{
+	if _, _, err := e.Solve(context.Background(), core.Options{
 		Algorithm: core.AlgPairSampling, K: 3, Epsilon: 0.4, MaxSamples: 5000,
 	}, m); err != nil {
 		t.Fatal(err)

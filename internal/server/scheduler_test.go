@@ -306,7 +306,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	var runs atomic.Int64
 	inFn := make(chan struct{})
 	release := make(chan struct{})
-	leaderRes := flightResult{body: []byte(`{"x":1}`), status: 200}
+	leaderRes := flightResult{resp: &topkResponse{Graph: "g"}, status: 200}
 
 	const joiners = 7
 	var wg sync.WaitGroup
@@ -324,7 +324,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = f.do(key, m, func() flightResult {
+			results[i], _ = f.do(key, m, func() flightResult {
 				runs.Add(1)
 				return flightResult{status: 500}
 			})
@@ -343,16 +343,19 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		t.Fatalf("fn ran %d times, want 1", n)
 	}
 	for i, r := range results {
-		if r.status != 200 || string(r.body) != `{"x":1}` {
+		if r.status != 200 || r.resp == nil || r.resp.Graph != "g" {
 			t.Fatalf("joiner %d got %+v, want the leader's result", i, r)
 		}
 	}
 
 	// After completion the key is gone: the next call is a fresh run.
-	r := f.do(key, nil, func() flightResult {
+	r, shared := f.do(key, nil, func() flightResult {
 		runs.Add(1)
 		return flightResult{status: 201}
 	})
+	if shared {
+		t.Fatal("post-completion call reported shared")
+	}
 	if r.status != 201 || runs.Load() != 2 {
 		t.Fatalf("post-completion call did not run fresh: %+v runs=%d", r, runs.Load())
 	}

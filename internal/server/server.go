@@ -151,6 +151,8 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	mux.HandleFunc("PATCH /v1/graphs/{name}", s.handlePatchGraph)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -183,6 +185,9 @@ type errorResponse struct {
 	Error string `json:"error"`
 	// Field names the offending request/option field when known.
 	Field string `json:"field,omitempty"`
+	// CurrentVersion accompanies a 409 PATCH conflict: the version the
+	// client must name (or observe) to retry its patch.
+	CurrentVersion int `json:"currentVersion,omitempty"`
 }
 
 // graphRequest is the body of POST /v1/graphs. Exactly one source —
@@ -231,17 +236,29 @@ type graphInfo struct {
 	Edges    int       `json:"edges"`
 	Directed bool      `json:"directed"`
 	Weighted bool      `json:"weighted"`
+	Version  int       `json:"version"`
 	Created  time.Time `json:"created"`
 }
 
-// infoFor reads only the shape fields copied into the Entry at Add time,
-// never the graph arrays: a listing must stay safe concurrently with an
-// eviction unmapping a file-backed graph.
+// infoFor reads only the shape fields held on the Entry, never the graph
+// arrays: a listing must stay safe concurrently with an eviction unmapping
+// a file-backed graph or a patch swapping versions.
 func infoFor(e *Entry) graphInfo {
+	nodes, edges, ver := e.shape()
 	return graphInfo{
-		Name: e.Name, Desc: e.Desc, Nodes: e.nodes, Edges: e.edges,
-		Directed: e.directed, Weighted: e.weighted, Created: e.Created,
+		Name: e.Name, Desc: e.Desc, Nodes: nodes, Edges: edges,
+		Directed: e.directed, Weighted: e.weighted,
+		Version: ver, Created: e.Created,
 	}
+}
+
+// graphDetail is the body of GET /v1/graphs/{name}: the listing line plus
+// the version history and the entry's warm-state footprint.
+type graphDetail struct {
+	graphInfo
+	Versions      []versionInfo `json:"versions"`
+	WarmSets      int           `json:"warmSets"`
+	CachedResults int           `json:"cachedResults"`
 }
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
@@ -408,6 +425,107 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	}{infos})
 }
 
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name), "name")
+		return
+	}
+	defer e.Release()
+	writeJSON(w, http.StatusOK, graphDetail{
+		graphInfo:     infoFor(e),
+		Versions:      e.Versions(),
+		WarmSets:      e.WarmSetCount(),
+		CachedResults: e.CachedResultCount(),
+	})
+}
+
+// patchEdge is one edge operation in a PATCH body. The weight is only
+// meaningful (and only allowed) on inserts into weighted graphs.
+type patchEdge struct {
+	U int32   `json:"u"`
+	V int32   `json:"v"`
+	W float64 `json:"w,omitempty"`
+}
+
+// patchRequest is the body of PATCH /v1/graphs/{name}.
+type patchRequest struct {
+	Insert []patchEdge `json:"insert,omitempty"`
+	Delete []patchEdge `json:"delete,omitempty"`
+	// IfVersion, when non-zero, demands the patch apply against exactly
+	// that version; a mismatch answers 409 with the current version, so
+	// clients can read-modify-write without losing concurrent patches.
+	IfVersion int `json:"ifVersion,omitempty"`
+}
+
+// patchResponse is the 200 body of PATCH /v1/graphs/{name}.
+type patchResponse struct {
+	Graph       string `json:"graph"`
+	FromVersion int    `json:"fromVersion"`
+	Version     int    `json:"version"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+}
+
+func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request) {
+	var req patchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), "")
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error(), "")
+		return
+	}
+	if req.IfVersion < 0 {
+		writeError(w, http.StatusBadRequest, "ifVersion must be >= 0", "ifVersion")
+		return
+	}
+	d := &graph.Delta{}
+	for _, pe := range req.Insert {
+		d.Insert = append(d.Insert, graph.DeltaEdge{U: pe.U, V: pe.V, W: pe.W})
+	}
+	for _, pe := range req.Delete {
+		d.Delete = append(d.Delete, graph.DeltaEdge{U: pe.U, V: pe.V, W: pe.W})
+	}
+	if d.Empty() {
+		writeError(w, http.StatusBadRequest, "patch must insert or delete at least one edge", "")
+		return
+	}
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name), "name")
+		return
+	}
+	defer e.Release()
+	info, err := e.Patch(d, req.IfVersion)
+	if err != nil {
+		var conflict *PatchConflictError
+		if errors.As(err, &conflict) {
+			writeJSON(w, http.StatusConflict, errorResponse{
+				Error: err.Error(), Field: "ifVersion",
+				CurrentVersion: conflict.Current,
+			})
+			return
+		}
+		var de *graph.DeltaError
+		if errors.As(err, &de) {
+			writeError(w, http.StatusBadRequest, err.Error(), de.Op)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	writeJSON(w, http.StatusOK, patchResponse{
+		Graph: name, FromVersion: info.FromVersion, Version: info.Version,
+		Nodes: info.Nodes, Edges: info.Edges,
+	})
+}
+
 // topkRequest is the body of POST /v1/topk.
 type topkRequest struct {
 	// Graph names a registered graph.
@@ -434,18 +552,32 @@ type topkRequest struct {
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
 	// Trace includes the per-iteration trace in the response.
 	Trace bool `json:"trace,omitempty"`
+	// Freshness is "any" (the default) or "exact". "any" lets the server
+	// answer from the ε-dominance result cache when a converged run on the
+	// current graph version already dominates the request — no scheduler
+	// slot, servedFrom "cache". "exact" demands a fresh solve. Trace
+	// requests never serve from the cache (cached results are
+	// trace-stripped).
+	Freshness string `json:"freshness,omitempty"`
 }
 
 // topkResponse is the 200 body of POST /v1/topk: the stable wire result
 // plus the serving context it ran under.
 type topkResponse struct {
 	Graph string `json:"graph"`
+	// GraphVersion is the graph version the result was computed on.
+	GraphVersion int `json:"graphVersion"`
+	// ServedFrom says how the answer was produced: "solve" (a fresh run),
+	// "cache" (the ε-dominance result cache), or "coalesced" (shared a
+	// concurrent identical run).
+	ServedFrom string `json:"servedFrom"`
 	// TimeoutMillis is the effective deadline the run was held to.
 	TimeoutMillis int64 `json:"timeoutMillis"`
-	// Degraded marks a response served from the ε-dominance cache because
-	// the scheduler shed the run: the result was computed by an earlier
-	// converged run at DegradedEpsilon ≤ the requested ε, so it satisfies
-	// the request's error bound without a fresh solve.
+	// Degraded marks a cache-served response the client did not opt into:
+	// the scheduler shed the run and the cached result — computed by an
+	// earlier converged run at DegradedEpsilon ≤ the requested ε on the
+	// same graph version — satisfies the request's error bound without a
+	// fresh solve.
 	Degraded        bool        `json:"degraded,omitempty"`
 	DegradedEpsilon float64     `json:"degradedEpsilon,omitempty"`
 	Result          wire.Result `json:"result"`
@@ -478,6 +610,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error(), "sampling")
 			return
 		}
+	}
+	switch req.Freshness {
+	case "", "any", "exact":
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown freshness %q (want any or exact)", req.Freshness), "freshness")
+		return
 	}
 	opts := core.Options{
 		Algorithm: alg, K: req.K, Epsilon: req.Epsilon, Gamma: req.Gamma,
@@ -522,7 +661,26 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	g := entry.Graph()
 	cost := EstimateCost(g.N(), g.M(), opts)
-	rk := resultKeyFor(opts)
+	ver := entry.CurrentVersion()
+	rk := resultKeyFor(opts, ver)
+
+	// First-class result reuse: unless the client demanded a fresh solve,
+	// a cached converged run on the current graph version that ε-dominates
+	// the request answers immediately — no scheduler slot, no tenant
+	// token, no solve. The version in the key guarantees a patched graph
+	// never answers from a stale result.
+	if req.Freshness != "exact" && !req.Trace {
+		if cached, _, ok := entry.Dominating(rk, effectiveEpsilon(opts)); ok {
+			s.metrics.ResultCacheHit()
+			s.metrics.RequestCompleted()
+			writeJSON(w, http.StatusOK, topkResponse{
+				Graph: req.Graph, GraphVersion: ver, ServedFrom: "cache",
+				TimeoutMillis: timeout.Milliseconds(),
+				Result:        cached,
+			})
+			return
+		}
+	}
 
 	if ok, wait := s.tenants.allow(tenant, time.Now()); !ok {
 		s.shedOrDegrade(w, entry, rk, opts, timeout, req.Graph, wait,
@@ -532,12 +690,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := flightKey{
-		graph: req.Graph, algorithm: alg, k: req.K,
+		graph: req.Graph, version: ver, algorithm: alg, k: req.K,
 		epsilon: req.Epsilon, gamma: req.Gamma, seed: req.Seed,
 		workers: req.Workers, sampling: mode, forward: req.Forward,
 		trace: req.Trace,
 	}
-	res := s.flight.do(key, s.metrics, func() flightResult {
+	res, shared := s.flight.do(key, s.metrics, func() flightResult {
 		return s.runTopK(entry, opts, timeout, req.Graph, Job{
 			Tenant: tenant, Cost: cost,
 			FastLane: cost <= s.cfg.FastLaneThreshold,
@@ -558,15 +716,27 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.RequestCompleted()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(res.status)
-	w.Write(res.body)
+	if res.resp == nil {
+		// A rendered non-2xx outcome (e.g. the 504 no-group shape).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.status)
+		w.Write(res.errBody)
+		return
+	}
+	resp := *res.resp
+	if shared {
+		resp.ServedFrom = "coalesced"
+	} else {
+		resp.ServedFrom = "solve"
+	}
+	writeJSON(w, res.status, resp)
 }
 
-// resultKeyFor derives the ε-dominance cache key from a run's options,
-// normalizing defaulted fields so explicit and implicit defaults share an
-// entry (Seed 0 solves as 1 — Options.withDefaults).
-func resultKeyFor(opts core.Options) resultKey {
+// resultKeyFor derives the ε-dominance cache key from a run's options and
+// the graph version it targets, normalizing defaulted fields so explicit
+// and implicit defaults share an entry (Seed 0 solves as 1 —
+// Options.withDefaults).
+func resultKeyFor(opts core.Options, version int) resultKey {
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -574,7 +744,7 @@ func resultKeyFor(opts core.Options) resultKey {
 	return resultKey{
 		algorithm: opts.Algorithm, k: opts.K, seed: seed,
 		workers: opts.Workers, sampling: opts.Sampling,
-		forward: opts.UseForwardSampler,
+		forward: opts.UseForwardSampler, version: version,
 	}
 }
 
@@ -600,7 +770,7 @@ func (s *Server) shedOrDegrade(w http.ResponseWriter, entry *Entry, rk resultKey
 	if cached, eps, ok := entry.Dominating(rk, effectiveEpsilon(opts)); ok {
 		s.metrics.RequestDegraded()
 		writeJSON(w, http.StatusOK, topkResponse{
-			Graph:         graphName,
+			Graph: graphName, GraphVersion: rk.version, ServedFrom: "cache",
 			TimeoutMillis: timeout.Milliseconds(),
 			Degraded:      true, DegradedEpsilon: eps,
 			Result: cached,
@@ -625,9 +795,10 @@ func (s *Server) runTopK(entry *Entry, opts core.Options, timeout time.Duration,
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var res *core.Result
+	var solvedVer int
 	var solveErr error
 	if err := s.sched.Do(ctx, job, func(runCtx context.Context) {
-		res, solveErr = entry.Solve(runCtx, opts, s.metrics)
+		res, solvedVer, solveErr = entry.Solve(runCtx, opts, s.metrics)
 	}); err != nil {
 		return flightResult{err: err}
 	}
@@ -638,22 +809,24 @@ func (s *Server) runTopK(entry *Entry, opts core.Options, timeout time.Duration,
 		body, _ := json.Marshal(errorResponse{
 			Error: fmt.Sprintf("deadline expired before any group was found (%v) — raise timeoutMillis", res.StopReason),
 		})
-		return flightResult{body: body, status: http.StatusGatewayTimeout}
+		return flightResult{errBody: body, status: http.StatusGatewayTimeout}
 	}
 	wres := wire.FromResult(opts.Algorithm, opts.K, res, nil)
 	wres.SamplingMode = opts.Sampling
 	if res.StopReason == core.StopConverged {
-		entry.StoreResult(resultKeyFor(opts), effectiveEpsilon(opts), wres)
+		// Keyed under the version the solve actually observed — a patch
+		// landing between admission and solve must not poison the new
+		// version's cache with a pre-admission key, nor vice versa.
+		entry.StoreResult(resultKeyFor(opts, solvedVer), effectiveEpsilon(opts), wres)
 	}
-	body, err := json.Marshal(topkResponse{
-		Graph:         graphName,
-		TimeoutMillis: timeout.Milliseconds(),
-		Result:        wres,
-	})
-	if err != nil {
-		return flightResult{err: err}
+	return flightResult{
+		resp: &topkResponse{
+			Graph: graphName, GraphVersion: solvedVer,
+			TimeoutMillis: timeout.Milliseconds(),
+			Result:        wres,
+		},
+		status: http.StatusOK,
 	}
-	return flightResult{body: body, status: http.StatusOK}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -157,7 +157,10 @@ func TestTopKWarmReuse(t *testing.T) {
 	_, ts, m := newTestServer(t, Config{})
 	addGeneratedGraph(t, ts.URL, "g", 600)
 
-	req := map[string]any{"graph": "g", "k": 5, "seed": 7}
+	// freshness "exact" forces a fresh solve on both runs; the default
+	// "any" would answer the repeat from the result cache without ever
+	// touching the warm sets (see TestTopKServedFromCache).
+	req := map[string]any{"graph": "g", "k": 5, "seed": 7, "freshness": "exact"}
 	status, body1 := post(t, ts.URL+"/v1/topk", req)
 	if status != http.StatusOK {
 		t.Fatalf("first topk: %d %s", status, body1)
@@ -220,14 +223,29 @@ func TestTopKCoalescing(t *testing.T) {
 	}
 	wg.Wait()
 
+	served := map[string]int{}
+	var canon []byte
 	for i := 0; i < n; i++ {
 		if statuses[i] != http.StatusOK {
 			t.Fatalf("request %d: status %d: %s", i, statuses[i], bodies[i])
 		}
-		if !bytes.Equal(bodies[i], bodies[0]) {
-			t.Fatalf("request %d received different bytes:\n  %s\n  %s",
-				i, bodies[i], bodies[0])
+		var r topkResponse
+		if err := json.Unmarshal(bodies[i], &r); err != nil {
+			t.Fatal(err)
 		}
+		served[r.ServedFrom]++
+		// Apart from servedFrom (leader vs follower), every waiter must
+		// receive the identical shared result.
+		r.ServedFrom = ""
+		norm, _ := json.Marshal(r)
+		if canon == nil {
+			canon = norm
+		} else if !bytes.Equal(norm, canon) {
+			t.Fatalf("request %d received a different result:\n  %s\n  %s", i, norm, canon)
+		}
+	}
+	if served["solve"] != 1 || served["coalesced"] != n-1 {
+		t.Fatalf("servedFrom split %v, want 1 solve + %d coalesced", served, n-1)
 	}
 	if got := m.Snapshot().RunsCoalesced - before; got != n-1 {
 		t.Fatalf("coalesced %d runs, want %d", got, n-1)
@@ -364,10 +382,24 @@ func TestHealthzAndStats(t *testing.T) {
 		t.Fatalf("draining readyz status %d, want 503", resp.StatusCode)
 	}
 	// The identical request was served (and converged) before the drain, so
-	// the shed falls back to the ε-dominance cache: 200 with degraded:true.
+	// the default freshness answers straight from the result cache — no
+	// scheduler involvement, so draining doesn't matter.
 	status, body := post(t, ts.URL+"/v1/topk", map[string]any{"graph": "g", "k": 3})
 	if status != http.StatusOK {
 		t.Fatalf("topk while draining with a cached dominator: %d %s", status, body)
+	}
+	var hit topkResponse
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if hit.ServedFrom != "cache" || hit.Degraded {
+		t.Fatalf("draining cache answer: servedFrom=%q degraded=%v, want cache/false", hit.ServedFrom, hit.Degraded)
+	}
+	// Demanding a fresh solve hits the draining scheduler; the shed falls
+	// back to the ε-dominance cache: 200 with degraded:true.
+	status, body = post(t, ts.URL+"/v1/topk", map[string]any{"graph": "g", "k": 3, "freshness": "exact"})
+	if status != http.StatusOK {
+		t.Fatalf("exact topk while draining with a cached dominator: %d %s", status, body)
 	}
 	var deg topkResponse
 	if err := json.Unmarshal(body, &deg); err != nil {
@@ -452,8 +484,10 @@ func TestTopKDegraded(t *testing.T) {
 		t.Fatalf("warmup must be a fresh converged run: %+v", warm)
 	}
 
-	// The tenant's single burst token is spent: the next request is shed,
-	// but the cached converged result at the same ε dominates it.
+	// The tenant's single burst token is spent: an exact-freshness repeat
+	// (the default would answer from the cache before the quota check) is
+	// shed, but the cached converged result at the same ε dominates it.
+	req["freshness"] = "exact"
 	status, body = post(t, ts.URL+"/v1/topk", req)
 	if status != http.StatusOK {
 		t.Fatalf("degraded topk: %d %s", status, body)

@@ -1,0 +1,114 @@
+#!/bin/sh
+# patch_smoke.sh — end-to-end smoke test of graph versioning in gbcd.
+#
+# Builds gbcd, registers a graph, solves it (servedFrom "solve",
+# graphVersion 1), repeats the query (servedFrom "cache"), PATCHes an
+# edge delta (version 2), and asserts the repeat now solves fresh on the
+# new version — a cached result must never answer for a superseded
+# graph. Also exercises ifVersion conflicts (409 with currentVersion),
+# delta validation (typed 400), and the graph detail resource. Run via
+# `make patch-smoke` (part of `make ci`).
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+TMP="$(mktemp -d)"
+GBCD_PID=""
+cleanup() {
+    [ -n "$GBCD_PID" ] && kill "$GBCD_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "patch-smoke: FAIL: $1" >&2
+    echo "--- gbcd output ---" >&2
+    cat "$TMP/gbcd.log" >&2 || true
+    exit 1
+}
+
+go build -o "$TMP/gbcd" ./cmd/gbcd
+
+"$TMP/gbcd" -addr 127.0.0.1:0 -drain-grace 5s >"$TMP/gbcd.log" 2>&1 &
+GBCD_PID=$!
+
+URL=""
+for _ in $(seq 1 100); do
+    URL="$(sed -n 's/^gbcd: listening on \(http:\/\/[^ ]*\)$/\1/p' "$TMP/gbcd.log")"
+    [ -n "$URL" ] && break
+    kill -0 "$GBCD_PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+[ -n "$URL" ] || fail "daemon never reported its listen URL"
+
+curl -fsS -X POST "$URL/v1/graphs" \
+    -d '{"name":"patch","generator":"ba","n":2000,"degree":4,"seed":1}' \
+    >"$TMP/graph.json" || fail "graph upload failed"
+grep -q '"name":"patch"' "$TMP/graph.json" || fail "graph response malformed: $(cat "$TMP/graph.json")"
+
+# First solve: fresh run on version 1.
+QUERY='{"graph":"patch","k":8,"epsilon":0.2,"seed":1}'
+curl -fsS -X POST "$URL/v1/topk" -d "$QUERY" >"$TMP/t1.json" || fail "topk failed"
+grep -q '"graphVersion":1' "$TMP/t1.json" || fail "first solve not on version 1: $(cat "$TMP/t1.json")"
+grep -q '"servedFrom":"solve"' "$TMP/t1.json" || fail "first solve not servedFrom solve: $(cat "$TMP/t1.json")"
+grep -q '"converged":true' "$TMP/t1.json" || fail "first solve did not converge: $(cat "$TMP/t1.json")"
+
+# Converged repeat: answered from the result cache, same version.
+curl -fsS -X POST "$URL/v1/topk" -d "$QUERY" >"$TMP/t2.json" || fail "repeat topk failed"
+grep -q '"servedFrom":"cache"' "$TMP/t2.json" || fail "repeat not served from cache: $(cat "$TMP/t2.json")"
+grep -q '"graphVersion":1' "$TMP/t2.json" || fail "cached repeat wrong version: $(cat "$TMP/t2.json")"
+
+# PATCH: delete one BA edge (0 attaches to every early hub; (0,1) always
+# exists at these parameters), insert a far chord.
+curl -fsS -X PATCH "$URL/v1/graphs/patch" \
+    -d '{"insert":[{"u":2,"v":1999}],"delete":[{"u":0,"v":1}]}' \
+    >"$TMP/patch.json" || fail "patch failed"
+grep -q '"fromVersion":1' "$TMP/patch.json" || fail "patch fromVersion wrong: $(cat "$TMP/patch.json")"
+grep -q '"version":2' "$TMP/patch.json" || fail "patch did not produce version 2: $(cat "$TMP/patch.json")"
+
+# The same query must now solve fresh on version 2 — never the stale cache.
+curl -fsS -X POST "$URL/v1/topk" -d "$QUERY" >"$TMP/t3.json" || fail "post-patch topk failed"
+grep -q '"graphVersion":2' "$TMP/t3.json" || fail "post-patch solve not on version 2: $(cat "$TMP/t3.json")"
+grep -q '"servedFrom":"solve"' "$TMP/t3.json" || fail "post-patch repeat served stale cache: $(cat "$TMP/t3.json")"
+
+# And once converged on v2, the repeat caches again.
+curl -fsS -X POST "$URL/v1/topk" -d "$QUERY" >"$TMP/t4.json" || fail "post-patch repeat failed"
+grep -q '"servedFrom":"cache"' "$TMP/t4.json" || fail "v2 repeat not cached: $(cat "$TMP/t4.json")"
+grep -q '"graphVersion":2' "$TMP/t4.json" || fail "v2 cached repeat wrong version: $(cat "$TMP/t4.json")"
+
+# Optimistic concurrency: patching against the superseded version is a 409
+# naming the current one.
+STATUS=$(curl -s -o "$TMP/conflict.json" -w '%{http_code}' -X PATCH "$URL/v1/graphs/patch" \
+    -d '{"insert":[{"u":3,"v":1998}],"ifVersion":1}')
+[ "$STATUS" = 409 ] || fail "stale ifVersion answered $STATUS, want 409: $(cat "$TMP/conflict.json")"
+grep -q '"currentVersion":2' "$TMP/conflict.json" || fail "409 without currentVersion: $(cat "$TMP/conflict.json")"
+
+# Delta validation: deleting the already-deleted edge is a typed 400.
+STATUS=$(curl -s -o "$TMP/bad.json" -w '%{http_code}' -X PATCH "$URL/v1/graphs/patch" \
+    -d '{"delete":[{"u":0,"v":1}]}')
+[ "$STATUS" = 400 ] || fail "invalid delta answered $STATUS, want 400: $(cat "$TMP/bad.json")"
+grep -q '"error":' "$TMP/bad.json" || fail "400 body untyped: $(cat "$TMP/bad.json")"
+
+# The detail resource reports the version history and cache stats.
+curl -fsS "$URL/v1/graphs/patch" >"$TMP/detail.json" || fail "graph detail failed"
+grep -q '"version":2' "$TMP/detail.json" || fail "detail version wrong: $(cat "$TMP/detail.json")"
+grep -q '"versions":\[' "$TMP/detail.json" || fail "detail missing version history: $(cat "$TMP/detail.json")"
+grep -q '"cachedResults":[1-9]' "$TMP/detail.json" || fail "detail missing cached results: $(cat "$TMP/detail.json")"
+
+# The patch and the cache hits are visible on the serving counters.
+curl -fsS "$URL/v1/stats" >"$TMP/stats.json" || fail "stats unreachable"
+grep -q '"graphPatches":[1-9]' "$TMP/stats.json" || fail "patch counter did not move: $(cat "$TMP/stats.json")"
+grep -q '"resultCacheHits":[1-9]' "$TMP/stats.json" || fail "cache-hit counter did not move: $(cat "$TMP/stats.json")"
+
+kill -TERM "$GBCD_PID"
+DRAINED=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$GBCD_PID" 2>/dev/null; then DRAINED=1; break; fi
+    sleep 0.1
+done
+[ "$DRAINED" = 1 ] || fail "daemon did not exit after SIGTERM"
+wait "$GBCD_PID" 2>/dev/null || fail "daemon exited non-zero after SIGTERM"
+GBCD_PID=""
+
+echo "patch-smoke: PASS ($URL)"

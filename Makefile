@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all ci build test race chaos serve-smoke gbcsr-smoke patch-smoke fuzz cover bench bench-compare bench-scaling bench-smoke figures fmt fmtcheck vet staticcheck govulncheck clean
+.PHONY: all ci build test race chaos serve-smoke gbcsr-smoke patch-smoke shard-smoke fuzz cover bench bench-compare bench-scaling bench-smoke figures fmt fmtcheck vet staticcheck govulncheck clean
 
 all: build vet fmtcheck test
 
 # The exact gate .github/workflows/ci.yml runs; `make ci` reproduces a CI
 # failure locally. staticcheck/govulncheck no-op with a notice when the
 # tools aren't installed (CI installs them).
-ci: fmtcheck vet staticcheck govulncheck build test race chaos serve-smoke gbcsr-smoke patch-smoke bench-smoke
+ci: fmtcheck vet staticcheck govulncheck build test race chaos serve-smoke gbcsr-smoke patch-smoke shard-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ serve-smoke:
 # truncated file is rejected loudly.
 gbcsr-smoke:
 	sh scripts/gbcsr_smoke.sh
+
+# End-to-end smoke test of sharded serving: 2 shard workers + 1
+# coordinator over real TCP, a deterministic top-K on a .gbcsr graph
+# diffed byte-for-byte against the single-node cmd/gbc solve, and the
+# /v1/cluster surface asserting the growth really ran remotely.
+shard-smoke:
+	sh scripts/shard_smoke.sh
 
 # End-to-end smoke test of graph versioning: register, solve, repeat
 # (served from the result cache), PATCH an edge delta, assert the repeat

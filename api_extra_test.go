@@ -1,6 +1,7 @@
 package gbc
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func TestGreedyExactTopKAPI(t *testing.T) {
 		t.Fatalf("reported %g but group evaluates to %g", val, re)
 	}
 	// Greedy-exact should meet or beat a sampling run's exact value.
-	res, err := TopK(g, Options{K: 3, Seed: 6})
+	res, err := Solve(context.Background(), g, Options{K: 3, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,13 +47,13 @@ func TestGreedyExactTopKAPI(t *testing.T) {
 	}
 }
 
-func TestBudgetedTopKAPI(t *testing.T) {
+func TestBudgetedSolveAPI(t *testing.T) {
 	g := BarabasiAlbert(150, 2, 7)
 	costs := make([]float64, g.N())
 	for i := range costs {
 		costs[i] = 1 + float64(i%3)
 	}
-	res, err := BudgetedTopK(g, BudgetedOptions{Costs: costs, Budget: 6, Seed: 8})
+	res, err := Solve(context.Background(), g, Options{Algorithm: Budgeted, Costs: costs, Budget: 6, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestBudgetedTopKAPI(t *testing.T) {
 
 func TestPairSamplingExported(t *testing.T) {
 	g := BarabasiAlbert(100, 2, 9)
-	res, err := TopKWith(PairSampling, g, Options{K: 3, Seed: 10, MaxSamples: 100000})
+	res, err := Solve(context.Background(), g, Options{Algorithm: PairSampling, K: 3, Seed: 10, MaxSamples: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestWeightedGraphAPI(t *testing.T) {
 		t.Fatal("not weighted")
 	}
 	// All weighted shortest paths route through node 1.
-	res, err := TopK(g, Options{K: 1, Seed: 1})
+	res, err := Solve(context.Background(), g, Options{K: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

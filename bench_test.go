@@ -10,6 +10,7 @@
 package gbc
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -139,7 +140,7 @@ func BenchmarkAblationBaseChoice(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var samples int
 			for i := 0; i < b.N; i++ {
-				res, err := TopK(g, Options{K: 20, Seed: uint64(i + 1), FixedBase: tc.base})
+				res, err := Solve(context.Background(), g, Options{K: 20, Seed: uint64(i + 1), FixedBase: tc.base})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -224,7 +225,7 @@ func BenchmarkAblationPairVsPath(b *testing.B) {
 	b.Run("path-AdaAlg", func(b *testing.B) {
 		var samples int
 		for i := 0; i < b.N; i++ {
-			res, err := TopK(g, opts)
+			res, err := Solve(context.Background(), g, opts)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -235,7 +236,9 @@ func BenchmarkAblationPairVsPath(b *testing.B) {
 	b.Run("pair-Yoshida", func(b *testing.B) {
 		var samples int
 		for i := 0; i < b.N; i++ {
-			res, err := TopKWith(PairSampling, g, opts)
+			popts := opts
+			popts.Algorithm = PairSampling
+			res, err := Solve(context.Background(), g, popts)
 			if err != nil {
 				b.Fatal(err)
 			}

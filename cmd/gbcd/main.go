@@ -18,6 +18,17 @@
 // SIGINT/SIGTERM drains gracefully: admissions stop (503), in-flight runs
 // get the -drain-grace period to finish or return best-so-far partial
 // results, then the process exits.
+//
+// gbcd also scales out horizontally: -shard runs the process as a shard
+// worker (it opens .gbcsr graphs from shared storage on demand and answers
+// epoch draw requests over the frozen shard wire protocol), and -shards
+// turns a normal daemon into a coordinator that dispatches sample growth
+// for .gbcsr-path graphs across those workers — deterministic responses
+// stay bit-identical to a single-node solve.
+//
+//	gbcd -shard -addr :9001 &
+//	gbcd -shard -addr :9002 &
+//	gbcd -addr :8080 -shards http://localhost:9001,http://localhost:9002
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +48,7 @@ import (
 	"gbc/internal/faultinject"
 	"gbc/internal/obs"
 	"gbc/internal/server"
+	"gbc/internal/shard"
 )
 
 func main() {
@@ -62,6 +75,8 @@ func main() {
 type config struct {
 	addr       string
 	drainGrace time.Duration
+	shardMode  bool
+	shards     string
 	server     server.Config
 }
 
@@ -80,7 +95,17 @@ func parseFlags(args []string, onError flag.ErrorHandling) config {
 	fs.Float64Var(&cfg.server.TenantRPS, "tenant-rps", 0, "per-tenant /v1/topk requests per second, keyed on the X-Tenant header (0 = unlimited)")
 	fs.Int64Var(&cfg.server.MaxBodyBytes, "max-body", 0, "request body size limit for non-upload endpoints (0 = 1 MiB)")
 	fs.TextVar(&cfg.server.DefaultSampling, "sampling-mode", core.SamplingFast, "growth mode for requests that name none: fast (free-running workers, ε guarantee, scheduling-dependent sample counts) or deterministic (bit-exact responses)")
+	fs.BoolVar(&cfg.shardMode, "shard", false, "run as a shard worker: serve epoch draw requests over the shard wire protocol instead of the full API")
+	fs.StringVar(&cfg.shards, "shards", "", "comma-separated shard-worker base URLs; non-empty makes this daemon a coordinator that dispatches sample growth for .gbcsr-path graphs across them")
+	fs.DurationVar(&cfg.server.ShardEpochTimeout, "shard-epoch-timeout", 0, "per-epoch deadline on one shard worker before its range is reassigned (0 = 30s)")
 	fs.Parse(args)
+	if cfg.shards != "" {
+		for _, u := range strings.Split(cfg.shards, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.server.Shards = append(cfg.server.Shards, u)
+			}
+		}
+	}
 	return cfg
 }
 
@@ -88,6 +113,9 @@ func parseFlags(args []string, onError flag.ErrorHandling) config {
 // completes. ready, when non-nil, is called with the base URL once the
 // listener is accepting (the smoke test and unit tests hook it).
 func run(ctx context.Context, cfg config, ready func(url string)) error {
+	if cfg.shardMode {
+		return runShard(ctx, cfg, ready)
+	}
 	cfg.server.Metrics = obs.Published()
 	srv := server.New(cfg.server)
 
@@ -124,5 +152,45 @@ func run(ctx context.Context, cfg config, ready func(url string)) error {
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed
 	fmt.Println("gbcd: drained, exiting")
+	return nil
+}
+
+// runShard serves the shard-worker surface: epoch draw requests against
+// .gbcsr graphs the worker opens from its filesystem on first use. A
+// worker holds no solver state — losing one mid-run only reassigns its
+// index ranges — so its drain is just closing the listener in-flight
+// requests included, then unmapping the resident graphs.
+func runShard(ctx context.Context, cfg config, ready func(url string)) error {
+	worker := shard.NewWorker(obs.Published(), true)
+	defer worker.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("gbcd: listening on %s\n", url)
+	if ready != nil {
+		ready(url)
+	}
+
+	httpSrv := &http.Server{Handler: worker.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Printf("gbcd: shard draining (grace %v)\n", cfg.drainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr
+	fmt.Println("gbcd: shard drained, exiting")
 	return nil
 }

@@ -12,11 +12,11 @@ import (
 	"gbc/internal/xrand"
 )
 
-func TestTopKContextDeadlinePartialResult(t *testing.T) {
+func TestSolveDeadlinePartialResult(t *testing.T) {
 	g := BarabasiAlbert(15000, 3, 42)
 	const deadline = 100 * time.Millisecond
 	start := time.Now()
-	res, err := TopK(g, Options{K: 10, Epsilon: 0.08, Seed: 1, MaxDuration: deadline})
+	res, err := Solve(context.Background(), g, Options{K: 10, Epsilon: 0.08, Seed: 1, MaxDuration: deadline})
 	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)
@@ -32,14 +32,14 @@ func TestTopKContextDeadlinePartialResult(t *testing.T) {
 	}
 }
 
-func TestTopKContextCancellation(t *testing.T) {
+func TestSolveCancellation(t *testing.T) {
 	g := BarabasiAlbert(15000, 3, 42)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(40 * time.Millisecond)
 		cancel()
 	}()
-	res, err := TopKContext(ctx, g, Options{K: 5, Epsilon: 0.08, Seed: 2})
+	res, err := Solve(ctx, g, Options{K: 5, Epsilon: 0.08, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,14 +62,14 @@ func (b *apiBoomSampler) Sample(s, t int32, r *xrand.Rand) bfs.Sample {
 	return bfs.Sample{Reachable: false}
 }
 
-func TestTopKContextWorkerPanicSurfacesAsError(t *testing.T) {
+func TestSolveWorkerPanicSurfacesAsError(t *testing.T) {
 	hook := func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
 		return sampling.NewFactorySet(g, func() sampling.PairSampler {
 			return &apiBoomSampler{}
 		}, r)
 	}
 	g := BarabasiAlbert(200, 2, 3)
-	res, err := TopKContext(context.Background(), g, Options{K: 3, Seed: 4, Workers: 4, SamplerSet: hook})
+	res, err := Solve(context.Background(), g, Options{K: 3, Seed: 4, Workers: 4, SamplerSet: hook})
 	if err == nil {
 		t.Fatalf("expected a worker-panic error, got result %+v", res)
 	}

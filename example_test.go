@@ -10,7 +10,7 @@ import (
 
 // The basic workflow: build a graph, find a top-K GBC group, inspect the
 // result. The star's center covers every shortest path.
-func ExampleTopK() {
+func ExampleSolve_basic() {
 	edges := [][2]int32{}
 	for i := int32(1); i < 30; i++ {
 		edges = append(edges, [2]int32{0, i})
@@ -19,7 +19,7 @@ func ExampleTopK() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := gbc.TopK(g, gbc.Options{K: 1, Seed: 1})
+	res, err := gbc.Solve(context.Background(), g, gbc.Options{K: 1, Seed: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -84,15 +84,18 @@ func ExampleSolve() {
 	// iterations observed: true
 }
 
-// Comparing algorithms on the same instance.
-func ExampleTopKWith() {
+// Comparing algorithms on the same instance: the algorithm is just an
+// Options field.
+func ExampleSolve_algorithms() {
 	g := gbc.BarabasiAlbert(500, 3, 7)
 	opts := gbc.Options{K: 10, Epsilon: 0.3, Seed: 2}
-	ada, err := gbc.TopKWith(gbc.AdaAlg, g, opts)
+	ada, err := gbc.Solve(context.Background(), g, opts) // zero Algorithm = AdaAlg
 	if err != nil {
 		panic(err)
 	}
-	hedge, err := gbc.TopKWith(gbc.HEDGE, g, opts)
+	hopts := opts
+	hopts.Algorithm = gbc.HEDGE
+	hedge, err := gbc.Solve(context.Background(), g, hopts)
 	if err != nil {
 		panic(err)
 	}

@@ -195,8 +195,8 @@ func StartProgress(w io.Writer, m *Metrics, interval time.Duration) (stop func()
 
 // Solve is the canonical entry point: it finds a top-K GBC group in g using
 // the algorithm selected by opts.Algorithm (AdaAlg for the zero value),
-// under ctx. The TopK convenience wrappers all reduce to Solve; new
-// integrations should call it directly.
+// under ctx. It is the package's one solving entry point — the legacy TopK
+// wrapper family has been removed (see the README migration notes).
 //
 // Production notes. Adaptive sampling has no a-priori bound on its total
 // work, so bound every request with a context deadline or
@@ -211,48 +211,6 @@ func StartProgress(w io.Writer, m *Metrics, interval time.Duration) (stop func()
 // in opts; runs sharing an Options.Metrics simply aggregate counters.
 func Solve(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 	return core.Solve(ctx, g, opts)
-}
-
-// TopK finds a K-node group with near-maximal group betweenness centrality
-// using the paper's adaptive algorithm AdaAlg: with probability at least
-// 1-γ the returned group is a (1-1/e-ε)-approximation. It is a legacy
-// alias of Solve — exactly Solve with a background context and
-// opts.Algorithm forced to AdaAlg.
-//
-// Deprecated: call Solve (AdaAlg is already the zero-value algorithm) and
-// bound the run with a context.
-func TopK(g *Graph, opts Options) (*Result, error) {
-	opts.Algorithm = AdaAlg
-	return Solve(context.Background(), g, opts)
-}
-
-// TopKContext is TopK under a context — a legacy alias of Solve with
-// opts.Algorithm forced to AdaAlg; see Solve for the cancellation and
-// partial-result semantics.
-//
-// Deprecated: call Solve (AdaAlg is already the zero-value algorithm).
-func TopKContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
-	opts.Algorithm = AdaAlg
-	return Solve(ctx, g, opts)
-}
-
-// TopKWith is TopK with an explicit algorithm choice — a legacy alias of
-// Solve with a background context and opts.Algorithm forced to alg.
-//
-// Deprecated: set Options.Algorithm and call Solve.
-func TopKWith(alg Algorithm, g *Graph, opts Options) (*Result, error) {
-	opts.Algorithm = alg
-	return Solve(context.Background(), g, opts)
-}
-
-// TopKWithContext is TopKWith under a context — a legacy alias of Solve
-// with opts.Algorithm forced to alg; see Solve for the cancellation and
-// partial-result semantics.
-//
-// Deprecated: set Options.Algorithm and call Solve.
-func TopKWithContext(ctx context.Context, alg Algorithm, g *Graph, opts Options) (*Result, error) {
-	opts.Algorithm = alg
-	return Solve(ctx, g, opts)
 }
 
 // WireResult is the stable JSON encoding of a Result — the one wire shape
@@ -293,7 +251,7 @@ func LoadEdgeListFile(path string, directed bool) (*Graph, error) {
 
 // LoadWeightedEdgeList parses "u v w" lines with positive weights w; the
 // resulting graph's shortest paths minimize total weight (Dijkstra-based
-// sampling is selected automatically by TopK and friends).
+// sampling is selected automatically by Solve).
 func LoadWeightedEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	return graph.ReadWeightedEdgeList(r, directed)
 }
@@ -513,34 +471,4 @@ func ApproxNodeBetweennessContext(ctx context.Context, g *Graph, epsilon, delta 
 // non-sampling reference for graphs up to a few thousand nodes.
 func GreedyExactTopK(g *Graph, k int) (group []int32, value float64) {
 	return exact.GreedyPuzis(g, k)
-}
-
-// BudgetedOptions configures BudgetedTopK; see core.BudgetedOptions.
-//
-// Deprecated: set Options.Costs, Options.Budget and Options.Algorithm =
-// Budgeted, and call Solve.
-type BudgetedOptions = core.BudgetedOptions
-
-// BudgetedTopK solves the budgeted generalization of top-K GBC (Fink &
-// Spoerhase): node v costs opts.Costs[v] and the group's total cost must
-// not exceed opts.Budget.
-//
-// Deprecated: call Solve with Options{Algorithm: Budgeted, Costs: ...,
-// Budget: ...}; this wrapper only repacks its options and forwards there.
-func BudgetedTopK(g *Graph, opts BudgetedOptions) (*Result, error) {
-	return BudgetedTopKContext(context.Background(), g, opts)
-}
-
-// BudgetedTopKContext is BudgetedTopK under a context; see TopKContext for
-// the cancellation semantics.
-//
-// Deprecated: call Solve with Options{Algorithm: Budgeted, Costs: ...,
-// Budget: ...}; this wrapper only repacks its options and forwards there.
-func BudgetedTopKContext(ctx context.Context, g *Graph, opts BudgetedOptions) (*Result, error) {
-	return Solve(ctx, g, Options{
-		Algorithm: Budgeted, Costs: opts.Costs, Budget: opts.Budget,
-		Epsilon: opts.Epsilon, Gamma: opts.Gamma, Seed: opts.Seed,
-		MaxSamples: opts.MaxSamples, MaxDuration: opts.MaxDuration,
-		Workers: opts.Workers, Sampling: opts.Sampling, Metrics: opts.Metrics,
-	})
 }

@@ -1,6 +1,7 @@
 package gbc
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestTopKQuickstart(t *testing.T) {
 	g := BarabasiAlbert(300, 3, 1)
-	res, err := TopK(g, Options{K: 10, Seed: 2})
+	res, err := Solve(context.Background(), g, Options{K: 10, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +21,7 @@ func TestTopKQuickstart(t *testing.T) {
 	}
 }
 
-func TestTopKWithEveryAlgorithm(t *testing.T) {
+func TestSolveEveryAlgorithm(t *testing.T) {
 	g := BarabasiAlbert(200, 3, 2)
 	for _, alg := range []Algorithm{AdaAlg, HEDGE, CentRa, EXHAUST} {
 		opts := Options{K: 5, Seed: 3}
@@ -28,7 +29,8 @@ func TestTopKWithEveryAlgorithm(t *testing.T) {
 			opts.Epsilon = 0.1
 			opts.Gamma = 0.01
 		}
-		res, err := TopKWith(alg, g, opts)
+		opts.Algorithm = alg
+		res, err := Solve(context.Background(), g, opts)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -124,11 +126,11 @@ func TestHeadlineClaim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ada, err := TopK(g, Options{K: 20, Epsilon: 0.3, Seed: 5})
+	ada, err := Solve(context.Background(), g, Options{K: 20, Epsilon: 0.3, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cen, err := TopKWith(CentRa, g, Options{K: 20, Epsilon: 0.3, Seed: 5})
+	cen, err := Solve(context.Background(), g, Options{Algorithm: CentRa, K: 20, Epsilon: 0.3, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,11 @@ type BudgetedOptions struct {
 	Sampling sampling.Mode
 	// Metrics, when non-nil, receives counter updates as in Options.Metrics.
 	Metrics *obs.Metrics
+	// SamplerSet, when non-nil, replaces the default sampler-set
+	// construction, as in Options.SamplerSet. The hook must return a set
+	// whose sample distribution matches sampling.NewSetFor for the
+	// guarantee to hold.
+	SamplerSet func(*graph.Graph, *xrand.Rand) *sampling.Set
 }
 
 // BudgetedGBC solves the budgeted generalization of the top-K GBC problem
@@ -96,7 +101,12 @@ func BudgetedGBCCtx(ctx context.Context, g *graph.Graph, opts BudgetedOptions) (
 	eps, gamma := opts.Epsilon, opts.Gamma
 
 	r := xrand.New(opts.Seed)
-	set := sampling.NewSetFor(g, r)
+	var set *sampling.Set
+	if opts.SamplerSet != nil {
+		set = opts.SamplerSet(g, r)
+	} else {
+		set = sampling.NewSetFor(g, r)
+	}
 	set.Workers = opts.Workers
 	set.Mode = opts.Sampling
 	set.Label = "S"

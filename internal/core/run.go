@@ -84,9 +84,8 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 }
 
 // Solve is the canonical entry point: it runs the algorithm selected by
-// opts.Algorithm (AdaAlg for the zero value) under ctx. Every exported
-// convenience wrapper — the gbc package's TopK family and the deprecated
-// Budgeted pair — reduces to this call. All configuration, including the
+// opts.Algorithm (AdaAlg for the zero value) under ctx. The gbc package's
+// Solve forwards here. All configuration, including the
 // per-run Observer, Metrics and SamplerSet hooks, travels in opts, so
 // concurrent Solve calls with different configurations never share mutable
 // state. Options are validated up front (Options.Validate plus the
@@ -127,6 +126,7 @@ func RunCtx(ctx context.Context, alg Algorithm, g *graph.Graph, opts Options) (*
 			Epsilon: opts.Epsilon, Gamma: opts.Gamma, Seed: opts.Seed,
 			MaxSamples: opts.MaxSamples, MaxDuration: opts.MaxDuration,
 			Workers: opts.Workers, Sampling: opts.Sampling, Metrics: opts.Metrics,
+			SamplerSet: opts.SamplerSet,
 		})
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %v", alg)

@@ -38,4 +38,12 @@ const (
 	// dequeuing a task and running it — the window a concurrent Shutdown
 	// races against; the armed fault typically sleeps to widen it.
 	SchedulerDrainDuringDequeue = "scheduler/drain-during-dequeue"
+	// ShardEpochError fires in a shard worker's epoch handler before it
+	// draws; a returned error answers the epoch request with 500,
+	// exercising the coordinator's range-reassignment path.
+	ShardEpochError = "shard/epoch-error"
+	// ShardEpochSlow fires in a shard worker's epoch handler; the armed
+	// fault is expected to sleep, simulating a stalled shard the
+	// coordinator must route around.
+	ShardEpochSlow = "shard/epoch-slow"
 )

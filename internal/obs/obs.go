@@ -81,6 +81,15 @@ type Metrics struct {
 	samplesChecked  atomic.Int64 // samples examined by repair distance checks
 	samplesRepaired atomic.Int64 // samples actually re-drawn by repair
 	resultCacheHits atomic.Int64 // requests answered from the result cache (freshness "any")
+
+	// Sharded-serving counters (PR 10): the coordinator side of the shard
+	// protocol — how many worker processes it fans epochs out to, how many
+	// epoch blocks it has merged and at what payload volume, and how many
+	// blocks it had to reassign after losing a shard.
+	shards           atomic.Int64 // configured shard workers (0 = single-node)
+	shardEpochs      atomic.Int64 // epoch blocks fetched from shards and merged
+	shardBytesMerged atomic.Int64 // arena payload bytes merged from shards
+	shardRetries     atomic.Int64 // epoch blocks reassigned to surviving shards
 }
 
 // AddGraphBytesMapped adjusts the mapped-graph-bytes gauge: +size when a
@@ -328,6 +337,34 @@ func (m *Metrics) ResultCacheHit() {
 	m.resultCacheHits.Add(1)
 }
 
+// SetShards publishes how many shard workers the serving layer fans
+// sampling out to (0 = single-node).
+func (m *Metrics) SetShards(n int) {
+	if m == nil {
+		return
+	}
+	m.shards.Store(int64(n))
+}
+
+// ShardEpochMerged counts one epoch block fetched from a shard worker and
+// merged into the coordinator's coverage state, carrying bytes of payload.
+func (m *Metrics) ShardEpochMerged(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.shardEpochs.Add(1)
+	m.shardBytesMerged.Add(bytes)
+}
+
+// ShardRetry counts one epoch block reassigned to a surviving shard after
+// its original shard failed or timed out.
+func (m *Metrics) ShardRetry() {
+	if m == nil {
+		return
+	}
+	m.shardRetries.Add(1)
+}
+
 // Stats is a point-in-time copy of a Metrics, shaped for JSON (the expvar
 // endpoint serves exactly this object under the "gbc" key).
 type Stats struct {
@@ -369,6 +406,11 @@ type Stats struct {
 	SamplesChecked  int64 `json:"samplesChecked"`
 	SamplesRepaired int64 `json:"samplesRepaired"`
 	ResultCacheHits int64 `json:"resultCacheHits"`
+
+	Shards           int64 `json:"shards"`
+	ShardEpochs      int64 `json:"shardEpochs"`
+	ShardBytesMerged int64 `json:"shardBytesMerged"`
+	ShardRetries     int64 `json:"shardRetries"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -417,6 +459,11 @@ func (m *Metrics) Snapshot() Stats {
 		SamplesChecked:  m.samplesChecked.Load(),
 		SamplesRepaired: m.samplesRepaired.Load(),
 		ResultCacheHits: m.resultCacheHits.Load(),
+
+		Shards:           m.shards.Load(),
+		ShardEpochs:      m.shardEpochs.Load(),
+		ShardBytesMerged: m.shardBytesMerged.Load(),
+		ShardRetries:     m.shardRetries.Load(),
 	}
 	if start := m.startNanos.Load(); start != 0 {
 		if secs := time.Since(time.Unix(0, start)).Seconds(); secs > 0 {

@@ -1,0 +1,126 @@
+package sampling
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"gbc/internal/coverage"
+	"gbc/internal/gen"
+	"gbc/internal/xrand"
+)
+
+// drawerGrower is an in-process RemoteGrower that splits each range into
+// two contiguous blocks drawn by independent Drawers — the same shape the
+// shard coordinator produces, without HTTP.
+type drawerGrower struct {
+	t      *testing.T
+	build  func(seed0, seed1 uint64) *Drawer
+	ranges [][2]int
+}
+
+func (rg *drawerGrower) GrowRange(ctx context.Context, seed0, seed1 uint64, start, count int) ([]*coverage.PathArena, error) {
+	rg.ranges = append(rg.ranges, [2]int{start, count})
+	half := count / 2
+	var out []*coverage.PathArena
+	for _, blk := range [][2]int{{start, half}, {start + half, count - half}} {
+		if blk[1] == 0 {
+			continue
+		}
+		a := &coverage.PathArena{}
+		a.Reset()
+		if err := rg.build(seed0, seed1).DrawRange(ctx, a, blk[0], blk[1]); err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// TestRemoteGrowthMatchesLocal pins the sharded-serving determinism
+// contract at the Set level: growth through a RemoteGrower (two blocks per
+// chunk, fresh Drawers each call) commits state bit-identical to plain
+// sequential growth with the same seeds.
+func TestRemoteGrowthMatchesLocal(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 2, xrand.New(9))
+	local := NewBidirectionalSet(g, xrand.New(5))
+	local.GrowTo(10000)
+
+	remote := NewBidirectionalSet(g, xrand.New(5))
+	rg := &drawerGrower{t: t, build: func(seed0, seed1 uint64) *Drawer {
+		d, err := NewDrawer(g, "bidirectional", seed0, seed1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}}
+	remote.Remote = rg
+	remote.Workers = 4 // must be ignored: Remote takes precedence
+	if err := remote.GrowToCtx(context.Background(), 10000); err != nil {
+		t.Fatal(err)
+	}
+
+	if local.Len() != remote.Len() || local.Unreachable != remote.Unreachable {
+		t.Fatalf("shape mismatch: local %d/%d, remote %d/%d",
+			local.Len(), local.Unreachable, remote.Len(), remote.Unreachable)
+	}
+	lg, lc := local.Greedy(3)
+	rgrp, rc := remote.Greedy(3)
+	if !reflect.DeepEqual(lg, rgrp) || lc != rc {
+		t.Fatalf("greedy mismatch: local %v/%d, remote %v/%d", lg, lc, rgrp, rc)
+	}
+	if !reflect.DeepEqual(local.obs, remote.obs) {
+		t.Fatal("observation bounds diverge between local and remote growth")
+	}
+	if len(rg.ranges) == 0 || rg.ranges[0][1] > GrowChunk {
+		t.Fatalf("remote growth must proceed in chunks, saw ranges %v", rg.ranges)
+	}
+}
+
+type errGrower struct{ err error }
+
+func (e errGrower) GrowRange(context.Context, uint64, uint64, int, int) ([]*coverage.PathArena, error) {
+	return nil, e.err
+}
+
+func TestRemoteGrowthErrorPropagates(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 2, xrand.New(3))
+	s := NewBidirectionalSet(g, xrand.New(1))
+	want := errors.New("all shards lost")
+	s.Remote = errGrower{err: want}
+	if err := s.GrowToCtx(context.Background(), 100); !errors.Is(err, want) {
+		t.Fatalf("remote error must surface, got %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed remote growth must commit nothing, len %d", s.Len())
+	}
+}
+
+type shortGrower struct{}
+
+func (shortGrower) GrowRange(_ context.Context, _, _ uint64, start, count int) ([]*coverage.PathArena, error) {
+	a := &coverage.PathArena{}
+	a.Reset()
+	a.EndPath() // one null sample regardless of the requested count
+	return []*coverage.PathArena{a}, nil
+}
+
+func TestRemoteGrowthRejectsShortRange(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 2, xrand.New(3))
+	s := NewBidirectionalSet(g, xrand.New(1))
+	s.Remote = shortGrower{}
+	if err := s.GrowToCtx(context.Background(), 100); err == nil {
+		t.Fatal("a grower returning the wrong sample count must fail the growth")
+	}
+}
+
+func TestNewDrawerRejectsUnknownKind(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := NewDrawer(g, "warp", 1, 2); err == nil {
+		t.Fatal("unknown sampler kind must be rejected")
+	}
+	if _, err := NewDrawer(g, "dijkstra", 1, 2); err == nil {
+		t.Fatal("dijkstra over an unweighted graph must be rejected")
+	}
+}

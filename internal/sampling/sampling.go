@@ -130,6 +130,14 @@ type Set struct {
 	// deterministically regardless of Mode.
 	Mode Mode
 
+	// Remote, when non-nil, delegates all sample drawing to an external
+	// grower (the shard coordinator of sharded serving) and takes
+	// precedence over Workers and Mode: growth proceeds in the same
+	// deterministic chunks, but each chunk's range is drawn by the grower
+	// and merged in index order, so the committed state is bit-identical
+	// to any local growth mode of the same length.
+	Remote RemoteGrower
+
 	// Unreachable counts null samples (pairs with no path).
 	Unreachable int
 
@@ -247,7 +255,7 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 	if L <= cur {
 		return nil
 	}
-	if s.Mode == Fast && s.newSampler != nil {
+	if s.Mode == Fast && s.newSampler != nil && s.Remote == nil {
 		return s.growFast(ctx, L)
 	}
 	workers := 1
@@ -263,11 +271,16 @@ func (s *Set) GrowToCtx(ctx context.Context, L int) error {
 			end = L
 		}
 		nullsBefore := s.Unreachable
-		if workers > 1 {
+		switch {
+		case s.Remote != nil:
+			if err := s.growRemote(ctx, cur, end); err != nil {
+				return err
+			}
+		case workers > 1:
 			if err := s.growParallel(ctx, cur, end, workers); err != nil {
 				return err
 			}
-		} else {
+		default:
 			s.growSequential(cur, end)
 		}
 		s.Metrics.AddSamples(end-cur, s.Unreachable-nullsBefore)

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,8 +21,11 @@ import (
 	"gbc/internal/core"
 	"gbc/internal/faultinject"
 	"gbc/internal/gen"
+	"gbc/internal/graph"
 	"gbc/internal/obs"
 	"gbc/internal/server/client"
+	"gbc/internal/shard"
+	"gbc/internal/wire"
 	"gbc/internal/xrand"
 )
 
@@ -289,4 +293,113 @@ func TestChaos(t *testing.T) {
 		return int64(runtime.NumGoroutine()) <= int64(baseline)+m.Snapshot().PoolWorkers+10
 	})
 	t.Logf("chaos: %d requests, stats %+v", requests, st)
+}
+
+// TestChaosShardKill runs a deterministic solve on a coordinator backed by
+// two shard workers while the shard/epoch-error fault point kills one of
+// them mid-run: the coordinator must mark the victim dead, reassign its
+// index ranges to the survivor, and finish with a response bit-identical
+// to a single-node server's — then the overload accounting must balance
+// exactly as in every other chaos scenario.
+func TestChaosShardKill(t *testing.T) {
+	defer faultinject.Reset()
+
+	mkGraph := func() *graph.Graph { return gen.BarabasiAlbert(300, 3, xrand.New(7)) }
+	topkBody := `{"graph":"g","k":8,"seed":7,"sampling":"deterministic","freshness":"exact"}`
+
+	solve := func(t *testing.T, url string) wire.Result {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/topk", "application/json", bytes.NewBufferString(topkBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("topk status %d: %s", resp.StatusCode, body)
+		}
+		var tr topkResponse
+		if err := json.Unmarshal(body, &tr); err != nil {
+			t.Fatal(err)
+		}
+		tr.Result.ElapsedMillis = 0 // wall-clock is the one legitimately varying field
+		return tr.Result
+	}
+
+	// Single-node reference: same graph, same request, no shards.
+	ref := New(Config{Workers: 2, Metrics: &obs.Metrics{}})
+	if _, err := ref.Registry().Add("g", "chaos", mkGraph()); err != nil {
+		t.Fatal(err)
+	}
+	refSrv := httptest.NewServer(ref.Handler())
+	want := solve(t, refSrv.URL)
+	ref.Shutdown(context.Background())
+	refSrv.Close()
+
+	// Two shard workers over the same (index-pure) graph content.
+	workerURLs := make([]string, 2)
+	for i := range workerURLs {
+		w := shard.NewWorker(nil, false)
+		w.AddGraph("g", mkGraph())
+		srv := httptest.NewServer(w.Handler())
+		defer srv.Close()
+		workerURLs[i] = srv.URL
+	}
+
+	m := &obs.Metrics{}
+	s := New(Config{Workers: 2, Shards: workerURLs, Metrics: m})
+	defer s.Shutdown(context.Background())
+	e, err := s.Registry().Add("g", "chaos", mkGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Shard, e.ShardKey = s.Cluster(), "g"
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The armed fault fires exactly once: whichever worker draws it answers
+	// one epoch request with 500 and is marked dead — a mid-run shard kill.
+	var fired atomic.Int64
+	disarm := faultinject.Arm(faultinject.ShardEpochError, 1, func() error {
+		if fired.Add(1) == 1 {
+			return errors.New("injected shard loss")
+		}
+		return nil
+	})
+	defer disarm()
+
+	got := solve(t, ts.URL)
+	if fired.Load() == 0 {
+		t.Fatal("shard/epoch-error never fired — the run did not exercise the kill")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sharded result diverged from single-node after shard kill:\n  got  %+v\n  want %+v", got, want)
+	}
+
+	// The cluster surface must show the kill: one dead shard, retries
+	// counted, the survivor carrying samples.
+	infos := s.Cluster().Shards()
+	live := 0
+	for _, info := range infos {
+		if info.Alive {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Errorf("cluster liveness after kill: %d live of %d (%+v)", live, len(infos), infos)
+	}
+	st := m.Snapshot()
+	if st.ShardRetries == 0 {
+		t.Error("reassigned ranges must count shard retries")
+	}
+	if st.Shards != 2 || st.ShardEpochs == 0 || st.ShardBytesMerged == 0 {
+		t.Errorf("shard counters not fed: %+v", st)
+	}
+	if st.RequestsAdmitted != st.RequestsCompleted+st.RequestsShed+st.RequestsFailed {
+		t.Errorf("overload accounting broken: admitted=%d completed=%d shed=%d failed=%d",
+			st.RequestsAdmitted, st.RequestsCompleted, st.RequestsShed, st.RequestsFailed)
+	}
+	if st.RequestsCompleted == 0 {
+		t.Error("the run must complete despite the shard kill")
+	}
 }

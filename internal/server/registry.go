@@ -20,6 +20,7 @@ import (
 	"gbc/internal/graph"
 	"gbc/internal/obs"
 	"gbc/internal/sampling"
+	"gbc/internal/shard"
 	"gbc/internal/wire"
 	"gbc/internal/xrand"
 )
@@ -123,6 +124,17 @@ type Entry struct {
 	Desc string
 	// Created is when the graph was registered.
 	Created time.Time
+
+	// Shard, when non-nil, routes cacheable solves' sample growth through
+	// the shard cluster: the workers draw disjoint index ranges against the
+	// graph they resolve under ShardKey (the shared-storage .gbcsr path),
+	// and the coordinator merges the arenas in global index order —
+	// bit-identical to local growth. Only version 1 solves shard: a patched
+	// entry diverges from the on-disk file the workers see, so later
+	// versions quietly fall back to local growth. Both fields are set once
+	// at registration, before the first solve.
+	Shard    *shard.Cluster
+	ShardKey string
 
 	elem *list.Element
 
@@ -592,6 +604,15 @@ func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metri
 			e.warmCount.Store(int64(len(e.warm)))
 		}
 		e.prepareWarm(ws, v, metrics)
+		// Sample content is index-pure, so sharded growth is bit-identical
+		// to local: attach the cluster grower when this entry shards and the
+		// solve runs on the version the workers share; clear it otherwise —
+		// a warm set must not keep growing remotely after a patch moved the
+		// entry past the on-disk file.
+		var remote sampling.RemoteGrower
+		if e.Shard != nil && e.ShardKey != "" && v.num == 1 {
+			remote = e.Shard.Grower(e.ShardKey, samplerKind(v.g, key.forward))
+		}
 		calls := 0
 		opts.SamplerSet = func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
 			slot := calls
@@ -600,10 +621,12 @@ func (e *Entry) Solve(ctx context.Context, opts core.Options, metrics *obs.Metri
 				metrics.RegistryHit()
 				s := ws.sets[slot]
 				s.Reset()
+				s.Remote = remote
 				return s
 			}
 			metrics.RegistryMiss()
 			s := buildSet(g, r, key.forward)
+			s.Remote = remote
 			ws.sets = append(ws.sets, s)
 			return s
 		}
@@ -663,5 +686,18 @@ func buildSet(g *graph.Graph, r *xrand.Rand, forward bool) *sampling.Set {
 		return sampling.NewForwardSet(g, r)
 	default:
 		return sampling.NewBidirectionalSet(g, r)
+	}
+}
+
+// samplerKind names buildSet's choice on the shard wire, so every worker
+// constructs the same Drawer the coordinator's local sets would use.
+func samplerKind(g *graph.Graph, forward bool) string {
+	switch {
+	case g.Weighted():
+		return wire.SamplerDijkstra
+	case forward:
+		return wire.SamplerForward
+	default:
+		return wire.SamplerBidirectional
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"gbc/internal/gen"
 	"gbc/internal/graph"
 	"gbc/internal/obs"
+	"gbc/internal/shard"
 	"gbc/internal/wire"
 	"gbc/internal/xrand"
 )
@@ -72,6 +73,16 @@ type Config struct {
 	// bit-reproducibility for multicore sampling throughput while keeping
 	// the ε guarantee.
 	DefaultSampling core.SamplingMode
+	// Shards lists shard-worker base URLs; non-empty makes this server a
+	// coordinator. Graphs registered from a .gbcsr path dispatch sample
+	// growth to the workers (which open the same path from shared storage)
+	// and merge the arenas centrally — responses stay bit-identical to a
+	// single-node solve. GET /v1/cluster reports liveness and throughput.
+	Shards []string
+	// ShardEpochTimeout bounds one epoch fetch from one worker (default
+	// 30s); a shard that cannot answer within it is treated as lost and its
+	// index range reassigned to the survivors.
+	ShardEpochTimeout time.Duration
 	// Metrics receives the serving counters (queue depth, coalesced runs,
 	// registry hits/evictions, overload accounting) and is threaded into
 	// every solver run. Nil gets a private instance; pass obs.Published()
@@ -129,6 +140,7 @@ type Server struct {
 	sched   *Scheduler
 	flight  *flightGroup
 	tenants *tenantLimiter
+	cluster *shard.Cluster // non-nil when serving as a coordinator
 	mux     *http.ServeMux
 }
 
@@ -148,12 +160,20 @@ func New(cfg Config) *Server {
 		flight:  newFlightGroup(),
 		tenants: newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst),
 	}
+	if len(cfg.Shards) > 0 {
+		s.cluster = shard.NewCluster(shard.Config{
+			Shards:       cfg.Shards,
+			Metrics:      cfg.Metrics,
+			EpochTimeout: cfg.ShardEpochTimeout,
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("PATCH /v1/graphs/{name}", s.handlePatchGraph)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -170,6 +190,10 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Metrics returns the server's metrics instance.
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Cluster returns the shard cluster when serving as a coordinator, nil
+// otherwise (preloading, tests).
+func (s *Server) Cluster() *shard.Cluster { return s.cluster }
 
 // Shutdown drains the server: new /v1/topk requests get 503 immediately,
 // queued and in-flight runs keep going until ctx (the grace period)
@@ -296,6 +320,15 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 		g.Close() // a file-backed graph that never made it in must unmap now
 		writeError(w, http.StatusConflict, err.Error(), "name")
 		return
+	}
+	// A coordinator shards .gbcsr-path graphs: the workers open the same
+	// path from shared storage, so the path itself is the cluster-wide key.
+	// Every other source (uploads, generators, datasets) lives only in this
+	// process and solves locally.
+	if s.cluster != nil && req.Path != "" {
+		if isCSR, err := graph.DetectCSRFile(req.Path); err == nil && isCSR {
+			e.Shard, e.ShardKey = s.cluster, req.Path
+		}
 	}
 	writeJSON(w, http.StatusCreated, infoFor(e))
 }
@@ -827,6 +860,33 @@ func (s *Server) runTopK(entry *Entry, opts core.Options, timeout time.Duration,
 		},
 		status: http.StatusOK,
 	}
+}
+
+// clusterResponse is the body of GET /v1/cluster: per-shard liveness,
+// latest assigned index range and throughput.
+type clusterResponse struct {
+	Protocol int               `json:"protocol"`
+	Shards   []shard.ShardInfo `json:"shards"`
+	Live     int               `json:"live"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "server: not serving as a coordinator (no shards configured)", "")
+		return
+	}
+	infos := s.cluster.Shards()
+	live := 0
+	for _, info := range infos {
+		if info.Alive {
+			live++
+		}
+	}
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Protocol: wire.ShardProtocolVersion,
+		Shards:   infos,
+		Live:     live,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,351 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gbc/internal/coverage"
+	"gbc/internal/obs"
+	"gbc/internal/server/client"
+	"gbc/internal/wire"
+)
+
+// Cluster is the coordinator's view of a fixed set of shard workers. It
+// partitions every requested sample-index range into contiguous blocks
+// across the live shards, fetches them in parallel over the wire shard
+// protocol, and reassigns a failed shard's blocks to survivors — content
+// is index-pure, so reassignment cannot change the merged result. A shard
+// that fails (transport error after the client's retries, a non-2xx
+// answer, a malformed payload, or an epoch timeout) is marked dead for the
+// life of the process; when every shard is dead, growth fails and the
+// serving layer surfaces the error.
+type Cluster struct {
+	client  *client.Client
+	metrics *obs.Metrics
+	timeout time.Duration
+
+	mu     sync.Mutex
+	shards []*shardState
+}
+
+// shardState is the coordinator-side record of one worker.
+type shardState struct {
+	url string
+
+	// Guarded by the Cluster mutex.
+	alive     bool
+	lastStart int
+	lastCount int
+
+	// Monotonic counters, written by fetch goroutines under the Cluster
+	// mutex-free path is not needed; they are only updated on successful
+	// fetches from the goroutine that owns the block, and read under mu.
+	epochs      int64
+	samples     int64
+	bytesMerged int64
+	fetchNanos  int64
+}
+
+// Config sizes a Cluster.
+type Config struct {
+	// Shards lists the worker base URLs ("http://host:port").
+	Shards []string
+	// Metrics receives the coordinator counters (shardEpochs,
+	// shardBytesMerged, shardRetries); nil disables them.
+	Metrics *obs.Metrics
+	// EpochTimeout bounds one epoch fetch including the client's retries
+	// (default 30s): a shard that cannot answer within it is treated as
+	// lost and its range reassigned.
+	EpochTimeout time.Duration
+	// Client overrides the retrying HTTP client (tests shorten retries);
+	// nil gets the package default with 2 retries.
+	Client *client.Client
+}
+
+// NewCluster builds a Cluster over cfg.Shards. The shard list is fixed for
+// the cluster's lifetime; liveness only ever goes from alive to dead.
+func NewCluster(cfg Config) *Cluster {
+	c := &Cluster{
+		client:  cfg.Client,
+		metrics: cfg.Metrics,
+		timeout: cfg.EpochTimeout,
+	}
+	if c.client == nil {
+		c.client = &client.Client{MaxRetries: 2}
+	}
+	if c.timeout <= 0 {
+		c.timeout = 30 * time.Second
+	}
+	for _, u := range cfg.Shards {
+		c.shards = append(c.shards, &shardState{url: u, alive: true})
+	}
+	c.metrics.SetShards(len(c.shards))
+	return c
+}
+
+// Len returns the number of configured shards (dead ones included).
+func (c *Cluster) Len() int { return len(c.shards) }
+
+// ShardInfo is one shard's line in the /v1/cluster surface.
+type ShardInfo struct {
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	// AssignedStart and AssignedCount are the shard's most recent epoch
+	// block (the index range it drew last).
+	AssignedStart int `json:"assignedStart"`
+	AssignedCount int `json:"assignedCount"`
+	// Epochs, Samples and BytesMerged count the blocks this shard served;
+	// SamplesPerSec is its drawing rate over the fetch wall time.
+	Epochs        int64   `json:"epochs"`
+	Samples       int64   `json:"samples"`
+	BytesMerged   int64   `json:"bytesMerged"`
+	SamplesPerSec float64 `json:"samplesPerSec"`
+}
+
+// Shards returns a snapshot of every shard's liveness and counters, in
+// configuration order.
+func (c *Cluster) Shards() []ShardInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShardInfo, 0, len(c.shards))
+	for _, s := range c.shards {
+		info := ShardInfo{
+			URL: s.url, Alive: s.alive,
+			AssignedStart: s.lastStart, AssignedCount: s.lastCount,
+			Epochs: s.epochs, Samples: s.samples, BytesMerged: s.bytesMerged,
+		}
+		if s.fetchNanos > 0 {
+			info.SamplesPerSec = float64(s.samples) / (float64(s.fetchNanos) / 1e9)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Grower returns the sampling.RemoteGrower for one sample set: draws over
+// the graph known to every worker as graphKey, with the named sampler kind
+// (wire.SamplerBidirectional, …). One Grower is single-owner like the Set
+// it feeds; the Cluster underneath is shared and safe for concurrent
+// Growers.
+func (c *Cluster) Grower(graphKey, sampler string) *Grower {
+	return &Grower{c: c, graph: graphKey, sampler: sampler}
+}
+
+// Grower adapts a Cluster to one sample set's sampling.RemoteGrower.
+type Grower struct {
+	c       *Cluster
+	graph   string
+	sampler string
+}
+
+// block is one contiguous sub-range of an epoch.
+type block struct {
+	start, count int
+}
+
+// fetchResult is one block's outcome.
+type fetchResult struct {
+	blk     block
+	shard   *shardState
+	payload *wire.ArenaPayload
+	bytes   int64
+	nanos   int64
+	err     error
+}
+
+// GrowRange draws samples [start, start+count) across the live shards and
+// returns the blocks as arenas in index order — the contract
+// sampling.RemoteGrower requires for a bit-exact merge.
+func (g *Grower) GrowRange(ctx context.Context, seed0, seed1 uint64, start, count int) ([]*coverage.PathArena, error) {
+	pending := g.c.partition(start, count)
+	if len(pending) == 0 && count > 0 {
+		return nil, errors.New("shard: no live shards")
+	}
+	done := make(map[int]*wire.ArenaPayload, len(pending))
+	var lastErr error
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		results := g.fetchAll(ctx, seed0, seed1, pending)
+		pending = pending[:0]
+		for _, r := range results {
+			if r.err == nil {
+				done[r.blk.start] = r.payload
+				g.c.recordSuccess(r)
+				continue
+			}
+			var ve *wire.ShardVersionError
+			if errors.As(r.err, &ve) {
+				// A mixed-build cluster is a deployment error: fail the
+				// growth loudly instead of limping on survivors.
+				return nil, r.err
+			}
+			if ctx.Err() != nil {
+				// The run was cancelled, not the shard lost: don't poison
+				// liveness on our way out.
+				return nil, ctx.Err()
+			}
+			lastErr = r.err
+			g.c.markDead(r.shard)
+			pending = append(pending, r.blk)
+		}
+		if len(pending) == 0 {
+			break
+		}
+		// Reassign the failed blocks to the survivors, whole: block
+		// boundaries only decide who draws what, never what is drawn.
+		live := g.c.live()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("shard: all shards lost, last error: %w", lastErr)
+		}
+		for range pending {
+			g.c.metrics.ShardRetry()
+		}
+	}
+	// Splice in global index order: the blocks partition [start,
+	// start+count) contiguously, so ordering by start reproduces the exact
+	// order a single sequential draw would commit.
+	arenas := make([]*coverage.PathArena, 0, len(done))
+	for next := start; next < start+count; {
+		p, ok := done[next]
+		if !ok {
+			return nil, fmt.Errorf("shard: internal error: no block at index %d", next)
+		}
+		arenas = append(arenas, &coverage.PathArena{
+			Nodes: p.Nodes, Offsets: p.Offsets, Obs: p.Obs,
+		})
+		next += p.Count
+	}
+	return arenas, nil
+}
+
+// fetchAll assigns the pending blocks round-robin across the live shards
+// and fetches them in parallel.
+func (g *Grower) fetchAll(ctx context.Context, seed0, seed1 uint64, pending []block) []fetchResult {
+	live := g.c.live()
+	results := make([]fetchResult, len(pending))
+	var wg sync.WaitGroup
+	for i, blk := range pending {
+		shard := live[i%len(live)]
+		g.c.recordAssignment(shard, blk)
+		wg.Add(1)
+		go func(i int, blk block, shard *shardState) {
+			defer wg.Done()
+			results[i] = g.fetchBlock(ctx, seed0, seed1, blk, shard)
+		}(i, blk, shard)
+	}
+	wg.Wait()
+	return results
+}
+
+// fetchBlock fetches one block from one shard, bounded by the cluster's
+// epoch timeout on top of the growth context.
+func (g *Grower) fetchBlock(ctx context.Context, seed0, seed1 uint64, blk block, shard *shardState) fetchResult {
+	res := fetchResult{blk: blk, shard: shard}
+	fctx, cancel := context.WithTimeout(ctx, g.c.timeout)
+	defer cancel()
+	req := wire.EpochRequest{
+		Protocol: wire.ShardProtocolVersion,
+		Graph:    g.graph, Sampler: g.sampler,
+		Seed0: seed0, Seed1: seed1,
+		Start: blk.start, Count: blk.count,
+	}
+	begin := time.Now()
+	status, body, err := g.c.client.PostJSON(fctx, shard.url+"/v1/shard/epoch", req)
+	res.nanos = time.Since(begin).Nanoseconds()
+	if err != nil {
+		res.err = fmt.Errorf("shard %s: %w", shard.url, err)
+		return res
+	}
+	if status != http.StatusOK {
+		res.err = shardErrorFrom(shard.url, status, body)
+		return res
+	}
+	p, err := wire.DecodeArenaPayload(body)
+	if err != nil {
+		res.err = fmt.Errorf("shard %s: %w", shard.url, err)
+		return res
+	}
+	if p.Start != blk.start || p.Count != blk.count {
+		res.err = fmt.Errorf("shard %s: answered range [%d, +%d), asked [%d, +%d)",
+			shard.url, p.Start, p.Count, blk.start, blk.count)
+		return res
+	}
+	res.payload = p
+	res.bytes = int64(len(body))
+	return res
+}
+
+// shardErrorFrom turns a non-2xx worker response into an error, surfacing
+// a typed *wire.ShardVersionError when the worker refused our protocol.
+func shardErrorFrom(url string, status int, body []byte) error {
+	var eb wire.ShardErrorBody
+	if json.Unmarshal(body, &eb) == nil {
+		if eb.Protocol != 0 && eb.Protocol != wire.ShardProtocolVersion {
+			return &wire.ShardVersionError{Got: eb.Protocol, Want: wire.ShardProtocolVersion}
+		}
+		if eb.Error != "" {
+			return fmt.Errorf("shard %s: status %d: %s", url, status, eb.Error)
+		}
+	}
+	return fmt.Errorf("shard %s: status %d", url, status)
+}
+
+// partition splits [start, start+count) into one contiguous block per live
+// shard, in index order, dropping empty blocks.
+func (c *Cluster) partition(start, count int) []block {
+	live := c.live()
+	if len(live) == 0 {
+		return nil
+	}
+	blocks := make([]block, 0, len(live))
+	k := len(live)
+	for i := 0; i < k; i++ {
+		lo, hi := start+i*count/k, start+(i+1)*count/k
+		if hi > lo {
+			blocks = append(blocks, block{start: lo, count: hi - lo})
+		}
+	}
+	return blocks
+}
+
+// live snapshots the live shards in configuration order.
+func (c *Cluster) live() []*shardState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*shardState, 0, len(c.shards))
+	for _, s := range c.shards {
+		if s.alive {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) markDead(s *shardState) {
+	c.mu.Lock()
+	s.alive = false
+	c.mu.Unlock()
+}
+
+func (c *Cluster) recordAssignment(s *shardState, blk block) {
+	c.mu.Lock()
+	s.lastStart, s.lastCount = blk.start, blk.count
+	c.mu.Unlock()
+}
+
+func (c *Cluster) recordSuccess(r fetchResult) {
+	c.mu.Lock()
+	r.shard.epochs++
+	r.shard.samples += int64(r.blk.count)
+	r.shard.bytesMerged += r.bytes
+	r.shard.fetchNanos += r.nanos
+	c.mu.Unlock()
+	c.metrics.ShardEpochMerged(r.bytes)
+}

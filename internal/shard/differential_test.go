@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"gbc/internal/core"
+	"gbc/internal/gen"
+	"gbc/internal/graph"
+	"gbc/internal/sampling"
+	"gbc/internal/wire"
+	"gbc/internal/xrand"
+)
+
+// goldenPath reaches into the core package's frozen differential matrix:
+// the sharded topology must reproduce the same 48 outputs bit for bit.
+const goldenPath = "../core/testdata/differential_golden.json"
+
+// differentialCase mirrors core's golden schema (see
+// internal/core/differential_test.go, the file that owns the format).
+type differentialCase struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	Seed      uint64 `json:"seed"`
+	Workers   int    `json:"workers"`
+
+	Group      []int32 `json:"group"`
+	Covered    int     `json:"covered"`
+	Estimate   string  `json:"estimate"`
+	Samples    int     `json:"samples"`
+	Iterations int     `json:"iterations"`
+	StopReason string  `json:"stopReason"`
+	Converged  bool    `json:"converged"`
+}
+
+// differentialGraphs rebuilds the matrix fixtures exactly as the core
+// package does (same generators, same seeds).
+func differentialGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"BA-300":  gen.BarabasiAlbert(300, 3, xrand.New(7)),
+		"WS-300":  gen.WattsStrogatz(300, 4, 0.1, xrand.New(8)),
+		"SBM-240": gen.StochasticBlockModel([]int{80, 80, 80}, sbmProbs(3, 0.15, 0.01), xrand.New(9)),
+	}
+}
+
+func sbmProbs(k int, in, out float64) [][]float64 {
+	p := make([][]float64, k)
+	for i := range p {
+		p[i] = make([]float64, k)
+		for j := range p[i] {
+			if i == j {
+				p[i][j] = in
+			} else {
+				p[i][j] = out
+			}
+		}
+	}
+	return p
+}
+
+// loadGolden reads the frozen matrix and asserts this test's input cells
+// line up with it (same order, same shape as core's differentialMatrix).
+func loadGolden(t *testing.T) []*differentialCase {
+	t.Helper()
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var want []*differentialCase
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, gname := range []string{"BA-300", "WS-300", "SBM-240"} {
+		for _, alg := range []string{"AdaAlg", "HEDGE", "CentRa", "Budgeted"} {
+			for _, cell := range []struct {
+				seed    uint64
+				workers int
+			}{{1, 1}, {2, 1}, {3, 1}, {1, 4}} {
+				if i >= len(want) {
+					t.Fatalf("golden has %d cases, want 48", len(want))
+				}
+				w := want[i]
+				if w.Graph != gname || w.Algorithm != alg || w.Seed != cell.seed || w.Workers != cell.workers {
+					t.Fatalf("golden case %d is %s/%s/%d/w%d, want %s/%s/%d/w%d",
+						i, w.Graph, w.Algorithm, w.Seed, w.Workers, gname, alg, cell.seed, cell.workers)
+				}
+				i++
+			}
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("golden has %d cases, matrix has %d", len(want), i)
+	}
+	return want
+}
+
+// budgetedCosts mirrors the deterministic cost vector of the core matrix.
+func budgetedCosts(n int) []float64 {
+	costs := make([]float64, n)
+	for v := range costs {
+		costs[v] = 1 + float64(v%5)*0.5
+	}
+	return costs
+}
+
+// TestDifferentialShardedTopology is the tentpole acceptance test: every
+// golden cell — 3 graphs × 4 algorithms × (3 seeds + 1 parallel cell) — is
+// solved with sample growth dispatched through a coordinator and two HTTP
+// shard workers, and must reproduce the frozen single-node outputs bit for
+// bit: same group, same covered count, bit-exact estimate, same sample
+// count and stopping state. Shard assignment, block splits and the wire
+// round trip are all invisible in the result.
+func TestDifferentialShardedTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	graphs := differentialGraphs()
+	want := loadGolden(t)
+
+	// Two workers, each resolving all three fixture graphs in memory — the
+	// AddGraph topology stands in for shared .gbcsr storage.
+	urls := make([]string, 2)
+	for i := range urls {
+		w := NewWorker(nil, false)
+		for name, g := range graphs {
+			w.AddGraph(name, g)
+		}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	cluster := NewCluster(Config{Shards: urls, Client: fastClient()})
+
+	for _, w := range want {
+		w := w
+		name := fmt.Sprintf("%s/%s/seed%d/workers%d", w.Graph, w.Algorithm, w.Seed, w.Workers)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g := graphs[w.Graph]
+			grower := cluster.Grower(w.Graph, wire.SamplerBidirectional)
+			opts := core.Options{
+				K: 8, Seed: w.Seed, MaxSamples: 60000, Workers: w.Workers,
+				// The matrix graphs are unweighted, so NewSetFor builds the
+				// same bidirectional set every algorithm defaults to; Remote
+				// routes its growth through the cluster.
+				SamplerSet: func(g *graph.Graph, r *xrand.Rand) *sampling.Set {
+					s := sampling.NewSetFor(g, r)
+					s.Remote = grower
+					return s
+				},
+			}
+			switch w.Algorithm {
+			case "AdaAlg":
+				opts.Algorithm = core.AlgAdaAlg
+			case "HEDGE":
+				opts.Algorithm = core.AlgHEDGE
+			case "CentRa":
+				opts.Algorithm = core.AlgCentRa
+			case "Budgeted":
+				// The golden Budgeted cells ran with only Costs/Budget/Seed/
+				// MaxSamples set; K and Workers are ignored on this path
+				// (Remote makes Workers moot regardless).
+				opts.Algorithm = core.AlgBudgeted
+				opts.K = 0
+				opts.Costs = budgetedCosts(g.N())
+				opts.Budget = 12
+			default:
+				t.Fatalf("unknown algorithm %q", w.Algorithm)
+			}
+			res, err := core.Solve(context.Background(), g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(res.Group) != len(w.Group) {
+				t.Fatalf("group %v, golden %v", res.Group, w.Group)
+			}
+			for j := range res.Group {
+				if res.Group[j] != w.Group[j] {
+					t.Fatalf("group %v, golden %v", res.Group, w.Group)
+				}
+			}
+			if got := coveredOn(g, res.Group, w.Seed, w.Algorithm); got != w.Covered {
+				t.Errorf("covered %d, golden %d", got, w.Covered)
+			}
+			if est := fmt.Sprintf("%x", res.Estimate); est != w.Estimate {
+				t.Errorf("estimate %s, golden %s (must be bit-exact)", est, w.Estimate)
+			}
+			if res.Samples != w.Samples {
+				t.Errorf("samples %d, golden %d", res.Samples, w.Samples)
+			}
+			if res.Iterations != w.Iterations {
+				t.Errorf("iterations %d, golden %d", res.Iterations, w.Iterations)
+			}
+			if res.StopReason.String() != w.StopReason {
+				t.Errorf("stopReason %s, golden %s", res.StopReason, w.StopReason)
+			}
+			if res.Converged != w.Converged {
+				t.Errorf("converged %v, golden %v", res.Converged, w.Converged)
+			}
+		})
+	}
+}
+
+// coveredOn mirrors core's golden helper: recompute the group's covered
+// count on an independent fixed local sample set.
+func coveredOn(g *graph.Graph, group []int32, seed uint64, alg string) int {
+	set := sampling.NewBidirectionalSet(g, xrand.New(seed*2654435761+uint64(len(alg))))
+	set.GrowTo(5000)
+	return set.CoveredBy(group)
+}

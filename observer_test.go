@@ -79,12 +79,12 @@ func TestObservedRunBitIdenticalToUnobserved(t *testing.T) {
 	g := WattsStrogatz(600, 4, 0.1, 13)
 	for _, workers := range []int{1, 4} {
 		opts := Options{K: 5, Seed: 7, MaxSamples: 30000, Workers: workers}
-		plain, err := TopK(g, opts)
+		plain, err := Solve(context.Background(), g, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		opts.Observer = &recorder{}
-		observed, err := TopK(g, opts)
+		observed, err := Solve(context.Background(), g, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func TestObserverCancelledPrefix(t *testing.T) {
 	full := &recorder{}
 	opts := base
 	opts.Observer = full
-	if _, err := TopK(g, opts); err != nil {
+	if _, err := Solve(context.Background(), g, opts); err != nil {
 		t.Fatal(err)
 	}
 
@@ -125,7 +125,7 @@ func TestObserverCancelledPrefix(t *testing.T) {
 		opts := base
 		opts.Workers = workers
 		opts.Observer = part
-		res, err := TopKContext(ctx, g, opts)
+		res, err := Solve(ctx, g, opts)
 		cancel()
 		if err != nil {
 			t.Fatal(err)
@@ -238,46 +238,6 @@ func TestConcurrentSolveIndependentSamplerSets(t *testing.T) {
 	if callsA.Load() != 2 || callsB.Load() != 2 {
 		t.Fatalf("sampler-set factories called %d/%d times, want 2/2 (S and T, own run only)",
 			callsA.Load(), callsB.Load())
-	}
-}
-
-// TestSolveMatchesWrappers pins the wrapper contract: TopK and TopKWith are
-// exactly Solve with the algorithm forced.
-func TestSolveMatchesWrappers(t *testing.T) {
-	g := BarabasiAlbert(400, 3, 23)
-	opts := Options{K: 4, Seed: 9, MaxSamples: 30000}
-
-	viaSolve, err := Solve(context.Background(), g, opts) // zero Algorithm = AdaAlg
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaTopK, err := TopK(g, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if viaSolve.Estimate != viaTopK.Estimate || fmt.Sprintf("%v", viaSolve.Group) != fmt.Sprintf("%v", viaTopK.Group) {
-		t.Fatalf("Solve %v/%x vs TopK %v/%x", viaSolve.Group, viaSolve.Estimate, viaTopK.Group, viaTopK.Estimate)
-	}
-
-	opts.Algorithm = HEDGE
-	viaSolveH, err := Solve(context.Background(), g, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaWith, err := TopKWith(HEDGE, g, Options{K: 4, Seed: 9, MaxSamples: 30000})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if viaSolveH.Estimate != viaWith.Estimate {
-		t.Fatalf("Solve(HEDGE) %x vs TopKWith(HEDGE) %x", viaSolveH.Estimate, viaWith.Estimate)
-	}
-	// And TopK ignores a stray Algorithm field: it always runs AdaAlg.
-	viaTopK2, err := TopK(g, opts) // opts.Algorithm == HEDGE here
-	if err != nil {
-		t.Fatal(err)
-	}
-	if viaTopK2.Estimate != viaTopK.Estimate {
-		t.Fatalf("TopK with stray Algorithm field diverged: %x vs %x", viaTopK2.Estimate, viaTopK.Estimate)
 	}
 }
 

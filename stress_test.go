@@ -1,6 +1,7 @@
 package gbc
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -19,7 +20,7 @@ func TestPaperScaleGrQc(t *testing.T) {
 	if g.N() != 5244 {
 		t.Fatalf("n = %d, want the paper's 5244", g.N())
 	}
-	res, err := TopK(g, Options{K: 50, Epsilon: 0.3, Gamma: 0.01, Seed: 7})
+	res, err := Solve(context.Background(), g, Options{K: 50, Epsilon: 0.3, Gamma: 0.01, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +51,13 @@ func TestPaperScaleComparison(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := Options{K: 100, Epsilon: 0.3, Seed: 3}
-	ada, err := TopK(g, opts)
+	ada, err := Solve(context.Background(), g, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cen, err := TopKWith(CentRa, g, opts)
+	copts := opts
+	copts.Algorithm = CentRa
+	cen, err := Solve(context.Background(), g, copts)
 	if err != nil {
 		t.Fatal(err)
 	}
